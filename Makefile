@@ -1,0 +1,48 @@
+# Reproduction workflow targets. Everything is stdlib-only Go; no external
+# tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments experiments-quick fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark target per experiment table plus micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper claim (EXPERIMENTS.md tables).
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+# Write the tables as CSV into ./results.
+experiments-csv:
+	$(GO) run ./cmd/experiments -csv results
+
+# Short exploratory fuzz sessions over the spec and the hierarchy builder.
+fuzz:
+	$(GO) test -fuzz=FuzzAtomicMoveWalk -fuzztime=30s ./internal/lookahead
+	$(GO) test -fuzz=FuzzGridHierarchy -fuzztime=30s ./internal/hier
+	$(GO) test -fuzz=FuzzLandmarkHierarchy -fuzztime=30s ./internal/hier
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf results

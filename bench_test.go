@@ -1,0 +1,237 @@
+package vinestalk_test
+
+import (
+	"strconv"
+	"testing"
+
+	"vinestalk"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/experiments"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/lookahead"
+	"vinestalk/internal/sim"
+)
+
+// --- One benchmark per experiment of the DESIGN.md index. Each iteration
+// regenerates the experiment (quick mode) and fails if a shape check
+// breaks, so `go test -bench=.` re-verifies every paper claim. ---
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			for _, c := range res.Checks {
+				if !c.Pass {
+					b.Fatalf("%s: %s: %s", id, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkT1GridGeometry(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkT2Landmark(b *testing.B)     { benchExperiment(b, "T2") }
+func BenchmarkE1FindCost(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2MoveCost(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Dithering(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Baselines(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Checker(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6Concurrent(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7Failures(b *testing.B)     { benchExperiment(b, "E7") }
+
+// --- Micro-benchmarks of the building blocks. ---
+
+// BenchmarkMoveUpdate measures one atomic move's settle (grow + shrink +
+// neighbor updates) on a 16x16 grid, reporting the simulated protocol work
+// alongside host time.
+func BenchmarkMoveUpdate(b *testing.B) {
+	svc, err := vinestalk.New(vinestalk.Config{Width: 16, AlwaysAliveVSAs: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	model := evader.RandomWalk{Tiling: svc.Tiling()}
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
+		_, w, _, err := svc.MoveStats(next)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work += w
+	}
+	b.ReportMetric(float64(work)/float64(b.N), "hopwork/op")
+}
+
+// BenchmarkFindOperation measures one corner-to-center find on a 16x16
+// grid (search + trace + found broadcast).
+func BenchmarkFindOperation(b *testing.B) {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width: 16, AlwaysAliveVSAs: true,
+		Start: geo.RegionID(16*8 + 8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, w, _, err := svc.FindStats(svc.Tiling().RegionAt(0, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		work += w
+	}
+	b.ReportMetric(float64(work)/float64(b.N), "hopwork/op")
+}
+
+// BenchmarkAtomicMoveSpec measures the §IV-C atomic specification alone.
+func BenchmarkAtomicMoveSpec(b *testing.B) {
+	h := hier.MustGrid(geo.MustGridTiling(16, 16), 2)
+	s := lookahead.Init(h, 0)
+	cur := geo.RegionID(0)
+	tl := h.Tiling()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nbrs := tl.Neighbors(cur)
+		next := nbrs[i%len(nbrs)]
+		out, err := lookahead.AtomicMove(s, cur, next)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, cur = out, next
+	}
+}
+
+// BenchmarkLookAheadChecker measures capturing + lookAhead + equality on a
+// quiescent 16x16 network.
+func BenchmarkLookAheadChecker(b *testing.B) {
+	svc, err := vinestalk.New(vinestalk.Config{Width: 16, AlwaysAliveVSAs: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.CheckTheorem48(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernel measures the raw event-queue throughput of the DES
+// substrate.
+func BenchmarkKernel(b *testing.B) {
+	k := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(sim.Time(i%1000), func() {})
+		if i%1000 == 999 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+// BenchmarkGridHierarchyConstruction measures building and validating the
+// hierarchy for several grid sizes.
+func BenchmarkGridHierarchyConstruction(b *testing.B) {
+	for _, side := range []int{8, 16, 32} {
+		b.Run(strconv.Itoa(side), func(b *testing.B) {
+			t := geo.MustGridTiling(side, side)
+			for i := 0; i < b.N; i++ {
+				if _, err := hier.NewGrid(t, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8MultiObject(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkLargeGridMove exercises one settled move on a 64x64 grid
+// (4096 regions, MAX=6) — the scalability point of Theorem 4.9.
+func BenchmarkLargeGridMove(b *testing.B) {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width: 64, AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(64*32 + 32),
+		FormulaGeometry: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	model := evader.RandomWalk{Tiling: svc.Tiling()}
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
+		_, w, _, err := svc.MoveStats(next)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work += w
+	}
+	b.ReportMetric(float64(work)/float64(b.N), "hopwork/op")
+}
+
+// BenchmarkLargeGridFind exercises a diameter-scale find on a 64x64 grid.
+func BenchmarkLargeGridFind(b *testing.B) {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width: 64, AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(64*32 + 32),
+		FormulaGeometry: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, w, _, err := svc.FindStats(svc.Tiling().RegionAt(0, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		work += w
+	}
+	b.ReportMetric(float64(work)/float64(b.N), "hopwork/op")
+}
+
+func BenchmarkE9Emulation(b *testing.B) { benchExperiment(b, "E9") }
+
+func BenchmarkE10WhyVSA(b *testing.B) { benchExperiment(b, "E10") }
+
+func BenchmarkA5Amortization(b *testing.B) { benchExperiment(b, "A5") }
+
+func BenchmarkA1BaseSweep(b *testing.B)     { benchExperiment(b, "A1") }
+func BenchmarkA2HeadPlacement(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3ScheduleSlack(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkA4Quorum(b *testing.B)        { benchExperiment(b, "A4") }

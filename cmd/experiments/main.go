@@ -1,0 +1,35 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (DESIGN.md §3): the grid-geometry example of §II-B, the
+// find/move cost bounds of Theorems 5.2 and 4.9, the dithering comparison,
+// the baseline comparison, the Theorem 4.8 runtime verification, the §VI
+// concurrency sweep, the §VII failure-recovery and extension
+// demonstrations, and the design-choice ablations.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E1,E4] [-csv results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vinestalk/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced grid sizes and repetition counts")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<ID>.csv")
+	flag.Parse()
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	if err := experiments.RunAll(os.Stdout, *quick, ids, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

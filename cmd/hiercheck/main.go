@@ -1,0 +1,86 @@
+// Command hiercheck validates a base-r grid cluster hierarchy against the
+// requirements of paper §II-B: the six structural requirements, the
+// proximity assumption, the geometry relationships, and the closed-form
+// parameters of the grid example. It prints the measured n, p, q, ω table.
+//
+// Usage:
+//
+//	hiercheck [-width 16] [-height 16] [-base 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+)
+
+func main() {
+	var (
+		width    = flag.Int("width", 16, "grid width (regions)")
+		height   = flag.Int("height", 0, "grid height (defaults to width)")
+		base     = flag.Int("base", 2, "hierarchy base r")
+		landmark = flag.Bool("landmark", false, "build a landmark decomposition instead of the grid hierarchy")
+		four     = flag.Bool("4", false, "use the 4-neighbor (edge-only) tiling rule")
+	)
+	flag.Parse()
+	if *height == 0 {
+		*height = *width
+	}
+	if err := run(*width, *height, *base, *landmark, *four); err != nil {
+		fmt.Fprintln(os.Stderr, "hiercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(width, height, base int, landmark, four bool) error {
+	newTiling := geo.NewGridTiling
+	if four {
+		newTiling = geo.NewGridTiling4
+	}
+	tiling, err := newTiling(width, height)
+	if err != nil {
+		return err
+	}
+	var h *hier.Hierarchy
+	if landmark {
+		h, err = hier.NewLandmark(tiling, base) // validates requirements 1-6
+	} else {
+		h, err = hier.NewGrid(tiling, base) // validates requirements 1-6
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid %dx%d, base %d: MAX=%d, %d clusters, diameter %d\n",
+		width, height, base, h.MaxLevel(), h.NumClusters(), geo.NewGraph(tiling).Diameter())
+	fmt.Println("structural requirements 1-6: OK")
+
+	if err := hier.ValidateProximity(h); err != nil {
+		fmt.Printf("proximity requirement: VIOLATED (%v)\n", err)
+		fmt.Println("  (the tracker stays correct; the find-locality bound of Thm 5.2 weakens)")
+	} else {
+		fmt.Println("proximity requirement: OK")
+	}
+
+	geom := hier.MeasureGeometry(h)
+	if err := hier.ValidateGeometry(geom); err != nil {
+		fmt.Printf("geometry relationships: VIOLATED (%v)\n", err)
+	} else {
+		fmt.Println("geometry relationships (q(0)=1, q<=n, 2q(l-1)<=q(l), monotonicity): OK")
+	}
+
+	form := hier.GridFormulas(base, h.MaxLevel())
+	fmt.Println("\nlevel  clusters  n meas/formula  p meas/formula  q meas/formula  omega")
+	for l := 0; l <= h.MaxLevel(); l++ {
+		clusters := len(h.ClustersAtLevel(l))
+		if l == h.MaxLevel() {
+			fmt.Printf("%5d  %8d  %14s  %14s  %14s  %5d\n", l, clusters, "-", "-", "-", geom.Omega[l])
+			continue
+		}
+		fmt.Printf("%5d  %8d  %7d/%-6d  %7d/%-6d  %7d/%-6d  %5d\n",
+			l, clusters, geom.N[l], form.N[l], geom.P[l], form.P[l], geom.Q[l], form.Q[l], geom.Omega[l])
+	}
+	return nil
+}

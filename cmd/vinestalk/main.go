@@ -1,0 +1,142 @@
+// Command vinestalk runs a tracking scenario and prints a narrated trace:
+// an evader moves over a grid of VSA regions under a selectable mobility
+// model while finds are issued from a fixed observer corner, demonstrating
+// the full stack (VSA layer, C-gcast, grow/shrink path maintenance,
+// search/trace finds).
+//
+// Usage:
+//
+//	vinestalk [-side 16] [-base 2] [-steps 20] [-finds 5] [-seed 1]
+//	          [-mobility walk|waypoint|momentum|pingpong] [-check] [-v]
+//	          [-realtime 0]
+//
+// With -realtime N > 0, the scenario is replayed paced against the wall
+// clock at N× virtual speed after the measured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vinestalk/internal/core"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/tracker"
+)
+
+func main() {
+	var (
+		side     = flag.Int("side", 16, "grid side length (regions)")
+		base     = flag.Int("base", 2, "hierarchy base r")
+		steps    = flag.Int("steps", 20, "evader steps")
+		finds    = flag.Int("finds", 5, "finds to issue from the corner observer")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		mobility = flag.String("mobility", "walk", "evader mobility: walk, waypoint, momentum, pingpong")
+		check    = flag.Bool("check", true, "verify Theorem 4.8 after every move")
+		verbose  = flag.Bool("v", false, "stream protocol-level events (sends, deliveries, founds)")
+		realtime = flag.Float64("realtime", 0, "if > 0, pace the run against the wall clock at this speedup")
+	)
+	flag.Parse()
+	if err := run(*side, *base, *steps, *finds, *seed, *mobility, *check, *verbose, *realtime); err != nil {
+		fmt.Fprintln(os.Stderr, "vinestalk:", err)
+		os.Exit(1)
+	}
+}
+
+func pickModel(name string, g *geo.GridTiling) (evader.Model, error) {
+	switch name {
+	case "walk":
+		return evader.RandomWalk{Tiling: g}, nil
+	case "waypoint":
+		return &evader.Waypoint{Graph: geo.NewGraph(g)}, nil
+	case "momentum":
+		return &evader.Momentum{Tiling: g}, nil
+	case "pingpong":
+		side := g.Width()
+		return &evader.PingPong{Path: []geo.RegionID{
+			g.RegionAt(side/2-1, side/2), g.RegionAt(side/2, side/2),
+		}}, nil
+	default:
+		return nil, fmt.Errorf("unknown mobility model %q", name)
+	}
+}
+
+func run(side, base, steps, finds int, seed int64, mobility string, check, verbose bool, realtime float64) error {
+	var tr *trace.Tracer
+	if verbose {
+		tr = trace.New(1)
+		tr.Attach(func(e trace.Event) { fmt.Println("    |", e) })
+	}
+	svc, err := core.New(core.Config{
+		Width:           side,
+		Base:            base,
+		Seed:            seed,
+		AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(side*side/2 + side/2),
+		Tracer:          tr,
+		OnFound: func(r tracker.FindResult) {
+			fmt.Printf("    found: find %d (from %v) reached the evader at %v\n", r.ID, r.Origin, r.FoundAt)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Settle(); err != nil {
+		return err
+	}
+	g := svc.Tiling()
+	h := svc.Hierarchy()
+	model, err := pickModel(mobility, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid %dx%d, base %d hierarchy: MAX=%d, %d clusters, diameter %d, mobility %s\n",
+		side, side, base, h.MaxLevel(), h.NumClusters(), side-1, mobility)
+	fmt.Printf("evader starts at %v; initial tracking path built\n\n", svc.Evader().Region())
+
+	observer := g.RegionAt(0, 0)
+	findEvery := 1
+	if finds > 0 {
+		findEvery = steps / finds
+		if findEvery == 0 {
+			findEvery = 1
+		}
+	}
+	for i := 1; i <= steps; i++ {
+		next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
+		msgs, work, elapsed, err := svc.MoveStats(next)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("move %2d -> %-5v msgs=%-3d work=%-4d settle=%v\n", i, next, msgs, work, elapsed)
+		if check {
+			if err := svc.CheckTheorem48(); err != nil {
+				return fmt.Errorf("correctness check after move %d: %w", i, err)
+			}
+		}
+		if finds > 0 && i%findEvery == 0 {
+			m, w, lat, err := svc.FindStats(observer)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    find from %v: msgs=%d work=%d latency=%v\n", observer, m, w, lat)
+		}
+	}
+	fmt.Printf("\ntotals: %d messages, %d hop-work, virtual time %v\n",
+		svc.Ledger().TotalMessages(), svc.Ledger().TotalWork(), svc.Kernel().Now())
+	if check {
+		fmt.Println("all Theorem 4.8 checks passed")
+	}
+
+	if realtime > 0 {
+		fmt.Printf("\nreplaying live at %.0fx: evader wanders for 30 more steps...\n", realtime)
+		evader.StartWalker(svc.Kernel(), svc.Evader(), model, 200*time.Millisecond, 30, func() {
+			fmt.Printf("  t=%v evader at %v\n", svc.Kernel().Now(), svc.Evader().Region())
+		})
+		svc.Kernel().RunRealtime(realtime, nil)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package vinestalk_test
+
+import (
+	"fmt"
+	"log"
+
+	"vinestalk"
+)
+
+// Example builds a small tracked sensor field, relocates the evader, and
+// locates it with a find — the complete lifecycle of the tracking service.
+func Example() {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width:           8,
+		AlwaysAliveVSAs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The evader walks two regions; each Settle completes the grow/shrink
+	// updates to the tracking path.
+	for _, to := range []vinestalk.RegionID{
+		svc.Tiling().RegionAt(1, 1),
+		svc.Tiling().RegionAt(2, 2),
+	} {
+		if err := svc.MoveEvader(to); err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.Settle(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A find from the far corner searches up the hierarchy, traces the
+	// path down, and produces a found output at the evader's region.
+	id, err := svc.Find(svc.Tiling().RegionAt(7, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range svc.Founds() {
+		if r.ID == id {
+			fmt.Println("found at evader's region:", r.FoundAt == svc.Evader().Region())
+		}
+	}
+	fmt.Println("state matches atomic spec:", svc.CheckTheorem48() == nil)
+	// Output:
+	// found at evader's region: true
+	// state matches atomic spec: true
+}
+
+// ExampleService_AddObject tracks a second mobile object with its own
+// independent structure (§VII multiple objects).
+func ExampleService_AddObject() {
+	svc, err := vinestalk.New(vinestalk.Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := svc.AddObject(1, svc.Tiling().RegionAt(7, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		log.Fatal(err)
+	}
+
+	id, err := svc.FindObject(svc.Tiling().RegionAt(0, 7), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range svc.Founds() {
+		if r.ID == id {
+			fmt.Println("second object found:", r.FoundAt == second.Region())
+		}
+	}
+	// Output:
+	// second object found: true
+}

@@ -1,0 +1,90 @@
+// Failover: VSA failure semantics (§II-C) and heartbeat healing (§VII),
+// narrated. The clients of the region hosting a mid-path VSA leave, the
+// VSA fails and loses its Tracker state; when a client returns, the VSA
+// restarts fresh after t_restart, and the heartbeat refresh rebuilds the
+// tracking path through it. Finds are probed at each phase.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vinestalk"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/vsa"
+)
+
+const (
+	side     = 8
+	unit     = 15 * time.Millisecond // δ+e
+	tRestart = 2 * unit
+	hbPeriod = 8 * unit
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width:     side,
+		TRestart:  tRestart,
+		Heartbeat: hbPeriod, // the §VII extension; drop this and recovery never happens
+	})
+	if err != nil {
+		return err
+	}
+	svc.RunFor(100 * unit) // build the initial path; heartbeats flowing
+	fmt.Printf("evader at %v, heartbeat period %v, t_restart %v\n\n",
+		svc.Evader().Region(), hbPeriod, tRestart)
+
+	probe := func(phase string) bool {
+		id, err := svc.Find(svc.Tiling().RegionAt(side-1, side-1))
+		if err != nil {
+			fmt.Printf("%-28s find could not be issued: %v\n", phase, err)
+			return false
+		}
+		svc.RunFor(300 * unit)
+		ok := svc.FindDone(id)
+		fmt.Printf("%-28s find completed: %v\n", phase+":", ok)
+		return ok
+	}
+
+	probe("before failure")
+
+	// Evacuate the region heading the evader's level-1 cluster: its VSA
+	// fails immediately and all Tracker subautomata it hosts reset.
+	lvl1 := svc.Hierarchy().Cluster(svc.Evader().Region(), 1)
+	head := svc.Hierarchy().Head(lvl1)
+	refuge := svc.Tiling().Neighbors(head)[0]
+	for _, id := range svc.Layer().ClientsIn(head) {
+		if err := svc.Layer().MoveClient(id, refuge); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nregion %v evacuated; its VSA alive: %v (tracking path broken at level 1)\n",
+		head, svc.Layer().Alive(head))
+
+	probe("during outage")
+
+	// A client returns; after t_restart of occupancy the VSA restarts from
+	// its initial state, and the next heartbeat heals the break.
+	if err := svc.Layer().MoveClient(vsa.ClientID(int(head)), head); err != nil {
+		return err
+	}
+	svc.RunFor(tRestart + 2*unit)
+	fmt.Printf("\nclient returned; VSA alive again: %v (state reset)\n", svc.Layer().Alive(head))
+	svc.RunFor(600 * unit) // a heartbeat climbs through and re-grows the path
+
+	if !probe("after heartbeat healing") {
+		return fmt.Errorf("path did not heal")
+	}
+
+	fmt.Printf("\nfinal check: tracking path terminates at the evader's region %v\n",
+		svc.Evader().Region())
+	_ = geo.NoRegion
+	return nil
+}

@@ -1,0 +1,117 @@
+// Pursuit: the §VII multi-finder extension. Two pursuers repeatedly issue
+// finds for a randomly walking evader and move toward each answer; a
+// command-center heuristic (the VSAs "acting as command centers" of §VII)
+// assigns each pursuer a distinct flank of the found location to reduce
+// overlap. The chase ends when a pursuer enters the evader's region.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vinestalk"
+	evaderpkg "vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+)
+
+const (
+	side       = 16
+	moveEvery  = 400 * time.Millisecond // evader speed
+	chaseEvery = 150 * time.Millisecond // pursuer speed (faster, so the chase ends)
+	deadline   = 5 * time.Minute        // virtual-time budget
+)
+
+type pursuer struct {
+	name   string
+	at     geo.RegionID
+	target geo.RegionID // command-center assignment (NoRegion = none yet)
+	bias   int          // approach flank: -1 from the west, +1 from the east
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc, err := vinestalk.New(vinestalk.Config{
+		Width:           side,
+		AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(side*side/2 + side/2),
+		Seed:            11,
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Settle(); err != nil {
+		return err
+	}
+	g := svc.Tiling()
+	graph := svc.Hierarchy().Graph()
+
+	// The evader wanders continuously (§VI: moves and finds overlap).
+	evaderpkg.StartWalker(svc.Kernel(), svc.Evader(),
+		evaderpkg.RandomWalk{Tiling: g}, moveEvery, -1, nil)
+
+	pursuers := []*pursuer{
+		{name: "alpha", at: g.RegionAt(0, 0), target: geo.NoRegion, bias: -1},
+		{name: "bravo", at: g.RegionAt(side-1, side-1), target: geo.NoRegion, bias: +1},
+	}
+	fmt.Printf("evader at %v; pursuers at %v and %v\n\n",
+		svc.Evader().Region(), pursuers[0].at, pursuers[1].at)
+
+	var (
+		elapsed time.Duration
+		seen    int // founds already dispatched
+	)
+	for tickNo := 1; elapsed < deadline; tickNo++ {
+		// Each pursuer periodically issues a find from its own region.
+		if tickNo%4 == 1 {
+			for _, p := range pursuers {
+				if _, err := svc.Find(p.at); err != nil {
+					return err
+				}
+			}
+		}
+		svc.RunFor(chaseEvery)
+		elapsed += chaseEvery
+
+		// Command center: dispatch fresh founds, flank-adjusted.
+		for _, r := range svc.Founds()[seen:] {
+			seen++
+			x, y := g.Coord(r.FoundAt)
+			for _, p := range pursuers {
+				tgt := g.RegionAt(x+p.bias, y)
+				if tgt == geo.NoRegion {
+					tgt = r.FoundAt
+				}
+				p.target = tgt
+			}
+		}
+
+		// Pursuers advance one hop toward their assignments.
+		for _, p := range pursuers {
+			if p.target == geo.NoRegion {
+				continue
+			}
+			if next := graph.NextHop(p.at, p.target); next != geo.NoRegion {
+				p.at = next
+			}
+			if p.at == svc.Evader().Region() {
+				fmt.Printf("t=%v: %s caught the evader at %v (tick %d)\n",
+					svc.Kernel().Now().Round(time.Millisecond), p.name, p.at, tickNo)
+				fmt.Printf("\n%d finds serviced during the chase; total work %d hops\n",
+					seen, svc.Ledger().TotalWork())
+				return nil
+			}
+		}
+		if tickNo%10 == 0 {
+			fmt.Printf("t=%v: evader %v, alpha %v, bravo %v\n",
+				svc.Kernel().Now().Round(time.Millisecond),
+				svc.Evader().Region(), pursuers[0].at, pursuers[1].at)
+		}
+	}
+	return fmt.Errorf("pursuit did not converge within %v of virtual time", deadline)
+}

@@ -1,0 +1,3 @@
+module vinestalk
+
+go 1.22

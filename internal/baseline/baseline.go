@@ -1,0 +1,73 @@
+// Package baseline implements the comparison trackers that the paper's
+// introduction positions VINESTALK against:
+//
+//   - RootPointer: a centralized home directory at a fixed region (the
+//     simplest location service): every move updates the home, every find
+//     queries it. Move cost Θ(distance to home) ≈ Θ(D); find cost
+//     Θ(d(origin, home) + d(home, object)).
+//   - Flood: no tracking structure at all; finds run an expanding-ring
+//     search (doubling radius), costing Θ(d²) work for an object at
+//     distance d. Moves are free.
+//   - HierDir: a GLS/Awerbuch-Peleg-flavored hierarchical directory
+//     *without* lateral links: each level-l cluster head on the object's
+//     chain stores a pointer to the level l−1 cluster below. It matches
+//     VINESTALK's find locality but suffers the dithering problem — an
+//     oscillation across a level-L boundary costs Θ(p(L)) per move.
+//
+// The fourth baseline, VINESTALK with lateral links disabled, is the
+// tracker package's WithoutLateralLinks option (core.Config.NoLateralLinks)
+// since it shares the full protocol machinery.
+//
+// Baselines run on an idealized always-alive substrate with atomic state
+// updates (deliberately favorable to them): messages are charged their
+// shortest-path hop distance as work, and latency is hop distance times the
+// unit delay δ+e. The paper's comparisons concern asymptotic work/time
+// shape, which this preserves.
+package baseline
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+)
+
+// Tracker is the common surface of the baseline trackers, mirroring the
+// tracking-service operations: Move mirrors the evader's region
+// transitions, Find issues a query.
+type Tracker interface {
+	// Name identifies the baseline in experiment tables.
+	Name() string
+	// Move informs the tracker the object relocated from one region to a
+	// neighboring one.
+	Move(from, to geo.RegionID)
+	// Find issues a find at origin; done runs (in virtual time) when the
+	// query reaches the object, with the region it was found at.
+	Find(origin geo.RegionID, done func(foundAt geo.RegionID))
+	// Ledger exposes the tracker's work accounting.
+	Ledger() *metrics.Ledger
+}
+
+// charge records one protocol message of the given kind traveling hops.
+func charge(l *metrics.Ledger, kind string, hops int) {
+	if hops < 0 {
+		hops = 0
+	}
+	l.RecordMessage("proto/"+kind, hops)
+}
+
+func validRegion(g *geo.Graph, u geo.RegionID, what string) error {
+	if !g.Tiling().Contains(u) {
+		return fmt.Errorf("baseline: %s region %v outside tiling", what, u)
+	}
+	return nil
+}
+
+// latency converts hop distance to virtual time.
+func latency(unit sim.Time, hops int) sim.Time {
+	if hops < 0 {
+		hops = 0
+	}
+	return unit * sim.Time(hops)
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+)
+
+// HierDir is the GLS/Awerbuch-Peleg-flavored hierarchical directory
+// baseline, with no lateral links: the head of each cluster containing the
+// object stores a pointer to the child cluster below it on the chain. A
+// move rewrites the chain up to the lowest common ancestor cluster; a find
+// climbs the origin's own cluster chain until it meets a cluster holding a
+// pointer, then descends. State updates are atomic (idealized), but every
+// message is charged its hop distance and one-way latency.
+type HierDir struct {
+	k      *sim.Kernel
+	h      *hier.Hierarchy
+	unit   sim.Time
+	ledger *metrics.Ledger
+
+	ptr    map[hier.ClusterID]hier.ClusterID // cluster -> child on chain
+	actual geo.RegionID
+}
+
+var _ Tracker = (*HierDir)(nil)
+
+// NewHierDir creates the baseline with the object starting at start.
+func NewHierDir(k *sim.Kernel, h *hier.Hierarchy, unit sim.Time, start geo.RegionID) (*HierDir, error) {
+	if err := validRegion(h.Graph(), start, "start"); err != nil {
+		return nil, err
+	}
+	d := &HierDir{
+		k: k, h: h, unit: unit,
+		ledger: metrics.NewLedger(),
+		ptr:    make(map[hier.ClusterID]hier.ClusterID),
+		actual: start,
+	}
+	d.installChain(start, h.MaxLevel())
+	return d, nil
+}
+
+// Name implements Tracker.
+func (d *HierDir) Name() string { return "hierdir" }
+
+// Ledger implements Tracker.
+func (d *HierDir) Ledger() *metrics.Ledger { return d.ledger }
+
+// installChain writes pointers at the object's cluster heads for levels
+// 1..top (each pointing at the child cluster), and the level-0 self
+// pointer.
+func (d *HierDir) installChain(u geo.RegionID, top int) {
+	child := d.h.Cluster(u, 0)
+	d.ptr[child] = child
+	for l := 1; l <= top; l++ {
+		c := d.h.Cluster(u, l)
+		d.ptr[c] = child
+		child = c
+	}
+}
+
+// Move implements Tracker: find the lowest level L at which the old and
+// new regions share a cluster, delete the old chain below L, and install
+// the new one. Every pointer write/delete is a message from the object's
+// region to the cluster's head.
+func (d *HierDir) Move(from, to geo.RegionID) {
+	d.actual = to
+	g := d.h.Graph()
+	lca := 0
+	for l := 1; l <= d.h.MaxLevel(); l++ {
+		if d.h.Cluster(from, l) == d.h.Cluster(to, l) {
+			lca = l
+			break
+		}
+	}
+	// Delete the old chain strictly below the common cluster.
+	for l := 0; l < lca; l++ {
+		c := d.h.Cluster(from, l)
+		delete(d.ptr, c)
+		charge(d.ledger, "update", g.Distance(to, d.h.Head(c)))
+	}
+	// Install the new chain below the common cluster and repoint it.
+	child := d.h.Cluster(to, 0)
+	d.ptr[child] = child
+	charge(d.ledger, "update", g.Distance(to, d.h.Head(child)))
+	for l := 1; l <= lca; l++ {
+		c := d.h.Cluster(to, l)
+		d.ptr[c] = child
+		charge(d.ledger, "update", g.Distance(to, d.h.Head(c)))
+		child = c
+	}
+}
+
+// Find implements Tracker: probe the origin's iterated cluster heads
+// upward until one holds a pointer, then follow pointers down to the
+// object. Latency accumulates one-way hop times; each probe is a round
+// trip from the previous position.
+func (d *HierDir) Find(origin geo.RegionID, done func(geo.RegionID)) {
+	g := d.h.Graph()
+	var total sim.Time
+	// Climb.
+	var hit hier.ClusterID = hier.NoCluster
+	for l := 0; l <= d.h.MaxLevel(); l++ {
+		c := d.h.Cluster(origin, l)
+		dist := g.Distance(origin, d.h.Head(c))
+		charge(d.ledger, "find", 2*dist)
+		total += latency(d.unit, 2*dist)
+		if _, ok := d.ptr[c]; ok {
+			hit = c
+			break
+		}
+	}
+	if hit == hier.NoCluster {
+		// No chain installed anywhere (cannot happen after construction).
+		return
+	}
+	// Descend: follow pointers from head to head down to the object.
+	pos := d.h.Head(hit)
+	cur := hit
+	for {
+		next, ok := d.ptr[cur]
+		if !ok || next == cur {
+			break
+		}
+		nh := d.h.Head(next)
+		dist := g.Distance(pos, nh)
+		charge(d.ledger, "find", dist)
+		total += latency(d.unit, dist)
+		pos, cur = nh, next
+	}
+	target := d.actual
+	dist := g.Distance(pos, target)
+	charge(d.ledger, "find", dist)
+	total += latency(d.unit, dist)
+	d.k.Schedule(total, func() { done(d.actual) })
+}

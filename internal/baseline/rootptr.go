@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+)
+
+// RootPointer is the centralized home-directory baseline: a fixed home
+// region stores the object's last reported location. Every move sends an
+// update to the home; every find queries the home and chases the answer
+// (re-querying if the object moved on in the meantime).
+type RootPointer struct {
+	k      *sim.Kernel
+	g      *geo.Graph
+	unit   sim.Time
+	home   geo.RegionID
+	ledger *metrics.Ledger
+
+	directory geo.RegionID // home's (possibly stale) belief
+	actual    geo.RegionID
+}
+
+var _ Tracker = (*RootPointer)(nil)
+
+// NewRootPointer creates the baseline with the directory at home and the
+// object starting at start.
+func NewRootPointer(k *sim.Kernel, g *geo.Graph, unit sim.Time, home, start geo.RegionID) (*RootPointer, error) {
+	if err := validRegion(g, home, "home"); err != nil {
+		return nil, err
+	}
+	if err := validRegion(g, start, "start"); err != nil {
+		return nil, err
+	}
+	return &RootPointer{
+		k: k, g: g, unit: unit, home: home,
+		ledger:    metrics.NewLedger(),
+		directory: start,
+		actual:    start,
+	}, nil
+}
+
+// Name implements Tracker.
+func (r *RootPointer) Name() string { return "rootptr" }
+
+// Ledger implements Tracker.
+func (r *RootPointer) Ledger() *metrics.Ledger { return r.ledger }
+
+// Move implements Tracker: the object reports its new region to the home
+// directory; the home learns it one-way-trip later.
+func (r *RootPointer) Move(from, to geo.RegionID) {
+	r.actual = to
+	d := r.g.Distance(to, r.home)
+	charge(r.ledger, "update", d)
+	r.k.Schedule(latency(r.unit, d), func() { r.directory = to })
+}
+
+// Find implements Tracker: query the home, then chase the directory's
+// answer; if the object has moved on by arrival, re-query the home.
+func (r *RootPointer) Find(origin geo.RegionID, done func(geo.RegionID)) {
+	d := r.g.Distance(origin, r.home)
+	charge(r.ledger, "find", d)
+	r.k.Schedule(latency(r.unit, d), func() { r.chase(done) })
+}
+
+// chase forwards the find from the home to the directory's current answer.
+func (r *RootPointer) chase(done func(geo.RegionID)) {
+	target := r.directory
+	d := r.g.Distance(r.home, target)
+	charge(r.ledger, "find", d)
+	r.k.Schedule(latency(r.unit, d), func() {
+		if r.actual == target {
+			done(target)
+			return
+		}
+		// Stale answer: go back to the home and try again.
+		back := r.g.Distance(target, r.home)
+		charge(r.ledger, "find", back)
+		r.k.Schedule(latency(r.unit, back), func() { r.chase(done) })
+	})
+}

@@ -1,0 +1,245 @@
+// Package cgcast implements C-gcast, the cluster geocast service of paper
+// §II-C.3. It lets a VSA hosting a level-l cluster send messages to other
+// cluster processes and to clients, and lets clients message their (or a
+// neighboring) region's level-0 cluster.
+//
+// Delivery timing follows the paper's fixed schedule — when no VSA on the
+// route fails, a message sent at time t is received at exactly:
+//
+//	(a) t + (δ+e)·n(l)   level-l cluster → neighboring cluster
+//	(b) t + (δ+e)·p(l)   level-l cluster → parent, or parent → level-l child
+//	(c) t + (δ+e)·2n(l)  level-l cluster → neighbor of a neighbor
+//	(d) t + (δ+e)        level-0 cluster → own/neighbor region clients
+//	(e) t + δ            client → own/neighbor region's level-0 cluster
+//
+// As in the paper, the service is implemented by sending each message via
+// the geocast substrate to the destination cluster's head VSA, then holding
+// it there until the scheduled time has transpired (the schedule's n/p
+// terms upper-bound the actual transit time, which the hierarchy geometry
+// guarantees).
+package cgcast
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/geocast"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+// Delivery is what a cluster process or client receives: the protocol tag,
+// the payload, and the sender's identity (a cluster, or a client's region
+// for schedule-(e) messages).
+type Delivery struct {
+	Kind       string
+	Payload    any
+	From       hier.ClusterID // NoCluster when sent by a client
+	FromRegion geo.RegionID   // sender's region (head region for clusters)
+}
+
+// Service is the cluster geocast service.
+type Service struct {
+	k         *sim.Kernel
+	h         *hier.Hierarchy
+	layer     *vsa.Layer
+	gc        *geocast.Service
+	vb        *vbcast.Service
+	geom      hier.Geometry
+	unit      sim.Time // δ+e
+	ledger    *metrics.Ledger
+	replicate bool
+}
+
+// Option configures the service.
+type Option interface{ apply(*Service) }
+
+type replicateOption struct{}
+
+func (replicateOption) apply(s *Service) { s.replicate = true }
+
+// WithReplication enables the §VII quorum extension at the transport:
+// every cluster-addressed message is delivered to both the primary and the
+// alternate head of the destination cluster (where one exists), doubling
+// the per-message work — the "additional constant factor overhead" the
+// paper predicts — in exchange for tolerating single-head VSA failures.
+func WithReplication() Option { return replicateOption{} }
+
+// New assembles the service. geom supplies the n and p parameters of the
+// delivery schedule (use the measured geometry of the hierarchy, or the
+// grid formulas).
+func New(h *hier.Hierarchy, layer *vsa.Layer, gc *geocast.Service, vb *vbcast.Service, geom hier.Geometry, ledger *metrics.Ledger, opts ...Option) (*Service, error) {
+	if geom.MaxLevel() < h.MaxLevel() {
+		return nil, fmt.Errorf("cgcast: geometry covers %d levels, hierarchy has %d", geom.MaxLevel()+1, h.MaxLevel()+1)
+	}
+	s := &Service{
+		k:      layer.Kernel(),
+		h:      h,
+		layer:  layer,
+		gc:     gc,
+		vb:     vb,
+		geom:   geom,
+		unit:   vb.Delta() + vb.E(),
+		ledger: ledger,
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s, nil
+}
+
+// Replicated reports whether head replication is enabled.
+func (s *Service) Replicated() bool { return s.replicate }
+
+// Copies returns the number of head regions a message to cluster c is
+// delivered to under the current configuration.
+func (s *Service) Copies(c hier.ClusterID) int {
+	if s.replicate && s.h.AltHead(c) != geo.NoRegion {
+		return 2
+	}
+	return 1
+}
+
+// Hierarchy returns the cluster hierarchy the service routes over.
+func (s *Service) Hierarchy() *hier.Hierarchy { return s.h }
+
+// Layer returns the underlying VSA layer.
+func (s *Service) Layer() *vsa.Layer { return s.layer }
+
+// Kernel returns the simulation kernel.
+func (s *Service) Kernel() *sim.Kernel { return s.k }
+
+// Unit returns δ+e, the per-distance-unit delay of the schedule.
+func (s *Service) Unit() sim.Time { return s.unit }
+
+// ScheduleDelay returns the paper's delivery delay from cluster from to
+// cluster to. Relationships outside the schedule's five cases (e.g. a
+// neighbor's child, reachable when a find chases a freshly-acquired
+// pointer) are charged (δ+e) times the actual head-to-head hop distance.
+func (s *Service) ScheduleDelay(from, to hier.ClusterID) sim.Time {
+	if from == to {
+		return 0
+	}
+	l := s.h.Level(from)
+	switch {
+	case s.h.AreNbrs(from, to):
+		return s.unit * sim.Time(s.geom.N[l])
+	case s.h.Parent(from) == to:
+		return s.unit * sim.Time(s.geom.P[l])
+	case s.h.Parent(to) == from:
+		return s.unit * sim.Time(s.geom.P[s.h.Level(to)])
+	case s.isNbrOfNbr(from, to):
+		return s.unit * sim.Time(2*s.geom.N[l])
+	default:
+		d := s.h.Graph().Distance(s.h.Head(from), s.h.Head(to))
+		if d < 1 {
+			d = 1
+		}
+		return s.unit * sim.Time(d)
+	}
+}
+
+func (s *Service) isNbrOfNbr(from, to hier.ClusterID) bool {
+	if s.h.Level(from) != s.h.Level(to) {
+		return false
+	}
+	for _, nb := range s.h.Nbrs(from) {
+		if s.h.AreNbrs(nb, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusterToCluster sends a protocol message from one cluster process to
+// another (cTOBsend(〈kind, from〉, to)). The message travels via geocast to
+// to's head VSA and is processed there at exactly the scheduled time. It
+// returns an error only if the sender's own VSA is dead; loss en route is
+// silent, as in the layer's failure model.
+func (s *Service) ClusterToCluster(from, to hier.ClusterID, kind string, payload any) error {
+	return s.ClusterToClusterFrom(s.h.Head(from), from, to, kind, payload)
+}
+
+// ClusterToClusterFrom is ClusterToCluster with an explicit sending
+// region: under head replication, a backup replica of cluster from sends
+// from its own (alternate-head) region rather than the primary head.
+func (s *Service) ClusterToClusterFrom(srcRegion geo.RegionID, from, to hier.ClusterID, kind string, payload any) error {
+	if !from.Valid() || !to.Valid() {
+		return fmt.Errorf("cgcast: invalid route %v -> %v", from, to)
+	}
+	targets := []geo.RegionID{s.h.Head(to)}
+	if s.replicate {
+		if alt := s.h.AltHead(to); alt != geo.NoRegion {
+			targets = append(targets, alt)
+		}
+	}
+	deliverAt := s.k.Now() + s.ScheduleDelay(from, to)
+	del := Delivery{Kind: kind, Payload: payload, From: from, FromRegion: srcRegion}
+	level := s.h.Level(to)
+	var firstErr error
+	for _, dstRegion := range targets {
+		dstRegion := dstRegion
+		s.record(kind, s.h.Graph().Distance(srcRegion, dstRegion))
+		err := s.gc.Send(srcRegion, dstRegion, func() {
+			// The message is now held in dstRegion's VSA memory until the
+			// scheduled time; it dies with the VSA.
+			inc := s.layer.Incarnation(dstRegion)
+			hold := deliverAt - s.k.Now()
+			if hold < 0 {
+				hold = 0
+			}
+			s.k.Schedule(hold, func() {
+				if s.layer.Incarnation(dstRegion) != inc {
+					return
+				}
+				s.layer.DeliverToVSA(dstRegion, level, del)
+			})
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ClientToCluster sends from a client to a level-0 cluster in its own or a
+// neighboring region, delivered after δ (schedule case e).
+func (s *Service) ClientToCluster(from vsa.ClientID, to hier.ClusterID, kind string, payload any) error {
+	if s.h.Level(to) != 0 {
+		return fmt.Errorf("cgcast: clients may only address level-0 clusters, got level %d", s.h.Level(to))
+	}
+	srcRegion := s.layer.ClientRegion(from)
+	if srcRegion == geo.NoRegion {
+		return fmt.Errorf("cgcast: client %v not alive", from)
+	}
+	dstRegion := s.h.Head(to)
+	s.record(kind, s.h.Graph().Distance(srcRegion, dstRegion))
+	del := Delivery{Kind: kind, Payload: payload, From: hier.NoCluster, FromRegion: srcRegion}
+	return s.vb.ClientToVSA(from, dstRegion, 0, del)
+}
+
+// ClusterToClients broadcasts from a level-0 cluster process to all clients
+// in its own and neighboring regions, delivered after δ+e (schedule case
+// d). This carries the found output of §V to the clients that answer it.
+func (s *Service) ClusterToClients(from hier.ClusterID, kind string, payload any) error {
+	if s.h.Level(from) != 0 {
+		return fmt.Errorf("cgcast: only level-0 clusters broadcast to clients, got level %d", s.h.Level(from))
+	}
+	u := s.h.Head(from)
+	targets := append([]geo.RegionID{u}, s.layer.Tiling().Neighbors(u)...)
+	s.record(kind, len(targets)-1)
+	del := Delivery{Kind: kind, Payload: payload, From: from, FromRegion: u}
+	return s.vb.VSAToClients(u, targets, del)
+}
+
+func (s *Service) record(kind string, hops int) {
+	if s.ledger != nil {
+		if hops < 0 {
+			hops = 0
+		}
+		s.ledger.RecordMessage("proto/"+kind, hops)
+	}
+}

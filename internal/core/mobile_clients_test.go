@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/vsa"
+)
+
+// The paper's deployment is a *mobile* ad-hoc network: the sensor clients
+// themselves wander, and VSAs survive only while their regions stay
+// occupied. These tests run the tracker under client churn — extra mobile
+// clients drift around while the baseline one-per-region population keeps
+// every region covered, and then under partial coverage where VSAs
+// genuinely fail and heartbeats repair the damage.
+
+const unitD = 15 * time.Millisecond
+
+func TestTrackingUnderMobileClientChurn(t *testing.T) {
+	s, err := New(Config{Width: 8, Heartbeat: 8 * unitD, TRestart: unitD, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add 20 extra mobile clients on top of the stationary population.
+	rng := rand.New(rand.NewSource(9))
+	mobiles := make([]vsa.ClientID, 0, 20)
+	for i := 0; i < 20; i++ {
+		id := vsa.ClientID(1000 + i)
+		start := geo.RegionID(rng.Intn(s.Tiling().NumRegions()))
+		if _, err := s.Network().AddClient(id, start); err != nil {
+			t.Fatal(err)
+		}
+		mobiles = append(mobiles, id)
+	}
+	s.RunFor(100 * unitD)
+
+	// Churn: mobile clients hop to random neighboring regions while the
+	// evader walks and finds are issued.
+	for round := 0; round < 12; round++ {
+		for _, id := range mobiles {
+			cur := s.Layer().ClientRegion(id)
+			nbrs := s.Tiling().Neighbors(cur)
+			if err := s.Layer().MoveClient(id, nbrs[rng.Intn(len(nbrs))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nbrs := s.Tiling().Neighbors(s.Evader().Region())
+		if err := s.MoveEvader(nbrs[rng.Intn(len(nbrs))]); err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(60 * unitD)
+
+		id, err := s.Find(s.Tiling().RegionAt(7, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(200 * unitD)
+		if !s.FindDone(id) {
+			t.Fatalf("round %d: find incomplete under client churn", round)
+		}
+	}
+}
+
+func TestTrackingWithPartialCoverageAndRecovery(t *testing.T) {
+	s, err := New(Config{Width: 8, Heartbeat: 8 * unitD, TRestart: unitD, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(100 * unitD)
+	rng := rand.New(rand.NewSource(11))
+
+	// Knock out a patch of regions away from the evader: their clients
+	// leave, their VSAs fail.
+	g := s.Tiling()
+	var holed []geo.RegionID
+	for x := 4; x <= 6; x++ {
+		for y := 4; y <= 6; y++ {
+			u := g.RegionAt(x, y)
+			holed = append(holed, u)
+			for _, id := range s.Layer().ClientsIn(u) {
+				if err := s.Layer().MoveClient(id, g.RegionAt(x, 3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, u := range holed {
+		if s.Layer().Alive(u) {
+			t.Fatalf("region %v VSA still alive after evacuation", u)
+		}
+	}
+
+	// Tracking away from the hole keeps working (geocast routes around).
+	s.RunFor(60 * unitD)
+	id, err := s.Find(g.RegionAt(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(300 * unitD)
+	if !s.FindDone(id) {
+		t.Fatal("find failed while a remote patch was down")
+	}
+
+	// Repopulate the hole; after restart plus a heartbeat round, finds
+	// issued from inside the recovered patch work too.
+	for _, u := range holed {
+		if err := s.Layer().RestartClient(vsa.ClientID(int(u))+2000, u); err != nil {
+			// The stationary clients never failed; add fresh ones instead.
+			if _, err := s.Network().AddClient(vsa.ClientID(int(u))+2000, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.RunFor(400 * unitD)
+	for _, u := range holed {
+		if !s.Layer().Alive(u) {
+			t.Fatalf("region %v VSA did not restart", u)
+		}
+	}
+	id2, err := s.Find(holed[rng.Intn(len(holed))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(400 * unitD)
+	if !s.FindDone(id2) {
+		t.Fatal("find from the recovered patch failed")
+	}
+}

@@ -1,0 +1,390 @@
+// Package core composes the full VINESTALK stack into the tracking service
+// of paper §III: the grid tiling and cluster hierarchy, the VSA layer, the
+// V-bcast/geocast/C-gcast communication services, the Tracker network, one
+// sensor client per region, and the mobile object. It is the programming
+// surface the examples, experiments, and benchmarks are written against.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/geocast"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/lookahead"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/tracker"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+// Config describes a tracking-service deployment.
+type Config struct {
+	// Width and Height of the grid tiling (regions). Height defaults to
+	// Width; Width is required.
+	Width, Height int
+	// Base r of the grid hierarchy (default 2).
+	Base int
+	// Delta is the physical broadcast delay δ (default 10ms).
+	Delta sim.Time
+	// E is the VSA emulation output lag e (default 5ms).
+	E sim.Time
+	// Seed for the deterministic simulation (default 1).
+	Seed int64
+	// Start region of the evader (default region 0).
+	Start geo.RegionID
+	// AlwaysAliveVSAs pins VSAs alive (the paper's correctness assumption).
+	AlwaysAliveVSAs bool
+	// TRestart is the VSA restart delay when failures are enabled.
+	TRestart sim.Time
+	// Heartbeat enables the §VII failure-recovery extension with the given
+	// client refresh period (zero disables it).
+	Heartbeat sim.Time
+	// Schedule overrides the default grow/shrink timers.
+	Schedule *tracker.Schedule
+	// NoLateralLinks disables lateral links (the dithering-prone baseline
+	// of experiment E3).
+	NoLateralLinks bool
+	// ReplicatedHeads enables the §VII quorum extension: every
+	// multi-member cluster runs a warm-standby process replica at an
+	// alternate head region, every cluster message is delivered to both
+	// heads (doubling message work), and the replica speaks for the
+	// cluster while the primary head's VSA is down.
+	ReplicatedHeads bool
+	// FormulaGeometry uses the paper's closed-form grid parameters
+	// (§II-B) for the C-gcast schedule instead of measuring the tight ones
+	// — measurement is exhaustive and O(clusters · regions · members), so
+	// large-grid experiments skip it. The formulas upper-bound the
+	// measured values, which only makes the schedule more conservative.
+	FormulaGeometry bool
+	// OnFound is invoked once per completed find.
+	OnFound func(tracker.FindResult)
+	// Tracer, if set, receives protocol-level events for narrated runs.
+	Tracer *trace.Tracer
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Width <= 0 {
+		return errors.New("core: Width must be positive")
+	}
+	if c.Height == 0 {
+		c.Height = c.Width
+	}
+	if c.Base == 0 {
+		c.Base = 2
+	}
+	if c.Delta == 0 {
+		c.Delta = 10 * time.Millisecond
+	}
+	if c.E == 0 {
+		c.E = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Service is an assembled tracking service.
+type Service struct {
+	cfg    Config
+	kernel *sim.Kernel
+	tiling *geo.GridTiling
+	hier   *hier.Hierarchy
+	geom   hier.Geometry
+	layer  *vsa.Layer
+	ledger *metrics.Ledger
+	cg     *cgcast.Service
+	net    *tracker.Network
+	ev     *evader.Evader
+
+	founds  []tracker.FindResult
+	foundAt map[tracker.FindID]sim.Time
+}
+
+// New assembles and boots a tracking service: all substrate services are
+// wired, one stationary client is deployed per region, every VSA starts
+// alive, and the evader is placed at its start region (issuing the first
+// move input, as the §IV-C executions assume).
+func New(cfg Config) (*Service, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	tiling, err := geo.NewGridTiling(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hier.NewGrid(tiling, cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithHierarchy(h, cfg)
+}
+
+// NewWithHierarchy is New with a caller-supplied grid hierarchy (custom
+// head selectors, pre-validated clusterings). The config's Width, Height
+// and Base must describe the hierarchy's tiling.
+func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	tiling, ok := h.Tiling().(*geo.GridTiling)
+	if !ok {
+		return nil, errors.New("core: hierarchy is not over a grid tiling")
+	}
+	if tiling.Width() != cfg.Width || tiling.Height() != cfg.Height {
+		return nil, fmt.Errorf("core: hierarchy tiling is %dx%d, config says %dx%d",
+			tiling.Width(), tiling.Height(), cfg.Width, cfg.Height)
+	}
+	if !tiling.Contains(cfg.Start) {
+		return nil, fmt.Errorf("core: start region %v outside the %dx%d grid", cfg.Start, cfg.Width, cfg.Height)
+	}
+
+	s := &Service{cfg: cfg, kernel: sim.New(cfg.Seed), tiling: tiling, hier: h}
+	var layerOpts []vsa.Option
+	if cfg.AlwaysAliveVSAs {
+		layerOpts = append(layerOpts, vsa.WithAlwaysAlive())
+	}
+	if cfg.TRestart > 0 {
+		layerOpts = append(layerOpts, vsa.WithTRestart(cfg.TRestart))
+	}
+	s.layer = vsa.NewLayer(s.kernel, tiling, layerOpts...)
+	s.ledger = metrics.NewLedger()
+	vb := vbcast.New(s.kernel, s.layer, cfg.Delta, cfg.E, s.ledger)
+	gc := geocast.New(s.kernel, s.layer, h.Graph(), vb, s.ledger)
+	if cfg.FormulaGeometry {
+		s.geom = hier.GridFormulas(cfg.Base, h.MaxLevel())
+	} else {
+		s.geom = hier.MeasureGeometry(h)
+	}
+	var cgOpts []cgcast.Option
+	if cfg.ReplicatedHeads {
+		cgOpts = append(cgOpts, cgcast.WithReplication())
+	}
+	cg, err := cgcast.New(h, s.layer, gc, vb, s.geom, s.ledger, cgOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s.cg = cg
+
+	s.foundAt = make(map[tracker.FindID]sim.Time)
+	netOpts := []tracker.Option{tracker.WithFoundCallback(func(r tracker.FindResult) {
+		s.founds = append(s.founds, r)
+		s.foundAt[r.ID] = s.kernel.Now()
+		if cfg.OnFound != nil {
+			cfg.OnFound(r)
+		}
+	})}
+	if cfg.Heartbeat > 0 {
+		netOpts = append(netOpts, tracker.WithHeartbeat(cfg.Heartbeat))
+	}
+	if cfg.Schedule != nil {
+		netOpts = append(netOpts, tracker.WithSchedule(*cfg.Schedule))
+	}
+	if cfg.NoLateralLinks {
+		netOpts = append(netOpts, tracker.WithoutLateralLinks())
+	}
+	if cfg.ReplicatedHeads {
+		netOpts = append(netOpts, tracker.WithHeadReplication())
+	}
+	if cfg.Tracer != nil {
+		netOpts = append(netOpts, tracker.WithTracer(cfg.Tracer))
+	}
+	net, err := tracker.New(cg, s.geom, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s.net = net
+	if err := net.AddStationaryClients(); err != nil {
+		return nil, err
+	}
+	s.layer.StartAllAlive()
+
+	ev, err := evader.New(tiling, cfg.Start, net.Sink())
+	if err != nil {
+		return nil, err
+	}
+	s.ev = ev
+	net.AttachEvader(ev.Region)
+	return s, nil
+}
+
+// Kernel returns the simulation kernel.
+func (s *Service) Kernel() *sim.Kernel { return s.kernel }
+
+// Tiling returns the grid tiling.
+func (s *Service) Tiling() *geo.GridTiling { return s.tiling }
+
+// Hierarchy returns the cluster hierarchy.
+func (s *Service) Hierarchy() *hier.Hierarchy { return s.hier }
+
+// Geometry returns the measured geometry parameters.
+func (s *Service) Geometry() hier.Geometry { return s.geom }
+
+// Layer returns the VSA layer.
+func (s *Service) Layer() *vsa.Layer { return s.layer }
+
+// Ledger returns the shared metrics ledger.
+func (s *Service) Ledger() *metrics.Ledger { return s.ledger }
+
+// Network returns the tracker network.
+func (s *Service) Network() *tracker.Network { return s.net }
+
+// Evader returns the mobile object.
+func (s *Service) Evader() *evader.Evader { return s.ev }
+
+// Founds returns the find results reported so far.
+func (s *Service) Founds() []tracker.FindResult {
+	return append([]tracker.FindResult(nil), s.founds...)
+}
+
+// Settle runs the simulation until the event queue drains. It fails with
+// sim.ErrEventLimit if the protocol livelocks (or heartbeats are enabled,
+// which keep the queue permanently busy — use RunFor instead then).
+func (s *Service) Settle() error {
+	if s.cfg.Heartbeat > 0 {
+		return errors.New("core: Settle is unavailable with heartbeats enabled; use RunFor")
+	}
+	if _, err := s.kernel.RunLimited(20_000_000); err != nil {
+		return err
+	}
+	if !s.net.MoveQuiescent() {
+		return errors.New("core: event queue drained but network not move-quiescent")
+	}
+	return nil
+}
+
+// RunFor advances virtual time by d, processing due events.
+func (s *Service) RunFor(d sim.Time) { s.kernel.RunFor(d) }
+
+// MoveEvader relocates the evader one region (a neighbor of the current
+// one) without waiting for tracking updates to complete.
+func (s *Service) MoveEvader(to geo.RegionID) error { return s.ev.MoveTo(to) }
+
+// Find issues a find input at a client in region u.
+func (s *Service) Find(u geo.RegionID) (tracker.FindID, error) { return s.net.Find(u) }
+
+// AddObject starts tracking an additional mobile object (§VII multiple
+// objects): a new evader is placed at start and gets its own independent
+// tracking structure over the same processes. The returned evader is
+// driven like the primary one (MoveTo, or an evader.Walker).
+func (s *Service) AddObject(obj tracker.ObjectID, start geo.RegionID) (*evader.Evader, error) {
+	if obj == tracker.DefaultObject {
+		return nil, errors.New("core: object 0 is the primary evader; pick a nonzero id")
+	}
+	ev, err := evader.New(s.tiling, start, s.net.SinkFor(obj))
+	if err != nil {
+		return nil, err
+	}
+	s.net.AttachObject(obj, ev.Region)
+	return ev, nil
+}
+
+// FindObject issues a find for one of several tracked objects.
+func (s *Service) FindObject(u geo.RegionID, obj tracker.ObjectID) (tracker.FindID, error) {
+	return s.net.FindObject(u, obj)
+}
+
+// FindDone reports whether the find has produced its found output.
+func (s *Service) FindDone(id tracker.FindID) bool { return s.net.FindDone(id) }
+
+// MoveStats reports the cost of one atomic move: it snapshots the ledger,
+// moves the evader, settles, and returns the move's message count, hop
+// work, and elapsed virtual time.
+func (s *Service) MoveStats(to geo.RegionID) (msgs, work int64, elapsed sim.Time, err error) {
+	before := s.ledger.Snapshot()
+	start := s.kernel.Now()
+	if err := s.ev.MoveTo(to); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	diff := s.ledger.Snapshot().Sub(before)
+	return protoMessages(diff), protoWork(diff), s.kernel.Now() - start, nil
+}
+
+// FindStats reports the cost of one atomic find issued at region u: the
+// find's message count, hop work, and latency from find input to found
+// output.
+func (s *Service) FindStats(u geo.RegionID) (msgs, work int64, latency sim.Time, err error) {
+	before := s.ledger.Snapshot()
+	start := s.kernel.Now()
+	id, err := s.Find(u)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	if !s.FindDone(id) {
+		return 0, 0, 0, fmt.Errorf("core: find %d from %v never completed", id, u)
+	}
+	diff := s.ledger.Snapshot().Sub(before)
+	lat := s.foundTime(id) - start
+	return protoMessages(diff), protoWork(diff), lat, nil
+}
+
+// FoundTime returns the virtual time of the found output for id, if it
+// has occurred.
+func (s *Service) FoundTime(id tracker.FindID) (sim.Time, bool) {
+	t, ok := s.foundAt[id]
+	return t, ok
+}
+
+// foundTime returns the found-output time, defaulting to now (used right
+// after a settled find, where the output has necessarily occurred).
+func (s *Service) foundTime(id tracker.FindID) sim.Time {
+	if t, ok := s.foundAt[id]; ok {
+		return t
+	}
+	return s.kernel.Now()
+}
+
+// CheckConsistent verifies the consistent-state predicate of §IV-C against
+// the current (quiescent) state.
+func (s *Service) CheckConsistent() error {
+	return lookahead.Capture(s.net).IsConsistent(s.ev.Region())
+}
+
+// CheckTheorem48 verifies lookAhead(current state) = atomicMoveSeq(trail).
+func (s *Service) CheckTheorem48() error {
+	got := lookahead.LookAhead(lookahead.Capture(s.net))
+	want, err := lookahead.AtomicMoveSeq(s.hier, s.ev.Trail())
+	if err != nil {
+		return err
+	}
+	if diff := lookahead.Equal(got, want); diff != "" {
+		return fmt.Errorf("core: Theorem 4.8 violated: %s", diff)
+	}
+	return nil
+}
+
+// protoMessages sums message counts over protocol kinds (transport-level
+// hops excluded).
+func protoMessages(snap metrics.Snapshot) int64 {
+	var n int64
+	for k, v := range snap.MsgCount {
+		if len(k) > 6 && k[:6] == "proto/" {
+			n += v
+		}
+	}
+	return n
+}
+
+// protoWork sums hop work over protocol kinds.
+func protoWork(snap metrics.Snapshot) int64 {
+	var n int64
+	for k, v := range snap.HopWork {
+		if len(k) > 6 && k[:6] == "proto/" {
+			n += v
+		}
+	}
+	return n
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/tracker"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero Width")
+	}
+	if _, err := New(Config{Width: 8, Start: geo.RegionID(1000)}); err == nil {
+		t.Error("New accepted out-of-grid start region")
+	}
+	if _, err := New(Config{Width: 8, Base: 1}); err == nil {
+		t.Error("New accepted base 1")
+	}
+}
+
+func TestServiceDefaultsAndAccessors(t *testing.T) {
+	s, err := New(Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tiling().Width() != 8 || s.Tiling().Height() != 8 {
+		t.Error("Height did not default to Width")
+	}
+	if s.Hierarchy().MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d, want 3", s.Hierarchy().MaxLevel())
+	}
+	if s.Kernel() == nil || s.Layer() == nil || s.Ledger() == nil || s.Network() == nil || s.Evader() == nil {
+		t.Fatal("nil component accessor")
+	}
+	if s.Geometry().MaxLevel() != 3 {
+		t.Error("geometry level mismatch")
+	}
+}
+
+func TestServiceTracksAndFinds(t *testing.T) {
+	s, err := New(Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Tiling()
+	msgs, work, elapsed, err := s.MoveStats(g.RegionAt(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs <= 0 || work < 0 || elapsed <= 0 {
+		t.Errorf("MoveStats = (%d, %d, %v)", msgs, work, elapsed)
+	}
+	if err := s.CheckTheorem48(); err != nil {
+		t.Fatal(err)
+	}
+	fm, fw, lat, err := s.FindStats(g.RegionAt(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm <= 0 || fw <= 0 || lat <= 0 {
+		t.Errorf("FindStats = (%d, %d, %v)", fm, fw, lat)
+	}
+	founds := s.Founds()
+	if len(founds) != 1 || founds[0].FoundAt != s.Evader().Region() {
+		t.Fatalf("Founds = %+v", founds)
+	}
+}
+
+func TestServiceFindLatencyRecorded(t *testing.T) {
+	s, err := New(Config{Width: 4, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, lat, err := s.FindStats(s.Tiling().RegionAt(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || lat > time.Hour {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestServiceWithMobilityModel(t *testing.T) {
+	s, err := New(Config{Width: 8, AlwaysAliveVSAs: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	w := evader.StartWalker(s.Kernel(), s.Evader(),
+		evader.RandomWalk{Tiling: s.Tiling()}, 500*time.Millisecond, 20, nil)
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	if s.Evader().TotalDistance() != 20 {
+		t.Fatalf("walker moved %d, want 20", s.Evader().TotalDistance())
+	}
+	if err := s.CheckTheorem48(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceHeartbeatModeRejectsSettle(t *testing.T) {
+	s, err := New(Config{Width: 4, Heartbeat: 100 * time.Millisecond, TRestart: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err == nil {
+		t.Fatal("Settle allowed with heartbeats enabled")
+	}
+	s.RunFor(2 * time.Second)
+	id, err := s.Find(s.Tiling().RegionAt(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * time.Second)
+	if !s.FindDone(id) {
+		t.Fatal("find did not complete in heartbeat mode")
+	}
+}
+
+func TestServiceOnFoundCallback(t *testing.T) {
+	var got []tracker.FindResult
+	s, err := New(Config{Width: 4, AlwaysAliveVSAs: true, OnFound: func(r tracker.FindResult) {
+		got = append(got, r)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.FindStats(s.Tiling().RegionAt(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("callback invoked %d times, want 1", len(got))
+	}
+}
+
+func TestServiceDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		s, err := New(Config{Width: 8, AlwaysAliveVSAs: true, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		evader.StartWalker(s.Kernel(), s.Evader(),
+			evader.RandomWalk{Tiling: s.Tiling()}, 300*time.Millisecond, 15, nil)
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Ledger().TotalMessages(), s.Ledger().TotalWork()
+	}
+	m1, w1 := run()
+	m2, w2 := run()
+	if m1 != m2 || w1 != w2 {
+		t.Fatalf("identical configs diverged: (%d,%d) vs (%d,%d)", m1, w1, m2, w2)
+	}
+}
+
+func TestServiceReplicatedHeads(t *testing.T) {
+	s, err := New(Config{Width: 8, AlwaysAliveVSAs: true, ReplicatedHeads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.MoveStats(s.Tiling().RegionAt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.FindStats(s.Tiling().RegionAt(7, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// The backup replica exists for multi-member clusters.
+	lvl1 := s.Hierarchy().Cluster(s.Evader().Region(), 1)
+	if s.Network().BackupProcess(lvl1) == nil {
+		t.Fatal("no backup replica under ReplicatedHeads")
+	}
+}
+
+func TestServiceAddObject(t *testing.T) {
+	s, err := New(Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddObject(0, 5); err == nil {
+		t.Error("AddObject accepted the primary object id")
+	}
+	ev2, err := s.AddObject(1, s.Tiling().RegionAt(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.FindObject(s.Tiling().RegionAt(0, 7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.FindDone(id) {
+		t.Fatal("find for secondary object incomplete")
+	}
+	for _, r := range s.Founds() {
+		if r.ID == id && r.FoundAt != ev2.Region() {
+			t.Errorf("found at %v, want %v", r.FoundAt, ev2.Region())
+		}
+	}
+}
+
+func TestServiceTracer(t *testing.T) {
+	tr := trace.New(256)
+	s, err := New(Config{Width: 4, AlwaysAliveVSAs: true, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.FindStats(s.Tiling().RegionAt(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("tracer saw no events")
+	}
+	kinds := map[string]bool{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"send", "recv", "found"} {
+		if !kinds[want] {
+			t.Errorf("no %q events traced (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+func TestNewWithHierarchyValidation(t *testing.T) {
+	h := hier.MustGrid(geo.MustGridTiling(8, 8), 2)
+	// Mismatched dimensions are rejected.
+	if _, err := NewWithHierarchy(h, Config{Width: 4}); err == nil {
+		t.Error("accepted mismatched dimensions")
+	}
+	// Matching config works.
+	s, err := NewWithHierarchy(h, Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-grid tiling (adjacency) is rejected by the grid-specific core.
+	adj, err := geo.NewAdjacencyTiling([][]geo.RegionID{{1}, {0, 2}, {1, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := hier.NewLandmark(adj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithHierarchy(lh, Config{Width: 4}); err == nil {
+		t.Error("accepted non-grid tiling (use the tracker packages directly for those)")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/tracker"
+	"vinestalk/internal/vsa"
+)
+
+// TestSoakEverythingAtOnce runs every feature simultaneously for a long
+// stretch of virtual time: a 16x16 grid with heartbeats, replicated heads,
+// two tracked objects walking continuously, random VSA failures and
+// recoveries, and a steady stream of finds for both objects. All finds
+// issued during calm windows must complete, and the tracking structures
+// must remain functional at the end.
+func TestSoakEverythingAtOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const unit = 15 * time.Millisecond
+	s, err := New(Config{
+		Width:           16,
+		Heartbeat:       8 * unit,
+		TRestart:        unit,
+		ReplicatedHeads: true,
+		Start:           geo.RegionID(16*8 + 8),
+		Seed:            101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := s.AddObject(1, s.Tiling().RegionAt(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(120 * unit)
+
+	rng := rand.New(rand.NewSource(77))
+	g := s.Tiling()
+	evaders := map[tracker.ObjectID]interface{ Region() geo.RegionID }{
+		0: s.Evader(), 1: ev2,
+	}
+	moveEvader := func(obj tracker.ObjectID) {
+		cur := evaders[obj].Region()
+		nbrs := g.Neighbors(cur)
+		next := nbrs[rng.Intn(len(nbrs))]
+		var err error
+		if obj == 0 {
+			err = s.MoveEvader(next)
+		} else {
+			err = ev2.MoveTo(next)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	findsIssued, findsDone := 0, 0
+	var downRegion geo.RegionID = geo.NoRegion
+	for round := 0; round < 30; round++ {
+		// Both objects move a few steps.
+		for i := 0; i < 3; i++ {
+			moveEvader(0)
+			moveEvader(1)
+			s.RunFor(20 * unit)
+		}
+
+		switch round % 5 {
+		case 2:
+			// Inject a failure: evacuate a random region (not hosting an
+			// evader's level-0 detection).
+			u := geo.RegionID(rng.Intn(g.NumRegions()))
+			if u != s.Evader().Region() && u != ev2.Region() {
+				refuge := g.Neighbors(u)[0]
+				for _, id := range s.Layer().ClientsIn(u) {
+					if err := s.Layer().MoveClient(id, refuge); err != nil {
+						t.Fatal(err)
+					}
+				}
+				downRegion = u
+			}
+		case 4:
+			// Recover the failed region.
+			if downRegion != geo.NoRegion {
+				if err := s.Layer().MoveClient(vsa.ClientID(int(downRegion)), downRegion); err != nil {
+					t.Fatal(err)
+				}
+				downRegion = geo.NoRegion
+			}
+		}
+		s.RunFor(150 * unit) // let heartbeats repair before probing
+
+		// Probe both objects from random origins.
+		for obj := tracker.ObjectID(0); obj <= 1; obj++ {
+			origin := geo.RegionID(rng.Intn(g.NumRegions()))
+			if !s.Layer().Alive(origin) {
+				continue
+			}
+			id, err := s.FindObject(origin, obj)
+			if err != nil {
+				continue // origin may have lost its clients to churn
+			}
+			findsIssued++
+			s.RunFor(300 * unit)
+			if s.FindDone(id) {
+				findsDone++
+			}
+		}
+	}
+
+	if findsIssued < 40 {
+		t.Fatalf("soak issued only %d finds", findsIssued)
+	}
+	if findsDone < findsIssued*9/10 {
+		t.Fatalf("soak: %d/%d finds completed; want at least 90%%", findsDone, findsIssued)
+	}
+	// Final sanity: both objects still findable from a corner.
+	for obj := tracker.ObjectID(0); obj <= 1; obj++ {
+		id, err := s.FindObject(g.RegionAt(0, 0), obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(500 * unit)
+		if !s.FindDone(id) {
+			t.Fatalf("object %d not findable at soak end", obj)
+		}
+	}
+	t.Logf("soak: %d/%d finds completed, %v virtual time, %d messages",
+		findsDone, findsIssued, s.Kernel().Now(), s.Ledger().TotalMessages())
+}

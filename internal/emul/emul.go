@@ -1,0 +1,447 @@
+// Package emul implements the Virtual Stationary Automata *emulation*
+// algorithm that the paper imports from Dolev, Gilbert, Lahiani, Lynch &
+// Nolte ("Timed virtual stationary automata for mobile networks", refs
+// [7], [6]): each region's VSA is a deterministic timed machine whose
+// state lives in the memories of the physical mobile nodes currently in
+// the region, with one node (the leader) executing the machine and the
+// rest mirroring it so the VSA survives node churn.
+//
+// The emulator here is leader-sequenced replicated execution:
+//
+//   - inputs for a region's VSA are broadcast locally and buffered by all
+//     nodes in the region;
+//   - the leader (lowest-id present node) assigns each input a sequence
+//     number, executes the program, emits its outputs, and broadcasts a
+//     commit record; followers apply committed inputs to their replicas
+//     in order;
+//   - a joining node asks for a state checkpoint and mirrors from there;
+//   - when the leader leaves or fails, the next-lowest node promotes
+//     itself, re-executes any buffered-but-uncommitted inputs in
+//     deterministic order, and continues — no input is lost while the
+//     region stays occupied;
+//   - if the region empties, the VSA fails (its state is lost with the
+//     nodes); when nodes return, it restarts from the program's initial
+//     state after t_restart, exactly the §II-C.2 failure semantics that
+//     internal/vsa exposes abstractly.
+//
+// The package demonstrates that the abstract layer the tracker runs on is
+// implementable over unreliable mobile nodes, and measures the emulation
+// lag that the paper's parameter e abstracts: tests drive the same
+// program through this emulator and through a direct (oracle) execution
+// and require identical output sequences, with per-output lag bounded by
+// the configured e.
+package emul
+
+import (
+	"fmt"
+	"sort"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+)
+
+// NodeID identifies a physical mobile node.
+type NodeID int
+
+// String returns a compact textual form.
+func (n NodeID) String() string { return fmt.Sprintf("n%d", int(n)) }
+
+// Program is the deterministic machine emulated for a region. State is a
+// byte encoding so replicas and checkpoints are plain copies; Step must be
+// a pure function of (state, input).
+type Program interface {
+	// Init returns the initial state for region u.
+	Init(u geo.RegionID) []byte
+	// Step applies one input, returning the successor state and any
+	// outputs the machine emits.
+	Step(state []byte, input Input) (next []byte, outputs []Output)
+}
+
+// Input is one message delivered to a region's VSA.
+type Input struct {
+	// ID orders concurrent inputs deterministically (assigned by the
+	// emulator at submission, unique per region).
+	ID uint64
+	// Msg is the payload.
+	Msg any
+}
+
+// Output is a message the emulated VSA emits.
+type Output struct {
+	Msg any
+}
+
+// Trace records the observable behavior of one region's VSA: the outputs
+// in emission order with their virtual emission times.
+type Trace struct {
+	Outputs []TracedOutput
+}
+
+// TracedOutput is one emitted output with its emission time.
+type TracedOutput struct {
+	Msg any
+	At  sim.Time
+}
+
+// node is one physical node's replica state for the region it occupies.
+type node struct {
+	id     NodeID
+	region geo.RegionID // NoRegion when outside/failed
+	alive  bool
+
+	// Replica of the occupied region's VSA.
+	hasReplica bool
+	state      []byte
+	applied    uint64            // commits applied
+	buffered   map[uint64]Input  // inputs heard but not yet committed
+	committed  map[uint64]uint64 // input id -> commit seq (dedup)
+}
+
+// Emulator runs the leader-based emulation for every region of a tiling
+// on the shared simulation kernel.
+type Emulator struct {
+	k        *sim.Kernel
+	tiling   geo.Tiling
+	prog     Program
+	delta    sim.Time // local broadcast delay between nodes in a region
+	tRestart sim.Time
+
+	nodes   map[NodeID]*node
+	regions []*regionState
+	inputID uint64
+}
+
+type regionState struct {
+	alive       bool
+	leader      NodeID // NoNode when failed
+	restart     *sim.Timer
+	trace       Trace
+	nextCommit  uint64
+	pendingBoot bool
+}
+
+// NoNode is the sentinel leader value for a failed VSA.
+const NoNode NodeID = -1
+
+// New creates an emulator for tiling t running prog at every region.
+// delta is the intra-region broadcast delay (the dominant term of the
+// emulation lag e) and tRestart the §II-C.2 restart delay.
+func New(k *sim.Kernel, t geo.Tiling, prog Program, delta, tRestart sim.Time) *Emulator {
+	e := &Emulator{
+		k:        k,
+		tiling:   t,
+		prog:     prog,
+		delta:    delta,
+		tRestart: tRestart,
+		nodes:    make(map[NodeID]*node),
+		regions:  make([]*regionState, t.NumRegions()),
+	}
+	for u := range e.regions {
+		rs := &regionState{leader: NoNode}
+		u := geo.RegionID(u)
+		rs.restart = sim.NewTimer(k, func() { e.completeRestart(u) })
+		e.regions[int(u)] = rs
+	}
+	return e
+}
+
+// AddNode places a new physical node at region u.
+func (e *Emulator) AddNode(id NodeID, u geo.RegionID) error {
+	if _, dup := e.nodes[id]; dup {
+		return fmt.Errorf("emul: node %v already exists", id)
+	}
+	if !e.tiling.Contains(u) {
+		return fmt.Errorf("emul: region %v outside tiling", u)
+	}
+	n := &node{id: id, alive: true, region: geo.NoRegion}
+	e.nodes[id] = n
+	e.enter(n, u)
+	return nil
+}
+
+// MoveNode relocates a node; its old region may lose its VSA, its new
+// region may gain a replica (after a checkpoint transfer).
+func (e *Emulator) MoveNode(id NodeID, u geo.RegionID) error {
+	n, ok := e.nodes[id]
+	if !ok || !n.alive {
+		return fmt.Errorf("emul: node %v not alive", id)
+	}
+	if !e.tiling.Contains(u) {
+		return fmt.Errorf("emul: region %v outside tiling", u)
+	}
+	if n.region == u {
+		return nil
+	}
+	e.leave(n)
+	e.enter(n, u)
+	return nil
+}
+
+// FailNode crash-stops a node (its replica is lost with it).
+func (e *Emulator) FailNode(id NodeID) {
+	n, ok := e.nodes[id]
+	if !ok || !n.alive {
+		return
+	}
+	e.leave(n)
+	n.alive = false
+}
+
+// Alive reports whether region u's emulated VSA is up.
+func (e *Emulator) Alive(u geo.RegionID) bool {
+	return e.tiling.Contains(u) && e.regions[int(u)].alive
+}
+
+// Leader returns the node currently executing region u's VSA (NoNode if
+// the VSA is down).
+func (e *Emulator) Leader(u geo.RegionID) NodeID {
+	if !e.tiling.Contains(u) {
+		return NoNode
+	}
+	return e.regions[int(u)].leader
+}
+
+// Members returns the alive nodes currently in region u, ascending.
+func (e *Emulator) Members(u geo.RegionID) []NodeID {
+	if !e.tiling.Contains(u) {
+		return nil
+	}
+	nodes := e.membersOf(u)
+	out := make([]NodeID, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.id
+	}
+	return out
+}
+
+// TraceOf returns the output trace of region u's VSA so far.
+func (e *Emulator) TraceOf(u geo.RegionID) Trace {
+	if !e.tiling.Contains(u) {
+		return Trace{}
+	}
+	t := e.regions[int(u)].trace
+	return Trace{Outputs: append([]TracedOutput(nil), t.Outputs...)}
+}
+
+// Submit delivers an input to region u's VSA: it is broadcast within the
+// region (taking delta), buffered by every present node, and executed by
+// the leader one more delta later (sequencing + commit broadcast) — a
+// total emulation lag of 2·delta, which instantiates the paper's e.
+// Inputs submitted while the VSA is down are lost, as in the abstract
+// layer.
+func (e *Emulator) Submit(u geo.RegionID, msg any) error {
+	if !e.tiling.Contains(u) {
+		return fmt.Errorf("emul: region %v outside tiling", u)
+	}
+	e.inputID++
+	in := Input{ID: e.inputID, Msg: msg}
+	e.k.Schedule(e.delta, func() {
+		// The broadcast reaches whatever nodes are present now.
+		for _, n := range e.membersOf(u) {
+			if n.buffered == nil {
+				n.buffered = make(map[uint64]Input)
+			}
+			n.buffered[in.ID] = in
+		}
+		e.k.Schedule(e.delta, func() { e.leaderExecute(u) })
+	})
+	return nil
+}
+
+// MaxLag returns the worst-case emulation output lag (the paper's e) for
+// this configuration.
+func (e *Emulator) MaxLag() sim.Time { return 2 * e.delta }
+
+// --- internals ---
+
+func (e *Emulator) membersOf(u geo.RegionID) []*node {
+	var out []*node
+	for _, n := range e.nodes {
+		if n.alive && n.region == u {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (e *Emulator) enter(n *node, u geo.RegionID) {
+	n.region = u
+	n.hasReplica = false
+	n.buffered = make(map[uint64]Input)
+	n.committed = make(map[uint64]uint64)
+	rs := e.regions[int(u)]
+	if rs.alive {
+		// Joining an up VSA: fetch a checkpoint from the leader (one
+		// broadcast round); until then the node mirrors nothing.
+		e.scheduleCheckpoint(n, u)
+		return
+	}
+	// First node into a dead region: start the restart countdown.
+	if len(e.membersOf(u)) == 1 && !rs.restart.Armed() {
+		rs.restart.SetAfter(e.tRestart)
+	}
+}
+
+// scheduleCheckpoint transfers the leader's state to a joining node after
+// one broadcast round. The state is read at *arrival* time (the leader
+// streams updates until the joiner is synced), so commits during the
+// transfer are not lost on the new replica.
+func (e *Emulator) scheduleCheckpoint(n *node, u geo.RegionID) {
+	e.k.Schedule(e.delta, func() {
+		if !n.alive || n.region != u || n.hasReplica {
+			return
+		}
+		rs := e.regions[int(u)]
+		if !rs.alive || rs.leader == NoNode {
+			return
+		}
+		leader := e.nodes[rs.leader]
+		if leader == nil || !leader.alive || leader.region != u || !leader.hasReplica {
+			return
+		}
+		n.state = append([]byte(nil), leader.state...)
+		n.applied = leader.applied
+		n.committed = make(map[uint64]uint64, len(leader.committed))
+		for id, seq := range leader.committed {
+			n.committed[id] = seq
+		}
+		// Share the leader's input buffer too (models retransmission of
+		// broadcasts the joiner missed).
+		for id, in := range leader.buffered {
+			n.buffered[id] = in
+		}
+		n.hasReplica = true
+	})
+}
+
+func (e *Emulator) leave(n *node) {
+	u := n.region
+	n.region = geo.NoRegion
+	n.hasReplica = false
+	if u == geo.NoRegion {
+		return
+	}
+	rs := e.regions[int(u)]
+	members := e.membersOf(u)
+	if len(members) == 0 {
+		// Region clientless: VSA fails, state lost.
+		rs.restart.Clear()
+		rs.alive = false
+		rs.leader = NoNode
+		return
+	}
+	if rs.alive && rs.leader == n.id {
+		e.promote(u)
+	}
+}
+
+// promote elects the lowest-id replica-holding node as leader; it
+// re-executes any inputs it buffered that the old leader never committed.
+func (e *Emulator) promote(u geo.RegionID) {
+	rs := e.regions[int(u)]
+	for _, cand := range e.membersOf(u) {
+		if cand.hasReplica {
+			rs.leader = cand.id
+			e.leaderExecute(u)
+			return
+		}
+	}
+	// No node holds a replica (all mirrors were still checkpointing):
+	// the VSA state is unrecoverable — treat as failure.
+	rs.alive = false
+	rs.leader = NoNode
+	rs.restart.Clear()
+	if len(e.membersOf(u)) > 0 {
+		rs.restart.SetAfter(e.tRestart)
+	}
+}
+
+func (e *Emulator) completeRestart(u geo.RegionID) {
+	rs := e.regions[int(u)]
+	members := e.membersOf(u)
+	if rs.alive || len(members) == 0 {
+		return
+	}
+	rs.alive = true
+	rs.leader = members[0].id
+	rs.nextCommit = 0
+	rs.trace = Trace{}
+	for _, n := range members {
+		n.state = e.prog.Init(u)
+		n.applied = 0
+		n.hasReplica = true
+		n.committed = make(map[uint64]uint64)
+		// Buffered inputs from before the restart belong to the dead
+		// incarnation and are dropped.
+		n.buffered = make(map[uint64]Input)
+	}
+	e.leaderExecute(u)
+}
+
+// Boot marks every currently-occupied region's VSA alive immediately (the
+// correctly-initialized system start of the paper's executions).
+func (e *Emulator) Boot() {
+	for u := range e.regions {
+		rs := e.regions[u]
+		members := e.membersOf(geo.RegionID(u))
+		if len(members) == 0 || rs.alive {
+			continue
+		}
+		rs.restart.Clear()
+		rs.alive = true
+		rs.leader = members[0].id
+		for _, n := range members {
+			n.state = e.prog.Init(geo.RegionID(u))
+			n.applied = 0
+			n.hasReplica = true
+		}
+	}
+}
+
+// leaderExecute lets region u's leader commit every input it has buffered
+// but not yet executed, in input-id order, emitting outputs and updating
+// all replicas (the commit broadcast is modeled as immediate application
+// at the replicas; replica divergence windows are covered by the
+// checkpoint join protocol).
+func (e *Emulator) leaderExecute(u geo.RegionID) {
+	rs := e.regions[int(u)]
+	if !rs.alive || rs.leader == NoNode {
+		return
+	}
+	leader := e.nodes[rs.leader]
+	if leader == nil || !leader.alive || leader.region != u || !leader.hasReplica {
+		return
+	}
+	// Deterministic order: ascending input id.
+	var todo []Input
+	for id, in := range leader.buffered {
+		if _, done := leader.committed[id]; !done {
+			todo = append(todo, in)
+		}
+	}
+	sort.Slice(todo, func(i, j int) bool { return todo[i].ID < todo[j].ID })
+	for _, in := range todo {
+		next, outs := e.prog.Step(leader.state, in)
+		rs.nextCommit++
+		seq := rs.nextCommit
+		for _, out := range outs {
+			rs.trace.Outputs = append(rs.trace.Outputs, TracedOutput{Msg: out.Msg, At: e.k.Now()})
+		}
+		// Commit: every present replica applies the same input.
+		for _, n := range e.membersOf(u) {
+			if !n.hasReplica {
+				continue
+			}
+			if n == leader {
+				n.state = next
+			} else {
+				st, _ := e.prog.Step(n.state, in)
+				n.state = st
+			}
+			n.applied = seq
+			n.committed[in.ID] = seq
+			delete(n.buffered, in.ID)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vinestalk/internal/core"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+)
+
+// E1FindCost regenerates Theorem 5.2's grid corollary: a find issued
+// distance d from the object costs O(d) work and O(d(δ+e)) time. The
+// evader sits at the grid center; finds are issued from origins at
+// doubling distances, and the per-distance averages must grow linearly
+// (flat work/d within a constant factor).
+func E1FindCost(quick bool) (*Result, error) {
+	side := 32
+	if quick {
+		side = 16
+	}
+	res := &Result{Table: Table{
+		ID:      "E1",
+		Title:   "find cost vs distance d (grid hierarchy)",
+		Claim:   "work O(d), time O(d(δ+e)) — Theorem 5.2",
+		Columns: []string{"d", "finds", "msgs", "work", "latency", "work/d", "latency/d"},
+	}}
+
+	svc, err := core.New(core.Config{
+		Width:           side,
+		AlwaysAliveVSAs: true,
+		Start:           centerRegion(side),
+		FormulaGeometry: side >= 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Settle(); err != nil {
+		return nil, err
+	}
+
+	type point struct {
+		d       int
+		workPer float64
+		latPer  float64
+	}
+	var points []point
+	g := svc.Tiling()
+	cx, cy := side/2, side/2
+	for d := 1; d <= side/2-1; d *= 2 {
+		origins := originsAtDistance(g, cx, cy, d)
+		var msgs, work int64
+		var lat sim.Time
+		n := 0
+		for _, u := range origins {
+			m, w, l, err := svc.FindStats(u)
+			if err != nil {
+				return nil, fmt.Errorf("find at distance %d from %v: %w", d, u, err)
+			}
+			msgs += m
+			work += w
+			lat += l
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		avgWork := float64(work) / float64(n)
+		avgLat := time.Duration(int64(lat) / int64(n))
+		res.Table.AddRow(d, n, float64(msgs)/float64(n), avgWork,
+			avgLat, avgWork/float64(d), time.Duration(int64(avgLat)/int64(d)))
+		points = append(points, point{d: d, workPer: avgWork / float64(d), latPer: float64(avgLat) / float64(d)})
+	}
+
+	// Shape check: work/d and latency/d stay within a constant factor
+	// across the sweep (linear growth), ignoring d=1 where constants
+	// dominate.
+	minW, maxW := points[1].workPer, points[1].workPer
+	minL, maxL := points[1].latPer, points[1].latPer
+	for _, p := range points[1:] {
+		minW, maxW = minFloat(minW, p.workPer), maxFloat(maxW, p.workPer)
+		minL, maxL = minFloat(minL, p.latPer), maxFloat(maxL, p.latPer)
+	}
+	res.check("work linear in d", maxW <= 8*minW, "work/d spread %.2f..%.2f", minW, maxW)
+	res.check("latency linear in d", maxL <= 8*minL, "latency/d spread %v..%v",
+		time.Duration(minL).Round(time.Millisecond), time.Duration(maxL).Round(time.Millisecond))
+	// Sanity: far finds strictly dearer than near ones.
+	res.check("monotone cost", points[len(points)-1].workPer*float64(points[len(points)-1].d) >
+		points[0].workPer*float64(points[0].d),
+		"far find work exceeds near find work")
+	return res, nil
+}
+
+// originsAtDistance returns up to 8 regions at exactly Chebyshev distance d
+// from (cx, cy).
+func originsAtDistance(g *geo.GridTiling, cx, cy, d int) []geo.RegionID {
+	candidates := [][2]int{
+		{cx + d, cy}, {cx - d, cy}, {cx, cy + d}, {cx, cy - d},
+		{cx + d, cy + d}, {cx - d, cy - d}, {cx + d, cy - d}, {cx - d, cy + d},
+	}
+	var out []geo.RegionID
+	for _, c := range candidates {
+		if u := g.RegionAt(c[0], c[1]); u != geo.NoRegion {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func centerRegion(side int) geo.RegionID {
+	return geo.RegionID((side/2)*side + side/2)
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vinestalk/internal/core"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/sim"
+)
+
+// E2MoveCost regenerates Theorem 4.9's grid corollary: updating the
+// tracking structure for moves totalling distance d costs amortized
+// O(d·r·log_r D) work and time. A random walk of fixed length runs on
+// grids of doubling diameter; per-step work must grow like log D — far
+// slower than D itself.
+func E2MoveCost(quick bool) (*Result, error) {
+	sides := []int{8, 16, 32, 64}
+	steps := 30
+	if quick {
+		sides = []int{8, 16, 32}
+		steps = 15
+	}
+	res := &Result{Table: Table{
+		ID:      "E2",
+		Title:   "amortized move cost vs network diameter D",
+		Claim:   "work and time O(d·r·log_r D) for total move distance d — Theorem 4.9 corollary",
+		Columns: []string{"side", "D", "log2(D)", "steps", "work/step", "time/step", "(work/step)/log2(D)"},
+	}}
+
+	type point struct {
+		d        int
+		workStep float64
+	}
+	var points []point
+	for _, side := range sides {
+		svc, err := core.New(core.Config{
+			Width:           side,
+			AlwaysAliveVSAs: true,
+			Start:           centerRegion(side),
+			FormulaGeometry: side >= 32,
+			Seed:            7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Settle(); err != nil {
+			return nil, err
+		}
+		model := evader.RandomWalk{Tiling: svc.Tiling()}
+		var work int64
+		var elapsed sim.Time
+		for i := 0; i < steps; i++ {
+			next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
+			_, w, dt, err := svc.MoveStats(next)
+			if err != nil {
+				return nil, fmt.Errorf("side %d step %d: %w", side, i, err)
+			}
+			work += w
+			elapsed += dt
+		}
+		diam := side - 1
+		logD := math.Log2(float64(diam))
+		workStep := float64(work) / float64(steps)
+		res.Table.AddRow(side, diam, logD, steps, workStep,
+			time.Duration(int64(elapsed)/int64(steps)), workStep/logD)
+		points = append(points, point{d: diam, workStep: workStep})
+	}
+
+	// Shape checks: growth across the sweep must be far below linear in D
+	// (log-like), and per-step work normalized by log D must stay within a
+	// constant factor.
+	first, last := points[0], points[len(points)-1]
+	growth := last.workStep / first.workStep
+	dGrowth := float64(last.d) / float64(first.d)
+	res.check("sublinear in D", growth < dGrowth/2,
+		"work/step grew %.2fx while D grew %.2fx", growth, dGrowth)
+	minN, maxN := math.Inf(1), 0.0
+	for _, p := range points {
+		n := p.workStep / math.Log2(float64(p.d))
+		minN, maxN = minFloat(minN, n), maxFloat(maxN, n)
+	}
+	res.check("log-shaped", maxN <= 4*minN,
+		"work/step per log2(D) spread %.2f..%.2f", minN, maxN)
+	return res, nil
+}

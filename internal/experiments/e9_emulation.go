@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vinestalk/internal/emul"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+)
+
+// counterProgram is the deterministic reference machine for the emulation
+// fidelity experiment: state is a counter, every input adds to it and
+// emits the running total.
+type counterProgram struct{}
+
+// Init returns the zero counter.
+func (counterProgram) Init(u geo.RegionID) []byte { return make([]byte, 8) }
+
+// Step adds the input and emits the new total.
+func (counterProgram) Step(state []byte, in emul.Input) ([]byte, []emul.Output) {
+	cur := binary.BigEndian.Uint64(state)
+	k, ok := in.Msg.(uint64)
+	if !ok {
+		return state, nil
+	}
+	cur += k
+	next := make([]byte, 8)
+	binary.BigEndian.PutUint64(next, cur)
+	return next, []emul.Output{{Msg: cur}}
+}
+
+// E9Emulation regenerates the substrate assumption the whole analysis
+// rests on (§II-C, refs [7],[6]): a VSA emulated by churning mobile nodes
+// behaves like the abstract machine — identical output sequence to a
+// direct (oracle) execution — with every output delayed by at most the
+// emulation lag e. The experiment drives the leader-based emulator with
+// node churn (joins, leaves, leader crashes) and measures output
+// correctness and the observed lag distribution.
+func E9Emulation(quick bool) (*Result, error) {
+	trials := 6
+	steps := 60
+	if quick {
+		trials = 3
+		steps = 30
+	}
+	res := &Result{Table: Table{
+		ID:      "E9",
+		Title:   "VSA emulation fidelity under node churn",
+		Claim:   "emulated trace equals the oracle; output lag ≤ e = 2δ (refs [7],[6], the paper's §II-C substrate)",
+		Columns: []string{"trial", "inputs", "outputs ok", "max lag", "lag bound", "leader handoffs"},
+	}}
+
+	delta := 10 * time.Millisecond
+	allOK := true
+	for trial := 0; trial < trials; trial++ {
+		k := sim.New(int64(trial) + 7)
+		tiling := geo.MustGridTiling(2, 2)
+		e := emul.New(k, tiling, counterProgram{}, delta, 3*delta)
+		for id := emul.NodeID(1); id <= 4; id++ {
+			if err := e.AddNode(id, 0); err != nil {
+				return nil, err
+			}
+		}
+		e.Boot()
+		rng := rand.New(rand.NewSource(int64(trial) + 70))
+
+		var inputs []uint64
+		var submitTimes []sim.Time
+		handoffs := 0
+		lastLeader := e.Leader(0)
+		for step := 0; step < steps; step++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				v := uint64(rng.Intn(50) + 1)
+				inputs = append(inputs, v)
+				submitTimes = append(submitTimes, k.Now())
+				if err := e.Submit(0, v); err != nil {
+					return nil, err
+				}
+			case 2:
+				// Churn a non-leader node.
+				id := emul.NodeID(rng.Intn(4) + 1)
+				if id != e.Leader(0) {
+					_ = e.MoveNode(id, geo.RegionID(rng.Intn(4)))
+				}
+			case 3:
+				// Evict the leader when enough replicas remain to take
+				// over (forcing a handoff); it rejoins via case-2 churn.
+				if len(e.Members(0)) >= 3 {
+					_ = e.MoveNode(e.Leader(0), geo.RegionID(1))
+				}
+			case 4:
+				k.RunFor(delta)
+			}
+			k.Run()
+			if l := e.Leader(0); l != lastLeader {
+				handoffs++
+				lastLeader = l
+			}
+		}
+		k.Run()
+
+		// Oracle comparison plus per-output lag.
+		trace := e.TraceOf(0)
+		ok := len(trace.Outputs) == len(inputs)
+		var maxLag sim.Time
+		sum := uint64(0)
+		for i, out := range trace.Outputs {
+			sum += inputs[i]
+			if got, okCast := out.Msg.(uint64); !okCast || got != sum {
+				ok = false
+				break
+			}
+			if lag := out.At - submitTimes[i]; lag > maxLag {
+				maxLag = lag
+			}
+		}
+		bound := e.MaxLag()
+		if maxLag > bound {
+			ok = false
+		}
+		allOK = allOK && ok
+		res.Table.AddRow(trial, len(inputs), ok, maxLag, bound, handoffs)
+	}
+	res.check("emulation faithful under churn", allOK,
+		"all trials matched the oracle with lag within the bound")
+	res.Table.Notes = append(res.Table.Notes,
+		fmt.Sprintf("e = 2δ = %v: broadcast-in plus leader sequencing round, the lag the C-gcast schedule charges", 2*delta))
+	return res, nil
+}

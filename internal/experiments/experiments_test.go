@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode with all shape checks passing —
+// this is the repository's continuous reproduction of the paper's claims.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(res.Table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", exp.ID)
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					var b strings.Builder
+					res.Render(&b)
+					t.Errorf("%s check %q failed: %s\n%s", exp.ID, c.Name, c.Detail, b.String())
+				}
+			}
+		})
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := &Result{Table: Table{
+		ID:      "X",
+		Title:   "test",
+		Claim:   "none",
+		Columns: []string{"a", "b"},
+	}}
+	res.Table.AddRow(1, 2.5)
+	res.Table.Notes = append(res.Table.Notes, "a note")
+	res.check("always", true, "detail %d", 42)
+	res.check("never", false, "boom")
+	var b strings.Builder
+	res.Render(&b)
+	out := b.String()
+	for _, want := range []string{"== X: test ==", "2.50", "a note", "[PASS] always", "[FAIL] never"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	if res.Passed() {
+		t.Error("Passed() true despite failing check")
+	}
+}
+
+func TestAllListsUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(seen))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	res := &Result{Table: Table{
+		ID:      "X1",
+		Columns: []string{"a", "b"},
+	}}
+	res.Table.AddRow(1, "two")
+	res.Table.AddRow(3.5, "four")
+	dir := t.TempDir()
+	path, err := res.SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(string(data))
+	want := "a,b\n1,two\n3.50,four"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var out strings.Builder
+	dir := t.TempDir()
+	if err := RunAll(&out, true, []string{"T1"}, dir); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"running T1", "[PASS]", "all experiment shape checks passed", "T1.csv"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if _, err := os.Stat(dir + "/T1.csv"); err != nil {
+		t.Errorf("csv not written: %v", err)
+	}
+	if err := RunAll(&out, true, []string{"NOPE"}, ""); err == nil {
+		t.Error("RunAll accepted an unknown experiment id")
+	}
+}

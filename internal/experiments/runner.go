@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// RunAll executes the selected experiments (all when only is empty),
+// rendering each result to w and optionally writing CSVs to csvDir. It
+// returns an error if any experiment fails to run or any shape check
+// fails — the contract the CLI and CI rely on.
+func RunAll(w io.Writer, quick bool, only []string, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	selected := make(map[string]bool, len(only))
+	for _, id := range only {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+	matched := 0
+	failures := 0
+	for _, exp := range All() {
+		if len(selected) > 0 && !selected[exp.ID] {
+			continue
+		}
+		matched++
+		fmt.Fprintf(w, "running %s: %s ...\n", exp.ID, exp.Name)
+		res, err := exp.Run(quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		res.Render(w)
+		if csvDir != "" {
+			path, err := res.SaveCSV(csvDir)
+			if err != nil {
+				return fmt.Errorf("%s: write csv: %w", exp.ID, err)
+			}
+			fmt.Fprintln(w, "wrote", path)
+		}
+		if !res.Passed() {
+			failures++
+		}
+	}
+	if len(selected) > 0 && matched != len(selected) {
+		return fmt.Errorf("unknown experiment id in %v", only)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) had failing shape checks", failures)
+	}
+	fmt.Fprintln(w, "all experiment shape checks passed")
+	return nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+)
+
+// T1Geometry regenerates the §II-B grid-hierarchy example: for base-r
+// grids, the measured tight geometry must match the closed forms
+// MAX = ⌈log_r(D+1)⌉, n(l) = 2r^l−1, p(l) = r^{l+1}−1, q(l) = r^l (as a
+// lower bound — small grids measure looser), ω(l) ≤ 8, and satisfy the
+// §II-B relationships and the proximity requirement.
+func T1Geometry(quick bool) (*Result, error) {
+	configs := []struct{ side, r int }{
+		{8, 2}, {16, 2}, {9, 3}, {27, 3}, {16, 4},
+	}
+	if quick {
+		configs = configs[:3]
+	}
+	res := &Result{Table: Table{
+		ID:      "T1",
+		Title:   "grid hierarchy geometry: measured vs closed form",
+		Claim:   "MAX=⌈log_r(D+1)⌉, n(l)=2r^l−1, p(l)=r^{l+1}−1, q(l)=r^l, ω(l)=8 (§II-B)",
+		Columns: []string{"grid", "r", "level", "n meas/formula", "p meas/formula", "q meas/formula", "ω meas/bound"},
+	}}
+
+	allOK := true
+	for _, cfg := range configs {
+		t := geo.MustGridTiling(cfg.side, cfg.side)
+		h, err := hier.NewGrid(t, cfg.r)
+		if err != nil {
+			return nil, err
+		}
+		meas := hier.MeasureGeometry(h)
+		form := hier.GridFormulas(cfg.r, h.MaxLevel())
+		if err := hier.ValidateGeometry(meas); err != nil {
+			allOK = false
+			res.Table.Notes = append(res.Table.Notes, fmt.Sprintf("%dx%d r=%d: %v", cfg.side, cfg.side, cfg.r, err))
+		}
+		if err := hier.ValidateProximity(h); err != nil {
+			allOK = false
+			res.Table.Notes = append(res.Table.Notes, fmt.Sprintf("%dx%d r=%d proximity: %v", cfg.side, cfg.side, cfg.r, err))
+		}
+		for l := 0; l < h.MaxLevel(); l++ {
+			res.Table.AddRow(
+				fmt.Sprintf("%dx%d", cfg.side, cfg.side), cfg.r, l,
+				fmt.Sprintf("%d/%d", meas.N[l], form.N[l]),
+				fmt.Sprintf("%d/%d", meas.P[l], form.P[l]),
+				fmt.Sprintf("%d/%d", meas.Q[l], form.Q[l]),
+				fmt.Sprintf("%d/%d", meas.Omega[l], form.Omega[l]),
+			)
+			if meas.N[l] > form.N[l] || meas.P[l] > form.P[l] ||
+				meas.Q[l] < min(form.Q[l], meas.N[l]) || meas.Omega[l] > form.Omega[l] {
+				allOK = false
+			}
+		}
+		// MAX check: for a full r^m × r^m grid, MAX = ⌈log_r(D+1)⌉.
+		if isPowerOf(cfg.side, cfg.r) {
+			want := logCeil(cfg.side, cfg.r)
+			if h.MaxLevel() != want {
+				allOK = false
+				res.Table.Notes = append(res.Table.Notes,
+					fmt.Sprintf("%dx%d r=%d: MAX=%d, want %d", cfg.side, cfg.side, cfg.r, h.MaxLevel(), want))
+			}
+		}
+	}
+	res.check("geometry matches §II-B", allOK, "measured parameters within the closed-form bounds, all relationships hold")
+	return res, nil
+}
+
+func isPowerOf(n, r int) bool {
+	for n > 1 {
+		if n%r != 0 {
+			return false
+		}
+		n /= r
+	}
+	return n == 1
+}
+
+func logCeil(n, r int) int {
+	l, pow := 0, 1
+	for pow < n {
+		pow *= r
+		l++
+	}
+	return l
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

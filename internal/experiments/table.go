@@ -1,0 +1,179 @@
+// Package experiments regenerates the paper's evaluation: each proved
+// bound, figure, and comparison of the VINESTALK paper is an experiment
+// that drives the full stack with the workload the claim quantifies over,
+// measures the work/time quantities the claim bounds, and checks that the
+// claimed *shape* holds (who wins, what grows linearly, what grows
+// logarithmically). See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded outcomes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment table (the paper analogue of a results
+// table or figure series).
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case time.Duration:
+			row[i] = x.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Check is one verified property of an experiment's outcome.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result bundles an experiment's table with its shape checks.
+type Result struct {
+	Table  Table
+	Checks []Check
+}
+
+// check records a shape check.
+func (r *Result) check(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the table and check outcomes.
+func (r *Result) Render(w io.Writer) {
+	r.Table.Render(w)
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a named experiment driver. quick trades grid sizes and
+// repetition counts for speed (used by tests; the CLI defaults to full).
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(quick bool) (*Result, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "T1", Name: "grid geometry parameters (§II-B example)", Run: T1Geometry},
+		{ID: "T2", Name: "generalized clusterings: grid vs landmark (§II-B)", Run: T2Landmark},
+		{ID: "E1", Name: "find cost vs distance (Theorem 5.2)", Run: E1FindCost},
+		{ID: "E2", Name: "move cost vs network diameter (Theorem 4.9)", Run: E2MoveCost},
+		{ID: "E3", Name: "dithering resistance of lateral links (§IV, Lemma 4.2)", Run: E3Dithering},
+		{ID: "E4", Name: "comparison against baseline trackers (§I)", Run: E4Baselines},
+		{ID: "E5", Name: "correctness checker, Theorem 4.8 / Fig. 3", Run: E5Checker},
+		{ID: "E6", Name: "concurrent moves and finds (§VI)", Run: E6Concurrent},
+		{ID: "E7", Name: "VSA failures and heartbeat recovery (§VII)", Run: E7Failures},
+		{ID: "E8", Name: "multiple tracked objects (§VII)", Run: E8MultiObject},
+		{ID: "E9", Name: "VSA emulation fidelity (refs [7],[6])", Run: E9Emulation},
+		{ID: "E10", Name: "value of the virtual-node layer under client mobility (§I)", Run: E10WhyVSA},
+		{ID: "A1", Name: "ablation: hierarchy base r", Run: A1BaseSweep},
+		{ID: "A2", Name: "ablation: clusterhead placement", Run: A2HeadPlacement},
+		{ID: "A3", Name: "ablation: timer slack above condition (1)", Run: A3ScheduleSlack},
+		{ID: "A4", Name: "quorum extension: replicated heads (§VII)", Run: A4Quorum},
+		{ID: "A5", Name: "pointer-update frequency per level (Thm 4.9 proof)", Run: A5Amortization},
+	}
+}
+
+// WriteCSV writes the table as CSV (header row then data rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<ID>.csv.
+func (r *Result) SaveCSV(dir string) (string, error) {
+	path := filepath.Join(dir, r.Table.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := r.Table.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAdjacencyTiling(t *testing.T) {
+	// A triangle with a tail: 0-1, 1-2, 2-0, 2-3.
+	adj := [][]RegionID{
+		{1, 2},
+		{0, 2},
+		{0, 1, 3},
+		{2},
+	}
+	tl, err := NewAdjacencyTiling(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumRegions() != 4 {
+		t.Errorf("NumRegions = %d", tl.NumRegions())
+	}
+	if !AreNeighbors(tl, 0, 2) || AreNeighbors(tl, 0, 3) {
+		t.Error("adjacency wrong")
+	}
+	gr := NewGraph(tl)
+	if got := gr.Distance(0, 3); got != 2 {
+		t.Errorf("Distance(0,3) = %d, want 2", got)
+	}
+	if tl.Neighbors(RegionID(9)) != nil {
+		t.Error("Neighbors out of range should be nil")
+	}
+}
+
+func TestNewAdjacencyTilingRejectsBadGraphs(t *testing.T) {
+	// Asymmetric.
+	if _, err := NewAdjacencyTiling([][]RegionID{{1}, {}}); err == nil {
+		t.Error("accepted asymmetric adjacency")
+	}
+	// Self-loop.
+	if _, err := NewAdjacencyTiling([][]RegionID{{0, 1}, {0}}); err == nil {
+		t.Error("accepted self-loop")
+	}
+	// Disconnected.
+	if _, err := NewAdjacencyTiling([][]RegionID{{1}, {0}, {3}, {2}}); err == nil {
+		t.Error("accepted disconnected graph")
+	}
+	// Out-of-range neighbor.
+	if _, err := NewAdjacencyTiling([][]RegionID{{5}}); err == nil {
+		t.Error("accepted out-of-range neighbor")
+	}
+	// Empty.
+	if _, err := NewAdjacencyTiling(nil); err == nil {
+		t.Error("accepted empty tiling")
+	}
+}
+
+func TestThinKeepsConnectivity(t *testing.T) {
+	base := MustGridTiling(8, 8)
+	f := func(seed int64, keepSeed uint8) bool {
+		keep := float64(keepSeed%100) / 100
+		thin, err := Thin(base, keep, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Validate already ran inside the constructor; double-check
+		// reachability and that no new edges were invented.
+		gr := NewGraph(thin)
+		for u := 0; u < thin.NumRegions(); u++ {
+			if gr.Distance(0, RegionID(u)) < 0 {
+				return false
+			}
+			for _, v := range thin.Neighbors(RegionID(u)) {
+				if !AreNeighbors(base, RegionID(u), v) {
+					t.Logf("Thin invented edge %v-%v", u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThinZeroKeepIsSpanningTree(t *testing.T) {
+	base := MustGridTiling(5, 5)
+	thin, err := Thin(base, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for u := 0; u < thin.NumRegions(); u++ {
+		edges += len(thin.Neighbors(RegionID(u)))
+	}
+	if edges/2 != thin.NumRegions()-1 {
+		t.Errorf("keep=0 produced %d edges, want spanning tree (%d)", edges/2, thin.NumRegions()-1)
+	}
+}

@@ -1,0 +1,143 @@
+package geo
+
+// Graph caches shortest-path information over a tiling's neighbor graph:
+// hop distances between all region pairs (the paper's notion of distance,
+// §II-A), next-hop routing tables (used by the DFS geocast substrate), and
+// the network diameter D.
+//
+// Distances are computed lazily per source region and memoized, so building
+// a Graph over a large tiling is cheap until distances are requested.
+// Graph is safe for concurrent use only after Precompute (or any method)
+// has been called from a single goroutine for each source of interest;
+// the simulation kernel is single-threaded, which is how the rest of the
+// repository uses it.
+type Graph struct {
+	t    Tiling
+	n    int
+	dist [][]int32    // dist[u] is nil until computed
+	next [][]RegionID // next[u][v] = first hop from u toward v
+}
+
+// NewGraph builds a Graph over tiling t.
+func NewGraph(t Tiling) *Graph {
+	n := t.NumRegions()
+	return &Graph{
+		t:    t,
+		n:    n,
+		dist: make([][]int32, n),
+		next: make([][]RegionID, n),
+	}
+}
+
+// Tiling returns the underlying tiling.
+func (g *Graph) Tiling() Tiling { return g.t }
+
+// bfs computes single-source distances and first hops from u.
+func (g *Graph) bfs(u RegionID) {
+	if g.dist[u] != nil {
+		return
+	}
+	dist := make([]int32, g.n)
+	next := make([]RegionID, g.n)
+	for i := range dist {
+		dist[i] = -1
+		next[i] = NoRegion
+	}
+	dist[u] = 0
+	next[u] = u
+	queue := make([]RegionID, 0, g.n)
+	queue = append(queue, u)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.t.Neighbors(v) {
+			if dist[w] >= 0 {
+				continue
+			}
+			dist[w] = dist[v] + 1
+			if v == u {
+				next[w] = w // first hop toward w is w itself
+			} else {
+				next[w] = next[v]
+			}
+			queue = append(queue, w)
+		}
+	}
+	g.dist[u] = dist
+	g.next[u] = next
+}
+
+// Distance returns the hop distance between u and v in the neighbor graph,
+// or -1 if v is unreachable from u.
+func (g *Graph) Distance(u, v RegionID) int {
+	if !g.t.Contains(u) || !g.t.Contains(v) {
+		return -1
+	}
+	g.bfs(u)
+	return int(g.dist[u][v])
+}
+
+// NextHop returns the first region on a shortest path from u toward v.
+// NextHop(u, u) = u. It returns NoRegion if v is unreachable.
+func (g *Graph) NextHop(u, v RegionID) RegionID {
+	if !g.t.Contains(u) || !g.t.Contains(v) {
+		return NoRegion
+	}
+	g.bfs(u)
+	return g.next[u][v]
+}
+
+// Path returns a shortest path from u to v inclusive of both endpoints, or
+// nil if v is unreachable from u.
+func (g *Graph) Path(u, v RegionID) []RegionID {
+	d := g.Distance(u, v)
+	if d < 0 {
+		return nil
+	}
+	path := make([]RegionID, 0, d+1)
+	path = append(path, u)
+	for cur := u; cur != v; {
+		cur = g.NextHop(cur, v)
+		if cur == NoRegion {
+			return nil
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Precompute forces BFS from every region, making subsequent Distance and
+// NextHop calls O(1) lookups.
+func (g *Graph) Precompute() {
+	for u := 0; u < g.n; u++ {
+		g.bfs(RegionID(u))
+	}
+}
+
+// Diameter returns the network diameter D: the maximum hop distance between
+// any two regions (paper §II-A).
+func (g *Graph) Diameter() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		g.bfs(RegionID(u))
+		for v := 0; v < g.n; v++ {
+			if d := int(g.dist[u][v]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// RegionsWithin returns all regions at hop distance at most d from u, in
+// ascending identifier order.
+func (g *Graph) RegionsWithin(u RegionID, d int) []RegionID {
+	g.bfs(u)
+	var out []RegionID
+	for v := 0; v < g.n; v++ {
+		if dd := g.dist[u][v]; dd >= 0 && int(dd) <= d {
+			out = append(out, RegionID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphDistanceBasics(t *testing.T) {
+	g := MustGridTiling(4, 4)
+	gr := NewGraph(g)
+	tests := []struct {
+		name string
+		u, v RegionID
+		want int
+	}{
+		{name: "self", u: 0, v: 0, want: 0},
+		{name: "adjacent", u: 0, v: 1, want: 1},
+		{name: "diagonal", u: 0, v: 5, want: 1},
+		{name: "across", u: g.RegionAt(0, 0), v: g.RegionAt(3, 3), want: 3},
+		{name: "row", u: g.RegionAt(0, 2), v: g.RegionAt(3, 2), want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := gr.Distance(tt.u, tt.v); got != tt.want {
+				t.Errorf("Distance(%v, %v) = %d, want %d", tt.u, tt.v, got, tt.want)
+			}
+		})
+	}
+	if got := gr.Distance(NoRegion, 0); got != -1 {
+		t.Errorf("Distance(NoRegion, 0) = %d, want -1", got)
+	}
+	if got := gr.Distance(0, RegionID(99)); got != -1 {
+		t.Errorf("Distance(0, out-of-range) = %d, want -1", got)
+	}
+}
+
+func TestGraphDiameter(t *testing.T) {
+	tests := []struct {
+		w, h int
+		want int
+	}{
+		{1, 1, 0},
+		{2, 2, 1},
+		{4, 4, 3},
+		{8, 8, 7},
+		{3, 7, 6},
+	}
+	for _, tt := range tests {
+		gr := NewGraph(MustGridTiling(tt.w, tt.h))
+		if got := gr.Diameter(); got != tt.want {
+			t.Errorf("Diameter(%dx%d) = %d, want %d", tt.w, tt.h, got, tt.want)
+		}
+	}
+}
+
+func TestGraphPath(t *testing.T) {
+	g := MustGridTiling(5, 5)
+	gr := NewGraph(g)
+	u, v := g.RegionAt(0, 0), g.RegionAt(4, 2)
+	path := gr.Path(u, v)
+	if len(path) != gr.Distance(u, v)+1 {
+		t.Fatalf("len(Path) = %d, want %d", len(path), gr.Distance(u, v)+1)
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		t.Fatalf("Path endpoints = %v..%v, want %v..%v", path[0], path[len(path)-1], u, v)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !AreNeighbors(g, path[i], path[i+1]) {
+			t.Fatalf("Path step %v -> %v is not an edge", path[i], path[i+1])
+		}
+	}
+	if p := gr.Path(u, u); len(p) != 1 || p[0] != u {
+		t.Errorf("Path(u,u) = %v, want [u]", p)
+	}
+}
+
+func TestGraphNextHopConverges(t *testing.T) {
+	g := MustGridTiling(6, 4)
+	gr := NewGraph(g)
+	u, v := g.RegionAt(5, 3), g.RegionAt(0, 0)
+	cur := u
+	for steps := 0; cur != v; steps++ {
+		if steps > gr.Distance(u, v) {
+			t.Fatalf("NextHop walk from %v to %v did not converge", u, v)
+		}
+		nxt := gr.NextHop(cur, v)
+		if nxt == NoRegion {
+			t.Fatalf("NextHop(%v, %v) = NoRegion", cur, v)
+		}
+		if gr.Distance(nxt, v) != gr.Distance(cur, v)-1 {
+			t.Fatalf("NextHop(%v, %v) = %v does not reduce distance", cur, v, nxt)
+		}
+		cur = nxt
+	}
+	if got := gr.NextHop(u, u); got != u {
+		t.Errorf("NextHop(u,u) = %v, want %v", got, u)
+	}
+	if got := gr.NextHop(NoRegion, v); got != NoRegion {
+		t.Errorf("NextHop(NoRegion, v) = %v, want NoRegion", got)
+	}
+}
+
+func TestGraphRegionsWithin(t *testing.T) {
+	g := MustGridTiling(5, 5)
+	gr := NewGraph(g)
+	center := g.RegionAt(2, 2)
+	within1 := gr.RegionsWithin(center, 1)
+	if len(within1) != 9 {
+		t.Errorf("len(RegionsWithin(center, 1)) = %d, want 9", len(within1))
+	}
+	within0 := gr.RegionsWithin(center, 0)
+	if len(within0) != 1 || within0[0] != center {
+		t.Errorf("RegionsWithin(center, 0) = %v, want [center]", within0)
+	}
+	all := gr.RegionsWithin(center, 100)
+	if len(all) != g.NumRegions() {
+		t.Errorf("RegionsWithin(center, 100) covers %d regions, want %d", len(all), g.NumRegions())
+	}
+}
+
+func TestGraphPrecompute(t *testing.T) {
+	g := MustGridTiling(3, 3)
+	gr := NewGraph(g)
+	gr.Precompute()
+	for u := 0; u < g.NumRegions(); u++ {
+		if gr.dist[u] == nil {
+			t.Fatalf("Precompute left source %d uncomputed", u)
+		}
+	}
+}
+
+// Property: distance is a metric on the grid (symmetry + triangle
+// inequality + identity of indiscernibles).
+func TestGraphDistanceIsMetric(t *testing.T) {
+	g := MustGridTiling(5, 4)
+	gr := NewGraph(g)
+	n := g.NumRegions()
+	f := func(a, b, c uint16) bool {
+		u, v, w := RegionID(int(a)%n), RegionID(int(b)%n), RegionID(int(c)%n)
+		duv, dvu := gr.Distance(u, v), gr.Distance(v, u)
+		if duv != dvu {
+			return false
+		}
+		if (duv == 0) != (u == v) {
+			return false
+		}
+		return gr.Distance(u, w) <= duv+gr.Distance(v, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every neighbor is at distance exactly 1.
+func TestNeighborsAtDistanceOne(t *testing.T) {
+	g := MustGridTiling(4, 6)
+	gr := NewGraph(g)
+	for u := RegionID(0); int(u) < g.NumRegions(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if gr.Distance(u, v) != 1 {
+				t.Fatalf("Distance(%v, nbr %v) != 1", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package geocast implements the bounded-delay region-to-region message
+// routing used beneath C-gcast. The paper builds this on the
+// self-stabilizing DFS geocast of Dolev, Lahiani, Lynch & Nolte (SSS 2005,
+// ref [10]); this reproduction substitutes shortest-path hop-by-hop routing
+// over V-bcast, which preserves the property the analysis uses — delivery
+// between regions at hop distance h costs h one-hop broadcasts and at most
+// (δ+e)·h time — while re-routing around failed VSAs on the alive subgraph
+// when possible (the self-stabilization behavior of [10], in simplified
+// form).
+package geocast
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+// Service routes messages between arbitrary regions' VSAs.
+type Service struct {
+	k      *sim.Kernel
+	layer  *vsa.Layer
+	graph  *geo.Graph
+	vb     *vbcast.Service
+	ledger *metrics.Ledger
+}
+
+// New creates the routing service over the given local-broadcast transport.
+func New(k *sim.Kernel, layer *vsa.Layer, graph *geo.Graph, vb *vbcast.Service, ledger *metrics.Ledger) *Service {
+	return &Service{k: k, layer: layer, graph: graph, vb: vb, ledger: ledger}
+}
+
+// Graph exposes the shortest-path graph (shared with the hierarchy).
+func (s *Service) Graph() *geo.Graph { return s.graph }
+
+// Send routes a message from region from's VSA toward region to's VSA,
+// invoking onArrive when it reaches a live VSA at to. The message travels
+// hop-by-hop with per-hop delay δ+e; each hop prefers the precomputed
+// shortest path and falls back to a path over currently-alive regions when
+// the next hop's VSA is down. The message is dropped silently if no live
+// route exists or a holding VSA dies mid-route (the paper's stabilizing
+// geocast would eventually retransmit; VINESTALK's heartbeat extension
+// recovers at the protocol layer instead).
+func (s *Service) Send(from, to geo.RegionID, onArrive func()) error {
+	if !s.layer.Tiling().Contains(from) || !s.layer.Tiling().Contains(to) {
+		return fmt.Errorf("geocast: route %v -> %v outside tiling", from, to)
+	}
+	if !s.layer.Alive(from) {
+		return fmt.Errorf("geocast: source VSA %v not alive", from)
+	}
+	if s.ledger != nil {
+		s.ledger.RecordMessage("transport/geocast", s.graph.Distance(from, to))
+	}
+	s.relay(from, to, onArrive)
+	return nil
+}
+
+// relay advances the message one hop from cur toward to.
+func (s *Service) relay(cur, to geo.RegionID, onArrive func()) {
+	if cur == to {
+		onArrive()
+		return
+	}
+	next := s.nextHop(cur, to)
+	if next == geo.NoRegion {
+		return // no live route; drop
+	}
+	// Errors here mean the current holder died between scheduling and
+	// sending; the message is lost with it.
+	_ = s.vb.VSAToVSA(cur, next, func() {
+		s.relay(next, to, onArrive)
+	})
+}
+
+// nextHop picks the next region toward to: the static shortest-path hop if
+// its VSA is alive, otherwise the first hop of a shortest path through
+// currently-alive regions (BFS), or NoRegion if none exists.
+func (s *Service) nextHop(cur, to geo.RegionID) geo.RegionID {
+	if nh := s.graph.NextHop(cur, to); nh != geo.NoRegion && (s.layer.Alive(nh) || nh == to) {
+		return nh
+	}
+	return s.aliveNextHop(cur, to)
+}
+
+// aliveNextHop runs a BFS from cur to to over regions with alive VSAs
+// (the endpoints are exempt from the aliveness requirement: cur holds the
+// message, and liveness of to is checked at arrival).
+func (s *Service) aliveNextHop(cur, to geo.RegionID) geo.RegionID {
+	t := s.layer.Tiling()
+	prev := make(map[geo.RegionID]geo.RegionID, 64)
+	prev[cur] = cur
+	queue := []geo.RegionID{cur}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if _, seen := prev[v]; seen {
+				continue
+			}
+			if v != to && !s.layer.Alive(v) {
+				continue
+			}
+			prev[v] = u
+			if v == to {
+				// Walk back to the first hop.
+				for prev[v] != cur {
+					v = prev[v]
+				}
+				return v
+			}
+			queue = append(queue, v)
+		}
+	}
+	return geo.NoRegion
+}

@@ -1,0 +1,166 @@
+package geocast
+
+import (
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+const (
+	delta = 10 * time.Millisecond
+	lagE  = 5 * time.Millisecond
+	unit  = delta + lagE
+)
+
+type nopClient struct{}
+
+func (nopClient) GPSUpdate(geo.RegionID) {}
+func (nopClient) Receive(any)            {}
+
+type nopVSA struct{}
+
+func (nopVSA) Receive(int, any) {}
+func (nopVSA) Reset()           {}
+
+func setup(t *testing.T, w, h int) (*sim.Kernel, *vsa.Layer, *Service, *metrics.Ledger) {
+	t.Helper()
+	k := sim.New(3)
+	tiling := geo.MustGridTiling(w, h)
+	layer := vsa.NewLayer(k, tiling)
+	for u := 0; u < tiling.NumRegions(); u++ {
+		layer.RegisterVSA(geo.RegionID(u), nopVSA{})
+		if err := layer.AddClient(vsa.ClientID(u), geo.RegionID(u), nopClient{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layer.StartAllAlive()
+	ledger := metrics.NewLedger()
+	vb := vbcast.New(k, layer, delta, lagE, ledger)
+	graph := geo.NewGraph(tiling)
+	return k, layer, New(k, layer, graph, vb, ledger), ledger
+}
+
+func TestSendAcrossGrid(t *testing.T) {
+	k, _, svc, ledger := setup(t, 5, 5)
+	g := geo.MustGridTiling(5, 5)
+	from, to := g.RegionAt(0, 0), g.RegionAt(4, 4)
+	var arrivedAt sim.Time = -1
+	if err := svc.Send(from, to, func() { arrivedAt = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := 4 * unit // 4 hops along the diagonal
+	if arrivedAt != want {
+		t.Fatalf("arrived at %v, want %v", arrivedAt, want)
+	}
+	if got := ledger.Work("transport/geocast"); got != 4 {
+		t.Errorf("geocast work = %d, want 4", got)
+	}
+	if got := ledger.Messages("transport/hop"); got != 4 {
+		t.Errorf("hop messages = %d, want 4", got)
+	}
+}
+
+func TestSendSelfArrivesImmediately(t *testing.T) {
+	k, _, svc, _ := setup(t, 3, 3)
+	arrived := false
+	if err := svc.Send(4, 4, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !arrived {
+		t.Fatal("self-send not immediate")
+	}
+	_ = k
+}
+
+func TestSendValidation(t *testing.T) {
+	_, layer, svc, _ := setup(t, 3, 3)
+	if err := svc.Send(geo.RegionID(99), 0, func() {}); err == nil {
+		t.Error("send from outside tiling accepted")
+	}
+	if err := svc.Send(0, geo.RegionID(99), func() {}); err == nil {
+		t.Error("send to outside tiling accepted")
+	}
+	if err := layer.MoveClient(0, 1); err != nil { // kill r0's VSA
+		t.Fatal(err)
+	}
+	if err := svc.Send(0, 8, func() {}); err == nil {
+		t.Error("send from dead VSA accepted")
+	}
+}
+
+func TestSendReroutesAroundDeadVSA(t *testing.T) {
+	k, layer, svc, _ := setup(t, 3, 1)
+	// Line r0-r1-r2; kill r1 (middle) by moving its client away: the only
+	// route is through r1, so the message must be dropped.
+	if err := layer.MoveClient(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	arrived := false
+	if err := svc.Send(0, 2, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("message crossed a dead cut vertex")
+	}
+
+	// On a 3x3 grid there is a way around a dead center.
+	k2, layer2, svc2, _ := setupGrid3x3(t)
+	if err := layer2.MoveClient(4, 0); err != nil { // kill center VSA
+		t.Fatal(err)
+	}
+	arrived2At := sim.Time(-1)
+	g := geo.MustGridTiling(3, 3)
+	if err := svc2.Send(g.RegionAt(0, 1), g.RegionAt(2, 1), func() { arrived2At = k2.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run()
+	if arrived2At < 0 {
+		t.Fatal("message not rerouted around dead center")
+	}
+	if arrived2At != 2*unit {
+		t.Fatalf("rerouted arrival at %v, want %v (2 hops around)", arrived2At, 2*unit)
+	}
+}
+
+func setupGrid3x3(t *testing.T) (*sim.Kernel, *vsa.Layer, *Service, *metrics.Ledger) {
+	t.Helper()
+	return setup(t, 3, 3)
+}
+
+func TestSendDroppedWhenDestDiesInFlight(t *testing.T) {
+	k, layer, svc, _ := setup(t, 4, 1)
+	arrived := false
+	if err := svc.Send(0, 3, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(unit)                                 // message now at r1
+	if err := layer.MoveClient(3, 2); err != nil { // kill r3
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("arrived at dead destination")
+	}
+}
+
+func TestSendManyIndependentMessages(t *testing.T) {
+	k, _, svc, _ := setup(t, 4, 4)
+	arrivals := 0
+	g := geo.MustGridTiling(4, 4)
+	for u := 0; u < g.NumRegions(); u++ {
+		if err := svc.Send(geo.RegionID(u), g.RegionAt(3, 3), func() { arrivals++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if arrivals != g.NumRegions() {
+		t.Fatalf("arrivals = %d, want %d", arrivals, g.NumRegions())
+	}
+}

@@ -1,0 +1,39 @@
+package hier_test
+
+import (
+	"fmt"
+	"log"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+)
+
+// Example builds the paper's base-2 grid hierarchy over an 8x8 tiling and
+// reads off the §II-B structure: MAX levels, the cluster chain of a
+// region, and the measured geometry parameters.
+func Example() {
+	tiling := geo.MustGridTiling(8, 8)
+	h, err := hier.NewGrid(tiling, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MAX:", h.MaxLevel())
+
+	u := tiling.RegionAt(5, 6)
+	for l := 0; l <= h.MaxLevel(); l++ {
+		c := h.Cluster(u, l)
+		fmt.Printf("level %d: %d members\n", l, len(h.Members(c)))
+	}
+
+	geom := hier.MeasureGeometry(h)
+	fmt.Println("n:", geom.N[:h.MaxLevel()])
+	fmt.Println("q:", geom.Q[:h.MaxLevel()])
+	// Output:
+	// MAX: 3
+	// level 0: 1 members
+	// level 1: 4 members
+	// level 2: 16 members
+	// level 3: 64 members
+	// n: [1 3 7]
+	// q: [1 2 7]
+}

@@ -1,0 +1,76 @@
+package hier
+
+import (
+	"testing"
+
+	"vinestalk/internal/geo"
+)
+
+// The paper's grid example defines squares sharing only a corner point as
+// neighbors. These tests document why: under a 4-neighborhood (edges
+// only), square-block clusterings break the geometry the tracking
+// analysis depends on, and the validators catch it.
+
+func fourNeighborGrid(t *testing.T, side, r int) *Hierarchy {
+	t.Helper()
+	tl, err := geo.NewGridTiling4(side, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewGrid(tl, r)
+	if err != nil {
+		t.Fatalf("structural requirements should still hold on 4-neighbor grids: %v", err)
+	}
+	return h
+}
+
+func TestFourNeighborGridViolatesProximity(t *testing.T) {
+	h := fourNeighborGrid(t, 8, 2)
+	if err := ValidateProximity(h); err == nil {
+		t.Fatal("proximity requirement unexpectedly holds on a 4-neighbor grid")
+	}
+}
+
+func TestFourNeighborGridGeometryDegenerates(t *testing.T) {
+	h := fourNeighborGrid(t, 8, 2)
+	g := MeasureGeometry(h)
+	// q cannot grow: a region diagonal to a block corner is 2 hops away
+	// but in a diagonal (non-neighboring) cluster, so q(l) stays 1 and
+	// the 2q(l−1) <= q(l) relationship fails.
+	if g.Q[1] >= 2 {
+		t.Fatalf("q(1) = %d on a 4-neighbor grid, expected it pinned at 1", g.Q[1])
+	}
+	if err := ValidateGeometry(g); err == nil {
+		t.Fatal("geometry relationships unexpectedly hold on a 4-neighbor grid")
+	}
+}
+
+func TestFourNeighborTilingItselfIsSound(t *testing.T) {
+	// The tiling is a perfectly valid deployment space — it is only the
+	// square-block *clustering* that loses its geometry guarantees.
+	tl, err := geo.NewGridTiling4(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := geo.Validate(tl); err != nil {
+		t.Fatalf("4-neighbor tiling invalid: %v", err)
+	}
+	if tl.Diagonal() {
+		t.Error("Diagonal() = true for a 4-neighbor tiling")
+	}
+	if got := len(tl.Neighbors(tl.RegionAt(3, 3))); got != 4 {
+		t.Errorf("interior region has %d neighbors, want 4", got)
+	}
+	// Hop distance is Manhattan, not Chebyshev, under this rule.
+	gr := geo.NewGraph(tl)
+	if got := gr.Distance(tl.RegionAt(0, 0), tl.RegionAt(3, 3)); got != 6 {
+		t.Errorf("Distance((0,0),(3,3)) = %d, want 6 (Manhattan)", got)
+	}
+}
+
+func TestEightNeighborDefaultUnchanged(t *testing.T) {
+	tl := geo.MustGridTiling(4, 4)
+	if !tl.Diagonal() {
+		t.Error("default grid tiling should use the diagonal rule")
+	}
+}

@@ -1,0 +1,70 @@
+package hier
+
+import (
+	"testing"
+
+	"vinestalk/internal/geo"
+)
+
+// Fuzz targets: construction must never panic, and anything accepted must
+// pass the structural validators. Run the seed corpus with go test, or
+// explore with go test -fuzz=FuzzGridHierarchy ./internal/hier.
+
+func FuzzGridHierarchy(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(2))
+	f.Add(uint8(9), uint8(3), uint8(3))
+	f.Add(uint8(0), uint8(5), uint8(4))
+	f.Add(uint8(16), uint8(16), uint8(1))
+	f.Fuzz(func(t *testing.T, w, h, r uint8) {
+		width, height := int(w)%20, int(h)%20
+		base := int(r) % 6
+		tiling, err := geo.NewGridTiling(width, height)
+		if err != nil {
+			return // invalid dimensions are rejected, not panicked on
+		}
+		hr, err := NewGrid(tiling, base)
+		if err != nil {
+			return
+		}
+		// Anything accepted is structurally sound.
+		if got := len(hr.ClustersAtLevel(hr.MaxLevel())); got != 1 {
+			t.Fatalf("%dx%d r=%d: %d top clusters", width, height, base, got)
+		}
+		if hr.MaxLevel() < 1 {
+			t.Fatalf("MaxLevel = %d", hr.MaxLevel())
+		}
+		for u := 0; u < tiling.NumRegions(); u++ {
+			for l := 0; l <= hr.MaxLevel(); l++ {
+				c := hr.Cluster(geo.RegionID(u), l)
+				if !c.Valid() {
+					t.Fatalf("region %d has no level-%d cluster", u, l)
+				}
+				if hr.Level(c) != l {
+					t.Fatalf("cluster level mismatch")
+				}
+			}
+		}
+	})
+}
+
+func FuzzLandmarkHierarchy(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(2))
+	f.Add(uint8(5), uint8(1), uint8(3))
+	f.Add(uint8(3), uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, w, h, r uint8) {
+		width, height := 1+int(w)%12, 1+int(h)%12
+		base := 2 + int(r)%3
+		tiling, err := geo.NewGridTiling(width, height)
+		if err != nil {
+			return
+		}
+		hr, err := NewLandmark(tiling, base)
+		if err != nil {
+			t.Fatalf("landmark construction failed on a valid tiling: %v", err)
+		}
+		if got := len(hr.ClustersAtLevel(hr.MaxLevel())); got != 1 {
+			t.Fatalf("%dx%d r=%d: %d top clusters", width, height, base, got)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package hier
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+)
+
+// Geometry holds the per-level geometry parameters n, p, q, ω of §II-B.
+// For a hierarchy with MAX = m, each slice has m+1 entries indexed by level.
+// The paper defines n, p, q on L−{MAX}; the level-MAX entries of a measured
+// Geometry are left at the natural values of the measurement (0 where the
+// quantity ranges over an empty set).
+type Geometry struct {
+	// N[l] bounds the distance from any member of a level-l cluster to any
+	// member of a neighboring cluster (assumption 3).
+	N []int
+	// P[l] bounds the distance from any member of a level-l cluster to any
+	// member of its level l+1 parent (assumption 4).
+	P []int
+	// Q[l] is the largest q such that any region up to q away from a region
+	// in a level-l cluster is in that cluster or one of its neighbors
+	// (assumption 5).
+	Q []int
+	// Omega[l] bounds the number of neighbors of a level-l cluster
+	// (assumption 2).
+	Omega []int
+}
+
+// MaxLevel returns the top level covered by the geometry.
+func (g Geometry) MaxLevel() int { return len(g.N) - 1 }
+
+// MeasureGeometry computes the tight geometry parameters of a hierarchy by
+// exhaustive measurement over the region graph. The paper notes that for
+// any clustering satisfying the structural requirements, the tight n, p, q
+// also satisfy the monotonicity relationships; ValidateGeometry checks them.
+func MeasureGeometry(h *Hierarchy) Geometry {
+	m := h.MaxLevel()
+	g := Geometry{
+		N:     make([]int, m+1),
+		P:     make([]int, m+1),
+		Q:     make([]int, m+1),
+		Omega: make([]int, m+1),
+	}
+	gr := h.Graph()
+
+	for l := 0; l <= m; l++ {
+		clusters := h.ClustersAtLevel(l)
+		// ω(l): max neighbor count.
+		for _, c := range clusters {
+			if k := len(h.Nbrs(c)); k > g.Omega[l] {
+				g.Omega[l] = k
+			}
+		}
+		if l == m {
+			continue // n, p, q are defined on L−{MAX}
+		}
+		// n(l): max distance from a member to any member of any neighbor.
+		for _, c := range clusters {
+			for _, nb := range h.Nbrs(c) {
+				for _, u := range h.Members(c) {
+					for _, v := range h.Members(nb) {
+						if d := gr.Distance(u, v); d > g.N[l] {
+							g.N[l] = d
+						}
+					}
+				}
+			}
+		}
+		// p(l): max distance from a member to any member of the parent.
+		for _, c := range clusters {
+			par := h.Parent(c)
+			for _, u := range h.Members(c) {
+				for _, v := range h.Members(par) {
+					if d := gr.Distance(u, v); d > g.P[l] {
+						g.P[l] = d
+					}
+				}
+			}
+		}
+		// q(l): for each cluster, the smallest distance from a region
+		// outside c ∪ nbrs(c) to a member of c, minus one; q(l) is the
+		// minimum over clusters. If no region lies outside c ∪ nbrs(c),
+		// the cluster imposes no constraint. The result is clamped to
+		// n(l): the paper notes q(l) ≤ n(l) for the tight parameters, and
+		// any q no larger than the measured escape distance still
+		// satisfies assumption 5.
+		q := int(^uint(0) >> 1)
+		for _, c := range clusters {
+			inside := make(map[ClusterID]bool, len(h.Nbrs(c))+1)
+			inside[c] = true
+			for _, nb := range h.Nbrs(c) {
+				inside[nb] = true
+			}
+			escape := int(^uint(0) >> 1)
+			for v := 0; v < h.Tiling().NumRegions(); v++ {
+				if inside[h.Cluster(geoRegion(v), l)] {
+					continue
+				}
+				for _, u := range h.Members(c) {
+					if d := gr.Distance(u, geoRegion(v)); d < escape {
+						escape = d
+					}
+				}
+			}
+			if escape-1 < q {
+				q = escape - 1
+			}
+		}
+		if q > g.N[l] {
+			q = g.N[l]
+		}
+		g.Q[l] = q
+	}
+	return g
+}
+
+// ValidateGeometry checks that a measured geometry satisfies the
+// relationships assumed in §II-B:
+//
+//	q(0) = 1 and q(l) ≤ n(l)           (noted after assumption 5)
+//	2q(l−1) ≤ q(l)                     (implied by proximity)
+//	n(l) ≤ n(l+1), p(l) ≤ p(l+1), p(l) ≤ n(l+1)   (assumptions 1-3)
+func ValidateGeometry(g Geometry) error {
+	m := g.MaxLevel()
+	if m < 1 {
+		return fmt.Errorf("hier: geometry covers %d levels, want at least 2", m+1)
+	}
+	if g.Q[0] < 1 {
+		return fmt.Errorf("hier: q(0) = %d, want at least 1", g.Q[0])
+	}
+	for l := 0; l < m; l++ {
+		if g.Q[l] > g.N[l] {
+			return fmt.Errorf("hier: q(%d) = %d > n(%d) = %d", l, g.Q[l], l, g.N[l])
+		}
+		if l >= 1 && 2*g.Q[l-1] > g.Q[l] {
+			return fmt.Errorf("hier: 2q(%d) = %d > q(%d) = %d", l-1, 2*g.Q[l-1], l, g.Q[l])
+		}
+	}
+	for l := 0; l+1 < m; l++ {
+		if g.N[l] > g.N[l+1] {
+			return fmt.Errorf("hier: n(%d) = %d > n(%d) = %d", l, g.N[l], l+1, g.N[l+1])
+		}
+		if g.P[l] > g.P[l+1] {
+			return fmt.Errorf("hier: p(%d) = %d > p(%d) = %d", l, g.P[l], l+1, g.P[l+1])
+		}
+		if g.P[l] > g.N[l+1] {
+			return fmt.Errorf("hier: p(%d) = %d > n(%d) = %d", l, g.P[l], l+1, g.N[l+1])
+		}
+	}
+	return nil
+}
+
+// ValidateProximity checks assumption 1 of §II-B (the proximity
+// requirement) exhaustively: for every level-l cluster c_l and every cluster
+// c_k reachable from it by a descending "child or neighbor of child" chain,
+// every region neighboring a member of c_k must lie in c_l or a neighbor of
+// c_l. It also checks the consequence the paper notes: for any level l+1
+// cluster c, neighbors of neighbors of level-l clusters contained in c are
+// contained in c or a neighbor of c.
+func ValidateProximity(h *Hierarchy) error {
+	for l := 1; l <= h.MaxLevel(); l++ {
+		for _, cl := range h.ClustersAtLevel(l) {
+			allowed := make(map[ClusterID]bool, len(h.Nbrs(cl))+1)
+			allowed[cl] = true
+			for _, nb := range h.Nbrs(cl) {
+				allowed[nb] = true
+			}
+			// reach[j] = reachable level-j clusters via descending chains.
+			reach := map[ClusterID]bool{cl: true}
+			for j := l - 1; j >= 0; j-- {
+				next := make(map[ClusterID]bool)
+				for c := range reach {
+					for _, ch := range h.Children(c) {
+						next[ch] = true
+						for _, nb := range h.Nbrs(ch) {
+							next[nb] = true
+						}
+					}
+				}
+				reach = next
+				// Check every reachable cluster at this level: any region
+				// neighboring one of its members must have its level-l
+				// cluster in {cl} ∪ nbrs(cl).
+				for ck := range reach {
+					for _, u := range h.Members(ck) {
+						for _, v := range h.Tiling().Neighbors(u) {
+							if !allowed[h.Cluster(v, l)] {
+								return fmt.Errorf(
+									"hier: proximity violated: region %v neighbors member %v of reachable cluster %v (level %d) but its level-%d cluster %v ∉ {%v} ∪ nbrs",
+									v, u, ck, j, l, h.Cluster(v, l), cl)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Consequence check: neighbor-of-neighbor containment at each level.
+	for l := 0; l < h.MaxLevel(); l++ {
+		for _, c := range h.ClustersAtLevel(l) {
+			par := h.Parent(c)
+			allowed := make(map[ClusterID]bool, len(h.Nbrs(par))+1)
+			allowed[par] = true
+			for _, nb := range h.Nbrs(par) {
+				allowed[nb] = true
+			}
+			for _, n1 := range h.Nbrs(c) {
+				if !allowed[h.Parent(n1)] {
+					return fmt.Errorf("hier: neighbor %v of %v has parent outside parent's neighborhood", n1, c)
+				}
+				for _, n2 := range h.Nbrs(n1) {
+					if !allowed[h.Parent(n2)] {
+						return fmt.Errorf("hier: neighbor-of-neighbor %v of %v has parent outside parent's neighborhood", n2, c)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// geoRegion converts an int loop index to a RegionID; a tiny helper to keep
+// the measurement loops readable.
+func geoRegion(v int) geo.RegionID { return geo.RegionID(v) }

@@ -1,0 +1,181 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vinestalk/internal/geo"
+)
+
+func TestMeasuredGeometryMatchesGridFormulas(t *testing.T) {
+	tests := []struct {
+		name string
+		side int
+		r    int
+	}{
+		{name: "8x8 r=2", side: 8, r: 2},
+		{name: "16x16 r=2", side: 16, r: 2},
+		{name: "9x9 r=3", side: 9, r: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := MustGrid(geo.MustGridTiling(tt.side, tt.side), tt.r)
+			got := MeasureGeometry(h)
+			want := GridFormulas(tt.r, h.MaxLevel())
+			for l := 0; l < h.MaxLevel(); l++ {
+				if got.N[l] != want.N[l] {
+					t.Errorf("n(%d) = %d, want %d", l, got.N[l], want.N[l])
+				}
+				if got.P[l] != want.P[l] {
+					t.Errorf("p(%d) = %d, want %d", l, got.P[l], want.P[l])
+				}
+				// The formula q is a valid conservative parameter; the
+				// measured tight q can exceed it on small grids (where a
+				// cluster plus its neighbors covers the whole space).
+				if got.Q[l] < want.Q[l] {
+					t.Errorf("q(%d) = %d, want >= %d", l, got.Q[l], want.Q[l])
+				}
+				if got.Omega[l] > want.Omega[l] {
+					t.Errorf("ω(%d) = %d, want <= %d", l, got.Omega[l], want.Omega[l])
+				}
+			}
+		})
+	}
+}
+
+func TestGridFormulasValues(t *testing.T) {
+	g := GridFormulas(2, 3)
+	wantN := []int{1, 3, 7, 15}
+	wantP := []int{1, 3, 7, 15}
+	wantQ := []int{1, 2, 4, 8}
+	for l := 0; l <= 3; l++ {
+		if g.N[l] != wantN[l] || g.Q[l] != wantQ[l] || g.Omega[l] != 8 {
+			t.Errorf("level %d: n=%d q=%d ω=%d, want n=%d q=%d ω=8",
+				l, g.N[l], g.Q[l], g.Omega[l], wantN[l], wantQ[l])
+		}
+	}
+	// p(l) = r^{l+1} − 1 = 2^{l+1} − 1.
+	for l := 0; l <= 3; l++ {
+		if g.P[l] != wantP[l]*2+1 && g.P[l] != (1<<(l+1))-1 {
+			t.Errorf("p(%d) = %d, want %d", l, g.P[l], (1<<(l+1))-1)
+		}
+	}
+	if g.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d, want 3", g.MaxLevel())
+	}
+}
+
+func TestValidateGeometryAcceptsMeasuredGrids(t *testing.T) {
+	for _, tt := range []struct{ w, h, r int }{
+		{8, 8, 2}, {16, 16, 2}, {9, 9, 3}, {7, 5, 2}, {12, 12, 2},
+	} {
+		h := MustGrid(geo.MustGridTiling(tt.w, tt.h), tt.r)
+		g := MeasureGeometry(h)
+		if err := ValidateGeometry(g); err != nil {
+			t.Errorf("%dx%d r=%d: %v", tt.w, tt.h, tt.r, err)
+		}
+	}
+}
+
+func TestValidateGeometryRejectsBadRelations(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+	}{
+		{
+			name: "q0 below 1",
+			g: Geometry{
+				N: []int{1, 3, 7}, P: []int{1, 3, 7},
+				Q: []int{0, 2, 4}, Omega: []int{8, 8, 8},
+			},
+		},
+		{
+			name: "q exceeds n",
+			g: Geometry{
+				N: []int{1, 3, 7}, P: []int{1, 3, 7},
+				Q: []int{1, 4, 4}, Omega: []int{8, 8, 8},
+			},
+		},
+		{
+			name: "q not doubling",
+			g: Geometry{
+				N: []int{1, 3, 7}, P: []int{1, 3, 7},
+				Q: []int{1, 1, 4}, Omega: []int{8, 8, 8},
+			},
+		},
+		{
+			name: "n not monotone",
+			g: Geometry{
+				N: []int{3, 1, 7}, P: []int{1, 3, 7},
+				Q: []int{1, 2, 4}, Omega: []int{8, 8, 8},
+			},
+		},
+		{
+			name: "p exceeds next n",
+			g: Geometry{
+				N: []int{1, 2, 7}, P: []int{3, 4, 7},
+				Q: []int{1, 2, 4}, Omega: []int{8, 8, 8},
+			},
+		},
+		{
+			name: "too few levels",
+			g:    Geometry{N: []int{1}, P: []int{1}, Q: []int{1}, Omega: []int{8}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := ValidateGeometry(tt.g); err == nil {
+				t.Fatalf("ValidateGeometry accepted %+v", tt.g)
+			}
+		})
+	}
+}
+
+func TestValidateProximityGrids(t *testing.T) {
+	for _, tt := range []struct{ w, h, r int }{
+		{8, 8, 2}, {9, 9, 3}, {6, 4, 2}, {16, 16, 2},
+	} {
+		h := MustGrid(geo.MustGridTiling(tt.w, tt.h), tt.r)
+		if err := ValidateProximity(h); err != nil {
+			t.Errorf("%dx%d r=%d: %v", tt.w, tt.h, tt.r, err)
+		}
+	}
+}
+
+// Property: any random small grid hierarchy passes all validators and its
+// measured geometry obeys the assumed relationships.
+func TestGridHierarchyPropertiesQuick(t *testing.T) {
+	f := func(wSeed, hSeed, rSeed uint8) bool {
+		w := 2 + int(wSeed)%9  // 2..10
+		ht := 2 + int(hSeed)%9 // 2..10
+		r := 2 + int(rSeed)%2  // 2..3
+		h, err := NewGrid(geo.MustGridTiling(w, ht), r)
+		if err != nil {
+			return false
+		}
+		if err := ValidateProximity(h); err != nil {
+			t.Logf("proximity %dx%d r=%d: %v", w, ht, r, err)
+			return false
+		}
+		g := MeasureGeometry(h)
+		if err := ValidateGeometry(g); err != nil {
+			t.Logf("geometry %dx%d r=%d: %v", w, ht, r, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper notes q(l) <= n(l) and 2q(l-1) <= q(l) follow from the cluster
+// requirements; verify on the formula geometry directly for several bases.
+func TestGridFormulaRelations(t *testing.T) {
+	for r := 2; r <= 5; r++ {
+		g := GridFormulas(r, 4)
+		if err := ValidateGeometry(g); err != nil {
+			t.Errorf("r=%d: %v", r, err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package hier
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+)
+
+// NewGrid builds the paper's base-r grid hierarchy (§II-B example) over a
+// w×h grid tiling: level-0 clusters are single regions, and level-l clusters
+// are r^l × r^l aligned square blocks (truncated at the grid boundary when
+// w or h is not a power of r). MAX is the smallest level whose block covers
+// the whole grid, but at least 1 (the paper requires MAX > 0).
+//
+// For a 2^m × 2^m grid with r=2 this yields MAX = m = ⌈log_r(D+1)⌉ with the
+// geometry n(l) = 2r^l − 1, p(l) = r^{l+1} − 1, q(l) = r^l, ω(l) = 8 that
+// the paper states.
+func NewGrid(t *geo.GridTiling, r int, opts ...Option) (*Hierarchy, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("hier: grid base r = %d, want at least 2", r)
+	}
+	// Default to the coordinate-based centroid head: equivalent to the
+	// BFS-based CentralHead on a grid (hop distance = Chebyshev distance)
+	// but O(members) instead of O(members²·BFS), which matters for the
+	// top-level clusters of large grids.
+	opts = append([]Option{WithHeadSelector(GridCentroidHead(t))}, opts...)
+	w, h := t.Width(), t.Height()
+	side := w
+	if h > side {
+		side = h
+	}
+	maxLevel := 1
+	for block := r; block < side; block *= r {
+		maxLevel++
+	}
+
+	assign := make([][]int, maxLevel+1)
+	for l := 0; l <= maxLevel; l++ {
+		assign[l] = make([]int, t.NumRegions())
+		block := 1
+		for i := 0; i < l; i++ {
+			block *= r
+		}
+		for u := 0; u < t.NumRegions(); u++ {
+			x, y := t.Coord(geo.RegionID(u))
+			bx, by := x/block, y/block
+			assign[l][u] = by*(w/block+1) + bx
+		}
+	}
+	return NewFromAssignment(t, assign, opts...)
+}
+
+// GridCentroidHead picks the member that minimizes the maximum Chebyshev
+// distance to the cluster's members (the center of the bounding box,
+// snapped to a member). On an 8-neighbor grid, Chebyshev distance equals
+// hop distance, so this selects the same kind of head as CentralHead
+// without any BFS.
+func GridCentroidHead(t *geo.GridTiling) HeadSelector {
+	return func(members []geo.RegionID) geo.RegionID {
+		minX, minY := t.Width(), t.Height()
+		maxX, maxY := 0, 0
+		for _, u := range members {
+			x, y := t.Coord(u)
+			if x < minX {
+				minX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		cx, cy := (minX+maxX)/2, (minY+maxY)/2
+		best := members[0]
+		bestD := int(^uint(0) >> 1)
+		for _, u := range members {
+			x, y := t.Coord(u)
+			dx, dy := x-cx, y-cy
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			d := dx
+			if dy > d {
+				d = dy
+			}
+			if d < bestD {
+				best, bestD = u, d
+			}
+		}
+		return best
+	}
+}
+
+// MustGrid is NewGrid that panics on error; for tests and examples with
+// constant parameters.
+func MustGrid(t *geo.GridTiling, r int, opts ...Option) *Hierarchy {
+	h, err := NewGrid(t, r, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// GridFormulas returns the geometry parameters the paper derives for the
+// base-r grid hierarchy (§II-B): n(l) = 2r^l − 1, p(l) = r^{l+1} − 1,
+// q(l) = r^l, ω(l) = 8. The slices are indexed by level 0..maxLevel; n, p
+// and q are meaningful for l < maxLevel (the paper defines them on
+// L−{MAX}), and the top-level entries are filled with the same formulas for
+// convenience.
+func GridFormulas(r, maxLevel int) Geometry {
+	g := Geometry{
+		N:     make([]int, maxLevel+1),
+		P:     make([]int, maxLevel+1),
+		Q:     make([]int, maxLevel+1),
+		Omega: make([]int, maxLevel+1),
+	}
+	pow := 1
+	for l := 0; l <= maxLevel; l++ {
+		g.N[l] = 2*pow - 1
+		g.P[l] = pow*r - 1
+		g.Q[l] = pow
+		g.Omega[l] = 8
+		pow *= r
+	}
+	return g
+}

@@ -1,0 +1,410 @@
+// Package hier implements the cluster hierarchy of paper §II-B: regions
+// organized into a four-tuple (C, L, cluster: U×L→C, h: C→U), subject to six
+// structural requirements, plus the geometry functions n, p, q, ω and the
+// proximity assumption that the work/time analysis of VINESTALK relies on.
+//
+// The package provides a generic hierarchy representation built from an
+// explicit region→cluster assignment, the base-r grid hierarchy that the
+// paper uses as its running example, measurement of the tight geometry
+// parameters of any hierarchy, and validators for both the structural
+// requirements and the geometry assumptions.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"vinestalk/internal/geo"
+)
+
+// ClusterID identifies a cluster. Clusters across all levels share one dense
+// identifier space [0, NumClusters).
+type ClusterID int32
+
+// NoCluster is the ⊥ cluster value used for unset pointers.
+const NoCluster ClusterID = -1
+
+// String returns a compact textual form of the identifier.
+func (c ClusterID) String() string {
+	if c == NoCluster {
+		return "c⊥"
+	}
+	return fmt.Sprintf("c%d", int32(c))
+}
+
+// Valid reports whether the identifier denotes an actual cluster.
+func (c ClusterID) Valid() bool { return c >= 0 }
+
+// HeadSelector chooses the head region h(c) from a cluster's member set.
+// The members slice is sorted ascending and must not be modified or
+// retained.
+type HeadSelector func(members []geo.RegionID) geo.RegionID
+
+// CentralHead picks the member minimizing the maximum hop distance to other
+// members (ties broken by smaller id). It is the default head selector: a
+// central head keeps intra-cluster communication short.
+func CentralHead(g *geo.Graph) HeadSelector {
+	return func(members []geo.RegionID) geo.RegionID {
+		best, bestEcc := members[0], int(^uint(0)>>1)
+		for _, u := range members {
+			ecc := 0
+			for _, v := range members {
+				if d := g.Distance(u, v); d > ecc {
+					ecc = d
+				}
+			}
+			if ecc < bestEcc {
+				best, bestEcc = u, ecc
+			}
+		}
+		return best
+	}
+}
+
+// MinIDHead picks the member with the smallest region identifier.
+func MinIDHead(members []geo.RegionID) geo.RegionID { return members[0] }
+
+// Hierarchy is an immutable cluster hierarchy over a tiling. All lookups are
+// O(1) (or O(result)); construction precomputes every derived relation of
+// §II-B: members, nbrs, children, parent.
+type Hierarchy struct {
+	tiling geo.Tiling
+	graph  *geo.Graph
+
+	maxLevel  int           // MAX
+	clusterOf [][]ClusterID // [level][region] -> cluster
+
+	level    []int
+	head     []geo.RegionID
+	altHead  []geo.RegionID
+	members  [][]geo.RegionID
+	nbrs     [][]ClusterID
+	parent   []ClusterID
+	children [][]ClusterID
+}
+
+// Option configures hierarchy construction.
+type Option interface{ apply(*options) }
+
+type options struct {
+	headSel HeadSelector
+}
+
+type headOption struct{ sel HeadSelector }
+
+func (o headOption) apply(opts *options) { opts.headSel = o.sel }
+
+// WithHeadSelector overrides the default (central) head selection.
+func WithHeadSelector(sel HeadSelector) Option { return headOption{sel: sel} }
+
+// NewFromAssignment builds a hierarchy from an explicit assignment:
+// assign[l][u] is an arbitrary label naming the level-l cluster containing
+// region u, for l in [0, maxLevel]. Labels are local to a level. The
+// function canonicalizes labels into dense ClusterIDs and precomputes all
+// derived relations. It validates the six structural requirements of §II-B
+// and returns an error if any is violated.
+func NewFromAssignment(t geo.Tiling, assign [][]int, opts ...Option) (*Hierarchy, error) {
+	if err := geo.Validate(t); err != nil {
+		return nil, fmt.Errorf("hier: invalid tiling: %w", err)
+	}
+	maxLevel := len(assign) - 1
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("hier: need at least levels 0..1, got %d levels", len(assign))
+	}
+	n := t.NumRegions()
+	for l, row := range assign {
+		if len(row) != n {
+			return nil, fmt.Errorf("hier: level %d assigns %d regions, want %d", l, len(row), n)
+		}
+	}
+
+	h := &Hierarchy{
+		tiling:   t,
+		graph:    geo.NewGraph(t),
+		maxLevel: maxLevel,
+	}
+	var o options
+	o.headSel = CentralHead(h.graph)
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+
+	// Canonicalize labels to dense cluster ids, level by level.
+	h.clusterOf = make([][]ClusterID, maxLevel+1)
+	for l := 0; l <= maxLevel; l++ {
+		h.clusterOf[l] = make([]ClusterID, n)
+		byLabel := make(map[int]ClusterID)
+		// Assign ids in order of first appearance by region id, so the
+		// construction is deterministic.
+		for u := 0; u < n; u++ {
+			label := assign[l][u]
+			id, ok := byLabel[label]
+			if !ok {
+				id = ClusterID(len(h.level))
+				byLabel[label] = id
+				h.level = append(h.level, l)
+				h.members = append(h.members, nil)
+			}
+			h.clusterOf[l][u] = id
+			h.members[id] = append(h.members[id], geo.RegionID(u))
+		}
+	}
+	nc := len(h.level)
+
+	// Heads. The alternate head backs the §VII quorum extension: the
+	// second-choice member (by the same selector) in a different region,
+	// or NoRegion for single-member clusters.
+	h.head = make([]geo.RegionID, nc)
+	h.altHead = make([]geo.RegionID, nc)
+	for c := 0; c < nc; c++ {
+		sort.Slice(h.members[c], func(i, j int) bool { return h.members[c][i] < h.members[c][j] })
+		h.head[c] = o.headSel(h.members[c])
+		h.altHead[c] = geo.NoRegion
+		if len(h.members[c]) > 1 {
+			rest := make([]geo.RegionID, 0, len(h.members[c])-1)
+			for _, u := range h.members[c] {
+				if u != h.head[c] {
+					rest = append(rest, u)
+				}
+			}
+			h.altHead[c] = o.headSel(rest)
+		}
+	}
+
+	// Parents and children (requirement 5 gives uniqueness; verified below).
+	h.parent = make([]ClusterID, nc)
+	h.children = make([][]ClusterID, nc)
+	for c := 0; c < nc; c++ {
+		h.parent[c] = NoCluster
+	}
+	for l := 0; l < maxLevel; l++ {
+		for u := 0; u < n; u++ {
+			child := h.clusterOf[l][u]
+			par := h.clusterOf[l+1][u]
+			if h.parent[child] == NoCluster {
+				h.parent[child] = par
+				h.children[par] = append(h.children[par], child)
+			} else if h.parent[child] != par {
+				return nil, fmt.Errorf("hier: requirement 5 violated: level %d cluster %v spans level %d clusters %v and %v",
+					l, child, l+1, h.parent[child], par)
+			}
+		}
+	}
+
+	// Cluster neighbor relation: clusters at the same level whose member
+	// sets contain neighboring regions.
+	nbrSets := make([]map[ClusterID]struct{}, nc)
+	for c := range nbrSets {
+		nbrSets[c] = make(map[ClusterID]struct{})
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range t.Neighbors(geo.RegionID(u)) {
+			for l := 0; l <= maxLevel; l++ {
+				cu, cv := h.clusterOf[l][u], h.clusterOf[l][v]
+				if cu != cv {
+					nbrSets[cu][cv] = struct{}{}
+					nbrSets[cv][cu] = struct{}{}
+				}
+			}
+		}
+	}
+	h.nbrs = make([][]ClusterID, nc)
+	for c := 0; c < nc; c++ {
+		for nb := range nbrSets[c] {
+			h.nbrs[c] = append(h.nbrs[c], nb)
+		}
+		sort.Slice(h.nbrs[c], func(i, j int) bool { return h.nbrs[c][i] < h.nbrs[c][j] })
+	}
+
+	if err := h.validateStructure(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// validateStructure checks requirements 1-6 of §II-B.
+func (h *Hierarchy) validateStructure() error {
+	// Requirement 2: exactly one level MAX cluster.
+	rootCount := 0
+	for c := range h.level {
+		if h.level[c] == h.maxLevel {
+			rootCount++
+		}
+	}
+	if rootCount != 1 {
+		return fmt.Errorf("hier: requirement 2 violated: %d level-MAX clusters, want 1", rootCount)
+	}
+	// Requirement 3: each region is the only member of its level 0 cluster.
+	for u := 0; u < h.tiling.NumRegions(); u++ {
+		c := h.clusterOf[0][u]
+		if len(h.members[c]) != 1 {
+			return fmt.Errorf("hier: requirement 3 violated: level 0 cluster %v has %d members", c, len(h.members[c]))
+		}
+	}
+	// Requirement 6: head is a member; clusters are connected region sets.
+	for c := range h.level {
+		found := false
+		for _, u := range h.members[c] {
+			if u == h.head[c] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("hier: requirement 6 violated: head %v of %v is not a member", h.head[c], ClusterID(c))
+		}
+		if !h.clusterConnected(ClusterID(c)) {
+			return fmt.Errorf("hier: cluster %v at level %d is not a connected set of regions", ClusterID(c), h.level[c])
+		}
+	}
+	// Requirements 1 and 4 hold by construction (each cluster id belongs to
+	// one level; clusterOf is a function, so same-level clusters partition
+	// the regions). Requirement 5 was checked during parent assignment.
+	return nil
+}
+
+// clusterConnected reports whether the member regions form a connected
+// subgraph of the neighbor graph.
+func (h *Hierarchy) clusterConnected(c ClusterID) bool {
+	mem := h.members[c]
+	if len(mem) <= 1 {
+		return true
+	}
+	inC := make(map[geo.RegionID]bool, len(mem))
+	for _, u := range mem {
+		inC[u] = true
+	}
+	seen := map[geo.RegionID]bool{mem[0]: true}
+	stack := []geo.RegionID{mem[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range h.tiling.Neighbors(u) {
+			if inC[v] && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(mem)
+}
+
+// Tiling returns the underlying region tiling.
+func (h *Hierarchy) Tiling() geo.Tiling { return h.tiling }
+
+// Graph returns the shared shortest-path graph over the tiling.
+func (h *Hierarchy) Graph() *geo.Graph { return h.graph }
+
+// MaxLevel returns MAX, the top level of the hierarchy.
+func (h *Hierarchy) MaxLevel() int { return h.maxLevel }
+
+// NumClusters returns the total number of clusters across all levels.
+func (h *Hierarchy) NumClusters() int { return len(h.level) }
+
+// Cluster returns cluster(u, l): the level-l cluster containing region u.
+func (h *Hierarchy) Cluster(u geo.RegionID, l int) ClusterID {
+	if l < 0 || l > h.maxLevel || !h.tiling.Contains(u) {
+		return NoCluster
+	}
+	return h.clusterOf[l][u]
+}
+
+// Level returns level(c).
+func (h *Hierarchy) Level(c ClusterID) int {
+	if !h.contains(c) {
+		return -1
+	}
+	return h.level[c]
+}
+
+// Head returns h(c), the region heading cluster c.
+func (h *Hierarchy) Head(c ClusterID) geo.RegionID {
+	if !h.contains(c) {
+		return geo.NoRegion
+	}
+	return h.head[c]
+}
+
+// AltHead returns the alternate (backup) head region for the §VII quorum
+// extension, or NoRegion for single-member clusters.
+func (h *Hierarchy) AltHead(c ClusterID) geo.RegionID {
+	if !h.contains(c) {
+		return geo.NoRegion
+	}
+	return h.altHead[c]
+}
+
+// Members returns members(c) in ascending region order. The slice must not
+// be modified.
+func (h *Hierarchy) Members(c ClusterID) []geo.RegionID {
+	if !h.contains(c) {
+		return nil
+	}
+	return h.members[c]
+}
+
+// Nbrs returns nbrs(c): same-level clusters sharing neighboring regions,
+// ascending. The slice must not be modified.
+func (h *Hierarchy) Nbrs(c ClusterID) []ClusterID {
+	if !h.contains(c) {
+		return nil
+	}
+	return h.nbrs[c]
+}
+
+// Parent returns parent(c), or NoCluster for the level-MAX cluster.
+func (h *Hierarchy) Parent(c ClusterID) ClusterID {
+	if !h.contains(c) {
+		return NoCluster
+	}
+	return h.parent[c]
+}
+
+// Children returns children(c) (empty for level 0 clusters). The slice must
+// not be modified.
+func (h *Hierarchy) Children(c ClusterID) []ClusterID {
+	if !h.contains(c) {
+		return nil
+	}
+	return h.children[c]
+}
+
+// Root returns the unique level-MAX cluster.
+func (h *Hierarchy) Root() ClusterID {
+	for c := range h.level {
+		if h.level[c] == h.maxLevel {
+			return ClusterID(c)
+		}
+	}
+	return NoCluster // unreachable on a validated hierarchy
+}
+
+// ClustersAtLevel returns all clusters of level l, ascending.
+func (h *Hierarchy) ClustersAtLevel(l int) []ClusterID {
+	var out []ClusterID
+	for c := range h.level {
+		if h.level[c] == l {
+			out = append(out, ClusterID(c))
+		}
+	}
+	return out
+}
+
+// AreNbrs reports whether a and b are neighboring clusters.
+func (h *Hierarchy) AreNbrs(a, b ClusterID) bool {
+	if !h.contains(a) || !h.contains(b) {
+		return false
+	}
+	ns := h.nbrs[a]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= b })
+	return i < len(ns) && ns[i] == b
+}
+
+// IsChild reports whether child ∈ children(par).
+func (h *Hierarchy) IsChild(child, par ClusterID) bool {
+	return h.contains(child) && h.parent[child] == par
+}
+
+func (h *Hierarchy) contains(c ClusterID) bool {
+	return c >= 0 && int(c) < len(h.level)
+}

@@ -1,0 +1,239 @@
+package hier
+
+import (
+	"testing"
+
+	"vinestalk/internal/geo"
+)
+
+func TestGridHierarchyStructure8x8(t *testing.T) {
+	h := MustGrid(geo.MustGridTiling(8, 8), 2)
+	if got := h.MaxLevel(); got != 3 {
+		t.Fatalf("MaxLevel = %d, want 3", got)
+	}
+	wantCounts := []int{64, 16, 4, 1}
+	for l, want := range wantCounts {
+		if got := len(h.ClustersAtLevel(l)); got != want {
+			t.Errorf("level %d has %d clusters, want %d", l, got, want)
+		}
+	}
+	if got := h.NumClusters(); got != 64+16+4+1 {
+		t.Errorf("NumClusters = %d, want 85", got)
+	}
+	root := h.Root()
+	if h.Level(root) != 3 {
+		t.Errorf("Level(Root) = %d, want 3", h.Level(root))
+	}
+	if len(h.Members(root)) != 64 {
+		t.Errorf("root members = %d, want 64", len(h.Members(root)))
+	}
+	if h.Parent(root) != NoCluster {
+		t.Errorf("Parent(root) = %v, want NoCluster", h.Parent(root))
+	}
+	if len(h.Children(root)) != 4 {
+		t.Errorf("children of root = %d, want 4", len(h.Children(root)))
+	}
+	if len(h.Nbrs(root)) != 0 {
+		t.Errorf("root has %d neighbors, want 0", len(h.Nbrs(root)))
+	}
+}
+
+func TestGridHierarchyClusterMembership(t *testing.T) {
+	g := geo.MustGridTiling(8, 8)
+	h := MustGrid(g, 2)
+	// Region (5, 6) at level 2 lives in the 4x4 block with corner (4, 4).
+	u := g.RegionAt(5, 6)
+	c := h.Cluster(u, 2)
+	if got := len(h.Members(c)); got != 16 {
+		t.Fatalf("level 2 cluster of %v has %d members, want 16", u, got)
+	}
+	for _, m := range h.Members(c) {
+		x, y := g.Coord(m)
+		if x < 4 || x > 7 || y < 4 || y > 7 {
+			t.Errorf("member %v = (%d,%d) outside expected block", m, x, y)
+		}
+	}
+	// Level 0: each region is its own cluster (requirement 3).
+	c0 := h.Cluster(u, 0)
+	if mem := h.Members(c0); len(mem) != 1 || mem[0] != u {
+		t.Errorf("level 0 cluster of %v has members %v", u, mem)
+	}
+}
+
+func TestHierarchyParentChildConsistency(t *testing.T) {
+	h := MustGrid(geo.MustGridTiling(9, 9), 3)
+	for c := ClusterID(0); int(c) < h.NumClusters(); c++ {
+		l := h.Level(c)
+		if l < h.MaxLevel() {
+			par := h.Parent(c)
+			if par == NoCluster {
+				t.Fatalf("cluster %v at level %d has no parent", c, l)
+			}
+			if h.Level(par) != l+1 {
+				t.Fatalf("parent of level-%d cluster is at level %d", l, h.Level(par))
+			}
+			if !h.IsChild(c, par) {
+				t.Fatalf("IsChild(%v, Parent(%v)) = false", c, c)
+			}
+			found := false
+			for _, ch := range h.Children(par) {
+				if ch == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cluster %v missing from Children(Parent(%v))", c, c)
+			}
+		}
+		// Requirement 6: head is a member.
+		head := h.Head(c)
+		if h.Cluster(head, l) != c {
+			t.Fatalf("head %v of %v is not a member", head, c)
+		}
+	}
+}
+
+func TestHierarchyNbrsSymmetricSameLevel(t *testing.T) {
+	h := MustGrid(geo.MustGridTiling(6, 6), 2)
+	for c := ClusterID(0); int(c) < h.NumClusters(); c++ {
+		for _, nb := range h.Nbrs(c) {
+			if h.Level(nb) != h.Level(c) {
+				t.Fatalf("nbr %v of %v at different level", nb, c)
+			}
+			if nb == c {
+				t.Fatalf("cluster %v is its own neighbor", c)
+			}
+			if !h.AreNbrs(nb, c) {
+				t.Fatalf("nbrs not symmetric between %v and %v", c, nb)
+			}
+		}
+	}
+}
+
+func TestHierarchyInvalidLookups(t *testing.T) {
+	h := MustGrid(geo.MustGridTiling(4, 4), 2)
+	if got := h.Cluster(geo.NoRegion, 0); got != NoCluster {
+		t.Errorf("Cluster(NoRegion, 0) = %v", got)
+	}
+	if got := h.Cluster(0, 99); got != NoCluster {
+		t.Errorf("Cluster(0, 99) = %v", got)
+	}
+	if got := h.Level(NoCluster); got != -1 {
+		t.Errorf("Level(NoCluster) = %d", got)
+	}
+	if got := h.Head(NoCluster); got != geo.NoRegion {
+		t.Errorf("Head(NoCluster) = %v", got)
+	}
+	if h.Members(NoCluster) != nil || h.Nbrs(NoCluster) != nil || h.Children(NoCluster) != nil {
+		t.Error("lookups on NoCluster should return nil slices")
+	}
+	if h.Parent(NoCluster) != NoCluster {
+		t.Error("Parent(NoCluster) should be NoCluster")
+	}
+	if h.AreNbrs(NoCluster, 0) {
+		t.Error("AreNbrs(NoCluster, 0) should be false")
+	}
+}
+
+func TestNewGridRejectsBadBase(t *testing.T) {
+	if _, err := NewGrid(geo.MustGridTiling(4, 4), 1); err == nil {
+		t.Fatal("NewGrid accepted r=1")
+	}
+	if _, err := NewGrid(geo.MustGridTiling(4, 4), 0); err == nil {
+		t.Fatal("NewGrid accepted r=0")
+	}
+}
+
+func TestGridMaxLevelAtLeastOne(t *testing.T) {
+	// A 1x1 and a 2x2 grid must still have MAX >= 1 (paper: MAX > 0).
+	for _, dim := range []int{1, 2} {
+		h := MustGrid(geo.MustGridTiling(dim, dim), 2)
+		if h.MaxLevel() < 1 {
+			t.Errorf("%dx%d grid: MaxLevel = %d, want >= 1", dim, dim, h.MaxLevel())
+		}
+	}
+}
+
+func TestNonSquareAndNonPowerGrids(t *testing.T) {
+	for _, tt := range []struct{ w, h, r int }{{5, 3, 2}, {7, 7, 2}, {10, 4, 3}, {6, 6, 3}} {
+		h, err := NewGrid(geo.MustGridTiling(tt.w, tt.h), tt.r)
+		if err != nil {
+			t.Fatalf("NewGrid(%dx%d, r=%d): %v", tt.w, tt.h, tt.r, err)
+		}
+		if got := len(h.ClustersAtLevel(h.MaxLevel())); got != 1 {
+			t.Errorf("%dx%d r=%d: %d top clusters, want 1", tt.w, tt.h, tt.r, got)
+		}
+	}
+}
+
+func TestNewFromAssignmentRejectsRequirement5Violation(t *testing.T) {
+	tl := geo.MustGridTiling(4, 1)
+	// Level 1 cluster {r0,r1} split across two level-2 clusters.
+	assign := [][]int{
+		{0, 1, 2, 3},
+		{0, 0, 1, 1},
+		{0, 1, 1, 1}, // r0 and r1 in different level-2 clusters
+	}
+	if _, err := NewFromAssignment(tl, assign); err == nil {
+		t.Fatal("NewFromAssignment accepted a requirement-5 violation")
+	}
+}
+
+func TestNewFromAssignmentRejectsMultipleRoots(t *testing.T) {
+	tl := geo.MustGridTiling(4, 1)
+	assign := [][]int{
+		{0, 1, 2, 3},
+		{0, 0, 1, 1}, // two clusters at top level
+	}
+	if _, err := NewFromAssignment(tl, assign); err == nil {
+		t.Fatal("NewFromAssignment accepted two level-MAX clusters")
+	}
+}
+
+func TestNewFromAssignmentRejectsNonSingletonLevel0(t *testing.T) {
+	tl := geo.MustGridTiling(4, 1)
+	assign := [][]int{
+		{0, 0, 1, 2}, // r0, r1 share a level-0 cluster
+		{0, 0, 0, 0},
+	}
+	if _, err := NewFromAssignment(tl, assign); err == nil {
+		t.Fatal("NewFromAssignment accepted a non-singleton level-0 cluster")
+	}
+}
+
+func TestNewFromAssignmentRejectsDisconnectedCluster(t *testing.T) {
+	tl := geo.MustGridTiling(5, 1)
+	assign := [][]int{
+		{0, 1, 2, 3, 4},
+		{0, 1, 0, 1, 0}, // cluster 0 = {r0, r2, r4}: disconnected on a line
+		{0, 0, 0, 0, 0},
+	}
+	if _, err := NewFromAssignment(tl, assign); err == nil {
+		t.Fatal("NewFromAssignment accepted a disconnected cluster")
+	}
+}
+
+func TestNewFromAssignmentRejectsWrongShapes(t *testing.T) {
+	tl := geo.MustGridTiling(2, 2)
+	if _, err := NewFromAssignment(tl, [][]int{{0, 1, 2, 3}}); err == nil {
+		t.Fatal("accepted single-level assignment (MAX must be > 0)")
+	}
+	if _, err := NewFromAssignment(tl, [][]int{{0, 1, 2}, {0, 0, 0}}); err == nil {
+		t.Fatal("accepted level row with wrong region count")
+	}
+}
+
+func TestHeadSelectors(t *testing.T) {
+	g := geo.MustGridTiling(4, 4)
+	hMin := MustGrid(g, 4, WithHeadSelector(MinIDHead))
+	root := hMin.Root()
+	if got := hMin.Head(root); got != 0 {
+		t.Errorf("MinIDHead picked %v, want r0", got)
+	}
+	hCentral := MustGrid(g, 4)
+	head := hCentral.Head(hCentral.Root())
+	x, y := g.Coord(head)
+	if x < 1 || x > 2 || y < 1 || y > 2 {
+		t.Errorf("CentralHead picked (%d,%d), want a central region", x, y)
+	}
+}

@@ -1,0 +1,152 @@
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"vinestalk/internal/geo"
+)
+
+// NewLandmark builds a cluster hierarchy over an *arbitrary* tiling by
+// hierarchical landmark decomposition — the paper's generalized cluster
+// definitions (§II-B) are not grid-specific, and this constructor
+// exercises that generality:
+//
+//   - level 0: every region is its own cluster (requirement 3);
+//   - level l ≥ 1: a subset of the level-(l−1) landmarks is greedily
+//     thinned to a radiusBase^l-net (no two surviving landmarks within
+//     that distance), and every level-(l−1) cluster joins the landmark
+//     whose multi-source BFS wave over the *cluster adjacency graph*
+//     reaches it first. BFS growth keeps every cluster a connected set of
+//     regions, and assigning whole child clusters preserves requirement 5;
+//   - levels are added until a single landmark remains (requirement 2).
+//
+// The resulting hierarchy always satisfies the six structural
+// requirements. The geometry assumptions (proximity, the q relations) are
+// *measured*, not guaranteed: MeasureGeometry + ValidateGeometry /
+// ValidateProximity report how good the decomposition is on a given
+// tiling. The tracker's safety (Theorem 4.8) is hierarchy-generic; the
+// work bounds degrade with the measured geometry, exactly as the paper's
+// analysis predicts.
+func NewLandmark(t geo.Tiling, radiusBase int, opts ...Option) (*Hierarchy, error) {
+	if radiusBase < 2 {
+		return nil, fmt.Errorf("hier: landmark radius base %d, want at least 2", radiusBase)
+	}
+	if err := geo.Validate(t); err != nil {
+		return nil, fmt.Errorf("hier: invalid tiling: %w", err)
+	}
+	n := t.NumRegions()
+	graph := geo.NewGraph(t)
+
+	// Level 0: singleton clusters; the landmark of region u is u.
+	assign := [][]int{make([]int, n)}
+	for u := 0; u < n; u++ {
+		assign[0][u] = u
+	}
+	// clusterOf[u] = label of u's current-level cluster; landmarks = the
+	// label set, each label being its landmark region's id.
+	clusterOf := append([]int(nil), assign[0]...)
+	landmarks := make([]geo.RegionID, 0, n)
+	for u := 0; u < n; u++ {
+		landmarks = append(landmarks, geo.RegionID(u))
+	}
+
+	radius := 1
+	for len(landmarks) > 1 {
+		radius *= radiusBase
+		next := thinToNet(graph, landmarks, radius)
+		if len(next) == len(landmarks) {
+			// The net did not shrink (radius still too small for the
+			// remaining spread); force progress.
+			next = next[:(len(next)+1)/2]
+		}
+		if len(assign) > 64 {
+			return nil, fmt.Errorf("hier: landmark decomposition did not converge")
+		}
+		clusterOf = growClusters(t, graph, clusterOf, landmarks, next)
+		landmarks = next
+		row := make([]int, n)
+		copy(row, clusterOf)
+		assign = append(assign, row)
+	}
+	if len(assign) < 2 {
+		// Single-region tiling: add the mandatory level 1 = level MAX.
+		assign = append(assign, make([]int, n))
+	}
+	return NewFromAssignment(t, assign, opts...)
+}
+
+// thinToNet greedily keeps landmarks pairwise further than radius apart
+// (scanning in ascending region order for determinism).
+func thinToNet(graph *geo.Graph, landmarks []geo.RegionID, radius int) []geo.RegionID {
+	sorted := append([]geo.RegionID(nil), landmarks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var kept []geo.RegionID
+	for _, cand := range sorted {
+		ok := true
+		for _, k := range kept {
+			if d := graph.Distance(cand, k); d >= 0 && d <= radius {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, cand)
+		}
+	}
+	return kept
+}
+
+// growClusters assigns every current cluster (labelled by its landmark
+// region id) to one of the surviving landmarks via multi-source BFS over
+// the cluster adjacency graph, returning the per-region labels of the new
+// level. Waves expand one cluster-hop per round; ties go to the smaller
+// landmark id, keeping the construction deterministic.
+func growClusters(t geo.Tiling, graph *geo.Graph, clusterOf []int, landmarks, next []geo.RegionID) []int {
+	// Cluster adjacency: label -> neighboring labels.
+	adj := make(map[int]map[int]struct{})
+	for u := 0; u < t.NumRegions(); u++ {
+		cu := clusterOf[u]
+		if adj[cu] == nil {
+			adj[cu] = make(map[int]struct{})
+		}
+		for _, v := range t.Neighbors(geo.RegionID(u)) {
+			if cv := clusterOf[v]; cv != cu {
+				adj[cu][cv] = struct{}{}
+			}
+		}
+	}
+	// Multi-source BFS: owner[label] = landmark id owning the cluster.
+	// Waves expand in lockstep; within a wave, clusters are visited in
+	// ascending label order, so ties resolve deterministically.
+	owner := make(map[int]int)
+	frontier := make([]int, 0, len(next))
+	for _, lm := range next {
+		owner[int(lm)] = int(lm)
+		frontier = append(frontier, int(lm))
+	}
+	sort.Ints(frontier)
+	for len(frontier) > 0 {
+		var wave []int
+		for _, label := range frontier {
+			nbrs := make([]int, 0, len(adj[label]))
+			for nb := range adj[label] {
+				nbrs = append(nbrs, nb)
+			}
+			sort.Ints(nbrs)
+			for _, nb := range nbrs {
+				if _, claimed := owner[nb]; !claimed {
+					owner[nb] = owner[label]
+					wave = append(wave, nb)
+				}
+			}
+		}
+		sort.Ints(wave)
+		frontier = wave
+	}
+	out := make([]int, len(clusterOf))
+	for u := range clusterOf {
+		out[u] = owner[clusterOf[u]]
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vinestalk/internal/geo"
+)
+
+// The landmark decomposition demonstrates the paper's generalized cluster
+// definitions over arbitrary tilings: structural requirements always hold;
+// the geometry is measured rather than guaranteed.
+
+func TestLandmarkHierarchyStructure(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		t    geo.Tiling
+	}{
+		{name: "8x8 grid", t: geo.MustGridTiling(8, 8)},
+		{name: "12x5 grid", t: geo.MustGridTiling(12, 5)},
+		{name: "line", t: geo.MustGridTiling(17, 1)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			h, err := NewLandmark(tt.t, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// NewFromAssignment already enforced requirements 1-6; spot
+			// check the derived structure.
+			if got := len(h.ClustersAtLevel(h.MaxLevel())); got != 1 {
+				t.Errorf("%d top-level clusters, want 1", got)
+			}
+			if got := len(h.ClustersAtLevel(0)); got != tt.t.NumRegions() {
+				t.Errorf("%d level-0 clusters, want %d", got, tt.t.NumRegions())
+			}
+			geom := MeasureGeometry(h)
+			if geom.Q[0] < 1 {
+				t.Errorf("q(0) = %d, want >= 1", geom.Q[0])
+			}
+		})
+	}
+}
+
+func TestLandmarkHierarchyOnFourNeighborTiling(t *testing.T) {
+	// The generalized construction works on tilings where square-block
+	// grids fail structurally (the blocks would still be connected here
+	// because BFS growth follows the actual adjacency).
+	tl, err := geo.NewGridTiling4(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewLandmark(tl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.ClustersAtLevel(h.MaxLevel())); got != 1 {
+		t.Errorf("%d top-level clusters, want 1", got)
+	}
+}
+
+func TestLandmarkRejectsBadBase(t *testing.T) {
+	if _, err := NewLandmark(geo.MustGridTiling(4, 4), 1); err == nil {
+		t.Fatal("NewLandmark accepted radius base 1")
+	}
+}
+
+func TestLandmarkSingleRegion(t *testing.T) {
+	h, err := NewLandmark(geo.MustGridTiling(1, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxLevel() != 1 {
+		t.Errorf("MaxLevel = %d, want 1", h.MaxLevel())
+	}
+}
+
+func TestLandmarkDeterministic(t *testing.T) {
+	a, err := NewLandmark(geo.MustGridTiling(10, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLandmark(geo.MustGridTiling(10, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClusters() != b.NumClusters() || a.MaxLevel() != b.MaxLevel() {
+		t.Fatal("landmark construction not deterministic")
+	}
+	for c := 0; c < a.NumClusters(); c++ {
+		if a.Head(ClusterID(c)) != b.Head(ClusterID(c)) {
+			t.Fatal("landmark heads differ between identical runs")
+		}
+	}
+}
+
+// Property: the landmark decomposition produces a structurally valid
+// hierarchy over random grid shapes and radius bases.
+func TestLandmarkStructureQuick(t *testing.T) {
+	f := func(wSeed, hSeed, rSeed uint8) bool {
+		w := 2 + int(wSeed)%10 // 2..11
+		ht := 1 + int(hSeed)%8 // 1..8
+		r := 2 + int(rSeed)%3  // 2..4
+		h, err := NewLandmark(geo.MustGridTiling(w, ht), r)
+		if err != nil {
+			t.Logf("%dx%d r=%d: %v", w, ht, r, err)
+			return false
+		}
+		return len(h.ClustersAtLevel(h.MaxLevel())) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

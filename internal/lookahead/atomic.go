@@ -1,0 +1,111 @@
+package lookahead
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+)
+
+// Init is the init function of §IV-C: the consistent state whose tracking
+// path terminates at region u's level-0 cluster and is a vertical growth to
+// level MAX (every path process points to its hierarchy parent).
+func Init(h *hier.Hierarchy, u geo.RegionID) *State {
+	s := NewState(h)
+	leaf := h.Cluster(u, 0)
+	s.C[leaf] = leaf
+	cur := leaf
+	for h.Level(cur) != h.MaxLevel() {
+		par := h.Parent(cur)
+		s.P[cur] = par
+		s.C[par] = cur
+		for _, nb := range h.Nbrs(cur) {
+			s.Up[nb] = cur
+		}
+		cur = par
+	}
+	return s
+}
+
+// AtomicMove is the atomicMove function of §IV-C: it maps a consistent
+// state and the evader's relocation from oldRegion to a neighboring
+// newRegion to the next consistent state — the new branch grows vertically
+// from the new level-0 cluster until it connects to the old path (directly,
+// or by one lateral link to a parent-connected path neighbor), and the
+// deserted suffix of the old path is cleaned. The input is not modified.
+func AtomicMove(s *State, oldRegion, newRegion geo.RegionID) (*State, error) {
+	h := s.H
+	if !geo.AreNeighbors(h.Tiling(), oldRegion, newRegion) {
+		return nil, fmt.Errorf("lookahead: atomicMove target %v is not a neighbor of %v", newRegion, oldRegion)
+	}
+	out := s.Clone()
+	max := h.MaxLevel()
+
+	// Grow phase: the new level-0 cluster joins, then climbs vertically.
+	// At each level, a set nbrptup (pointing at a parent-connected path
+	// process, per the consistent-state invariant) short-circuits the climb
+	// with a single lateral link.
+	leaf := h.Cluster(newRegion, 0)
+	out.C[leaf] = leaf
+	cur := leaf
+	for out.P[cur] == hier.NoCluster && h.Level(cur) != max {
+		if out.Up[cur] != hier.NoCluster {
+			out.P[cur] = out.Up[cur]
+			for _, nb := range h.Nbrs(cur) {
+				out.Down[nb] = cur
+			}
+		} else {
+			out.P[cur] = h.Parent(cur)
+			for _, nb := range h.Nbrs(cur) {
+				out.Up[nb] = cur
+			}
+		}
+		out.C[out.P[cur]] = cur
+		cur = out.P[cur]
+	}
+
+	// Shrink phase: the old leaf leaves the path (unless the new branch
+	// already re-adopted it), and the deserted suffix unwinds upward until
+	// it merges into the live path.
+	old := h.Cluster(oldRegion, 0)
+	if out.C[old] == old {
+		out.C[old] = hier.NoCluster
+	}
+	cur = old
+	for out.C[cur] == hier.NoCluster && out.P[cur] != hier.NoCluster && h.Level(cur) != max {
+		for _, nb := range h.Nbrs(cur) {
+			if out.Up[nb] == cur {
+				out.Up[nb] = hier.NoCluster
+			}
+			if out.Down[nb] == cur {
+				out.Down[nb] = hier.NoCluster
+			}
+		}
+		if out.C[out.P[cur]] == cur {
+			next := out.P[cur]
+			out.P[cur] = hier.NoCluster
+			out.C[next] = hier.NoCluster
+			cur = next
+		} else {
+			out.P[cur] = hier.NoCluster
+		}
+	}
+	return out, nil
+}
+
+// AtomicMoveSeq is the derived function of §IV-C: starting from
+// init(moves[0]), fold atomicMove over the remaining locations.
+func AtomicMoveSeq(h *hier.Hierarchy, moves []geo.RegionID) (*State, error) {
+	if len(moves) == 0 {
+		return nil, fmt.Errorf("lookahead: empty move sequence")
+	}
+	s := Init(h, moves[0])
+	for i := 1; i < len(moves); i++ {
+		next, err := AtomicMove(s, moves[i-1], moves[i])
+		if err != nil {
+			return nil, fmt.Errorf("lookahead: move %d: %w", i, err)
+		}
+		s = next
+	}
+	return s, nil
+}

@@ -1,0 +1,224 @@
+package lookahead
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/tracker"
+)
+
+// CheckPathSegment verifies the path-segment conditions of §IV-C for the
+// given cluster sequence {c_x, ..., c_0} (highest first).
+func (s *State) CheckPathSegment(path []hier.ClusterID) error {
+	if len(path) == 0 {
+		return fmt.Errorf("lookahead: empty path segment")
+	}
+	h := s.H
+	top := path[0]
+	// Condition 1: a level-MAX head has p = ⊥ and c ∈ children ∪ {⊥}.
+	if h.Level(top) == h.MaxLevel() {
+		if s.P[top] != hier.NoCluster {
+			return fmt.Errorf("lookahead: level-MAX process %v has p = %v", top, s.P[top])
+		}
+		if s.C[top] != hier.NoCluster && !h.IsChild(s.C[top], top) {
+			return fmt.Errorf("lookahead: level-MAX process %v has non-child c = %v", top, s.C[top])
+		}
+	}
+	// Condition 2: consecutive c/p pointers agree.
+	for k := 0; k+1 < len(path); k++ {
+		ck, next := path[k], path[k+1]
+		if s.C[ck] != next {
+			return fmt.Errorf("lookahead: %v.c = %v, want %v", ck, s.C[ck], next)
+		}
+		if s.P[next] != ck {
+			return fmt.Errorf("lookahead: %v.p = %v, want %v", next, s.P[next], ck)
+		}
+	}
+	// Conditions 3 and 4: the legal c values depend on how each process is
+	// connected upward (lateral link versus hierarchy parent).
+	for k, ck := range path {
+		leafPos := k == len(path)-1 && h.Level(ck) == 0
+		c := s.C[ck]
+		cOK := c == hier.NoCluster || h.IsChild(c, ck) // always legal
+		switch {
+		case s.P[ck] == hier.NoCluster:
+			// Only the level-MAX head (checked above) or a detached leaf.
+		case h.AreNbrs(ck, s.P[ck]):
+			// Condition 3: connected by a lateral link.
+			if leafPos {
+				cOK = cOK || c == ck
+			}
+		case s.P[ck] == h.Parent(ck):
+			// Condition 4: connected to the hierarchy parent; lateral c is
+			// also legal.
+			cOK = cOK || (c != hier.NoCluster && h.AreNbrs(c, ck))
+			if leafPos {
+				cOK = cOK || c == ck
+			}
+		default:
+			return fmt.Errorf("lookahead: %v.p = %v is neither a neighbor nor the parent", ck, s.P[ck])
+		}
+		if !cOK {
+			return fmt.Errorf("lookahead: %v has illegal c = %v for its connection kind", ck, c)
+		}
+	}
+	return nil
+}
+
+// IsConsistent verifies the consistent-state definition of §IV-C for an
+// evader at evaderRegion: one tracking path exists and terminates at the
+// evader's level-0 cluster; all off-path pointers are ⊥; secondary
+// pointers match the biconditionals (3) and (4); and no move-related
+// messages are in transit.
+func (s *State) IsConsistent(evaderRegion geo.RegionID) error {
+	h := s.H
+	path, err := s.TrackingPath()
+	if err != nil {
+		return err
+	}
+	if err := s.CheckPathSegment(path); err != nil {
+		return err
+	}
+	leaf := path[len(path)-1]
+	if want := h.Cluster(evaderRegion, 0); leaf != want {
+		return fmt.Errorf("lookahead: tracking path ends at %v, evader is at %v", leaf, want)
+	}
+	onPath := make(map[hier.ClusterID]bool, len(path))
+	for _, c := range path {
+		onPath[c] = true
+	}
+	// Condition 2 of consistency: off-path processes have c = p = ⊥.
+	for i := range s.C {
+		id := hier.ClusterID(i)
+		if onPath[id] {
+			continue
+		}
+		if s.C[i] != hier.NoCluster || s.P[i] != hier.NoCluster {
+			return fmt.Errorf("lookahead: off-path %v has c=%v p=%v", id, s.C[i], s.P[i])
+		}
+	}
+	// Conditions 3 and 4: secondary pointers are exactly the biconditional.
+	for i := range s.C {
+		id := hier.ClusterID(i)
+		if up := s.Up[i]; up != hier.NoCluster {
+			if !h.AreNbrs(id, up) || s.P[up] != h.Parent(up) {
+				return fmt.Errorf("lookahead: %v.nbrptup = %v but %v is not a parent-connected neighbor", id, up, up)
+			}
+		}
+		if down := s.Down[i]; down != hier.NoCluster {
+			if !h.AreNbrs(id, down) || s.P[down] == hier.NoCluster || !h.AreNbrs(down, s.P[down]) {
+				return fmt.Errorf("lookahead: %v.nbrptdown = %v but %v is not a laterally-connected neighbor", id, down, down)
+			}
+		}
+		// Reverse directions of the biconditionals.
+		for _, nb := range h.Nbrs(id) {
+			if s.P[nb] == h.Parent(nb) && s.P[nb] != hier.NoCluster && s.Up[i] != nb {
+				return fmt.Errorf("lookahead: %v neighbors parent-connected %v but nbrptup = %v", id, nb, s.Up[i])
+			}
+			if s.P[nb] != hier.NoCluster && h.AreNbrs(nb, s.P[nb]) && s.Down[i] != nb {
+				return fmt.Errorf("lookahead: %v neighbors laterally-connected %v but nbrptdown = %v", id, nb, s.Down[i])
+			}
+		}
+	}
+	// Condition 5: no move-related messages in transit.
+	for _, m := range s.Transit {
+		switch m.Kind {
+		case tracker.KindGrow, tracker.KindGrowNbr, tracker.KindGrowPar,
+			tracker.KindShrink, tracker.KindShrinkUpd:
+			return fmt.Errorf("lookahead: %s message in transit %v -> %v", m.Kind, m.From, m.To)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the always-true invariants of Lemmas 4.1 and
+// 4.3 on a possibly mid-update state:
+//
+//	Lemma 4.1: (#grow in transit) + #{p : p.c≠⊥ ∧ p.p=⊥ ∧ level<MAX} ≤ 1,
+//	           and likewise for shrinks with c=⊥ ∧ p≠⊥.
+//	Lemma 4.3: a grow in transit to a neighboring process clust′ implies
+//	           clust′.p = parent(clust′).
+func (s *State) CheckInvariants() error {
+	h := s.H
+	grows, shrinks := 0, 0
+	for _, m := range s.Transit {
+		switch m.Kind {
+		case tracker.KindGrow:
+			if m.From != hier.NoCluster {
+				grows++
+				if h.AreNbrs(m.From, m.To) && s.P[m.To] != h.Parent(m.To) {
+					return fmt.Errorf("lookahead: Lemma 4.3 violated: grow in transit %v -> neighbor %v with p = %v",
+						m.From, m.To, s.P[m.To])
+				}
+			}
+		case tracker.KindShrink:
+			if m.From != hier.NoCluster {
+				shrinks++
+			}
+		}
+	}
+	for i := range s.C {
+		id := hier.ClusterID(i)
+		if h.Level(id) == h.MaxLevel() {
+			continue
+		}
+		if s.C[i] != hier.NoCluster && s.P[i] == hier.NoCluster {
+			grows++
+		}
+		if s.C[i] == hier.NoCluster && s.P[i] != hier.NoCluster {
+			shrinks++
+		}
+	}
+	if grows > 1 {
+		return fmt.Errorf("lookahead: Lemma 4.1 violated: %d concurrent grows", grows)
+	}
+	if shrinks > 1 {
+		return fmt.Errorf("lookahead: Lemma 4.1 violated: %d concurrent shrinks", shrinks)
+	}
+	return nil
+}
+
+// CheckTheorem51 verifies Theorem 5.1 on a consistent state: for every
+// region u at distance at most q(l) from the evader's region, some cluster
+// in {cluster(u,l)} ∪ nbrs(cluster(u,l)) is on the tracking path or holds
+// a secondary pointer to it. This is the locality property the find
+// search phase relies on.
+func (s *State) CheckTheorem51(evaderRegion geo.RegionID, geom hier.Geometry) error {
+	h := s.H
+	path, err := s.TrackingPath()
+	if err != nil {
+		return err
+	}
+	onPath := make(map[hier.ClusterID]bool, len(path))
+	for _, c := range path {
+		onPath[c] = true
+	}
+	hasPointer := func(c hier.ClusterID) bool {
+		return onPath[c] || s.Up[c] != hier.NoCluster || s.Down[c] != hier.NoCluster
+	}
+	g := h.Graph()
+	for u := 0; u < h.Tiling().NumRegions(); u++ {
+		region := geo.RegionID(u)
+		d := g.Distance(region, evaderRegion)
+		for l := 0; l < h.MaxLevel(); l++ {
+			if d > geom.Q[l] {
+				continue
+			}
+			c := h.Cluster(region, l)
+			ok := hasPointer(c)
+			for _, nb := range h.Nbrs(c) {
+				if ok {
+					break
+				}
+				ok = hasPointer(nb)
+			}
+			if !ok {
+				return fmt.Errorf(
+					"lookahead: Theorem 5.1 violated: region %v at distance %d <= q(%d)=%d from evader %v, but neither %v nor its neighbors touch the path",
+					region, d, l, geom.Q[l], evaderRegion, c)
+			}
+		}
+	}
+	return nil
+}

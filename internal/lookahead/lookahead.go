@@ -1,0 +1,131 @@
+package lookahead
+
+import (
+	"vinestalk/internal/hier"
+	"vinestalk/internal/tracker"
+)
+
+// LookAhead is the function of Fig. 3: it produces the "future state" in
+// which all outstanding grow-related updates have been applied, followed by
+// the shrink-related ones. The input state is not modified.
+//
+// Client-originated transits (From = ⊥) follow the client algorithm of
+// §IV-A: a client grow for level-0 cluster c sets c.c ← c, a client shrink
+// clears it.
+func LookAhead(s *State) *State {
+	out := s.Clone()
+	h := out.H
+	max := h.MaxLevel()
+
+	// Deliver growNbr, growPar, then grow messages in transit.
+	for _, m := range out.Transit {
+		if m.Kind == tracker.KindGrowNbr {
+			out.Down[m.To] = m.From
+		}
+	}
+	for _, m := range out.Transit {
+		if m.Kind == tracker.KindGrowPar {
+			out.Up[m.To] = m.From
+		}
+	}
+	for _, m := range out.Transit {
+		if m.Kind == tracker.KindGrow {
+			if m.From == hier.NoCluster {
+				out.C[m.To] = m.To // client object detection
+			} else {
+				out.C[m.To] = m.From
+			}
+		}
+	}
+
+	// Propagate the grow: the unique process (Lemma 4.1) with c ≠ ⊥ and
+	// p = ⊥ below MAX climbs until it connects to the path or reaches MAX.
+	if clust, ok := growLeader(out); ok {
+		for out.P[clust] == hier.NoCluster && h.Level(clust) != max {
+			if out.Up[clust] != hier.NoCluster {
+				out.P[clust] = out.Up[clust]
+				for _, nb := range h.Nbrs(clust) {
+					out.Down[nb] = clust
+				}
+			} else {
+				out.P[clust] = h.Parent(clust)
+				for _, nb := range h.Nbrs(clust) {
+					out.Up[nb] = clust
+				}
+			}
+			out.C[out.P[clust]] = clust
+			clust = out.P[clust]
+		}
+	}
+
+	// Deliver shrinkUpd, then shrink messages in transit.
+	for _, m := range out.Transit {
+		if m.Kind == tracker.KindShrinkUpd {
+			if out.Up[m.To] == m.From {
+				out.Up[m.To] = hier.NoCluster
+			}
+			if out.Down[m.To] == m.From {
+				out.Down[m.To] = hier.NoCluster
+			}
+		}
+	}
+	for _, m := range out.Transit {
+		if m.Kind == tracker.KindShrink {
+			from := m.From
+			if from == hier.NoCluster {
+				from = m.To // client shrink names the level-0 cluster itself
+			}
+			if out.C[m.To] == from {
+				out.C[m.To] = hier.NoCluster
+			}
+		}
+	}
+
+	// Propagate the shrink: the unique process with c = ⊥ and p ≠ ⊥ climbs
+	// the deserted branch, cleaning pointers, until the branch merges into
+	// the live path.
+	if clust, ok := shrinkLeader(out); ok {
+		for out.P[clust] != hier.NoCluster && h.Level(clust) != max {
+			for _, nb := range h.Nbrs(clust) {
+				if out.Up[nb] == clust {
+					out.Up[nb] = hier.NoCluster
+				}
+				if out.Down[nb] == clust {
+					out.Down[nb] = hier.NoCluster
+				}
+			}
+			if out.C[out.P[clust]] == clust {
+				clust = out.P[clust]
+				out.P[out.C[clust]] = hier.NoCluster
+				out.C[clust] = hier.NoCluster
+			} else {
+				out.P[clust] = hier.NoCluster
+			}
+		}
+	}
+
+	out.Transit = nil
+	return out
+}
+
+// growLeader finds the process cl with cl.c ≠ ⊥ ∧ cl.p = ⊥ below MAX.
+func growLeader(s *State) (hier.ClusterID, bool) {
+	max := s.H.MaxLevel()
+	for i := range s.C {
+		id := hier.ClusterID(i)
+		if s.C[i] != hier.NoCluster && s.P[i] == hier.NoCluster && s.H.Level(id) != max {
+			return id, true
+		}
+	}
+	return hier.NoCluster, false
+}
+
+// shrinkLeader finds the process cl with cl.c = ⊥ ∧ cl.p ≠ ⊥.
+func shrinkLeader(s *State) (hier.ClusterID, bool) {
+	for i := range s.C {
+		if s.C[i] == hier.NoCluster && s.P[i] != hier.NoCluster {
+			return hier.ClusterID(i), true
+		}
+	}
+	return hier.NoCluster, false
+}

@@ -1,0 +1,133 @@
+// Package lookahead is the executable form of VINESTALK's correctness
+// argument (§IV-C): the lookAhead function of Fig. 3, the atomic
+// specification (init, atomicMove, atomicMoveSeq), the path-segment /
+// tracking-path / consistent-state predicates, and the invariants of
+// Lemmas 4.1-4.3. The experiment harness and property tests capture
+// snapshots of a running tracker network and check Theorem 4.8:
+//
+//	lookAhead(s) = atomicMoveSeq(move sequence so far)
+//
+// at quiescent points and mid-flight.
+package lookahead
+
+import (
+	"fmt"
+
+	"vinestalk/internal/hier"
+	"vinestalk/internal/tracker"
+)
+
+// State is a snapshot of every Tracker process's pointers plus the
+// protocol messages in transit. Pointer slices are indexed by ClusterID.
+type State struct {
+	H       *hier.Hierarchy
+	C       []hier.ClusterID
+	P       []hier.ClusterID
+	Up      []hier.ClusterID // nbrptup
+	Down    []hier.ClusterID // nbrptdown
+	Transit []tracker.Transit
+}
+
+// NewState returns an all-⊥ state (the initial state of every process).
+func NewState(h *hier.Hierarchy) *State {
+	n := h.NumClusters()
+	s := &State{
+		H:    h,
+		C:    make([]hier.ClusterID, n),
+		P:    make([]hier.ClusterID, n),
+		Up:   make([]hier.ClusterID, n),
+		Down: make([]hier.ClusterID, n),
+	}
+	for i := 0; i < n; i++ {
+		s.C[i] = hier.NoCluster
+		s.P[i] = hier.NoCluster
+		s.Up[i] = hier.NoCluster
+		s.Down[i] = hier.NoCluster
+	}
+	return s
+}
+
+// Capture snapshots a running tracker network's state for the default
+// tracked object.
+func Capture(n *tracker.Network) *State {
+	return CaptureObject(n, tracker.DefaultObject)
+}
+
+// CaptureObject snapshots the state vector of one tracked object: its
+// pointers at every process and its in-flight protocol messages (other
+// objects' structures are independent and excluded).
+func CaptureObject(n *tracker.Network, obj tracker.ObjectID) *State {
+	h := n.Hierarchy()
+	s := NewState(h)
+	for c := 0; c < h.NumClusters(); c++ {
+		pc, pp, up, down := n.Process(hier.ClusterID(c)).PointersFor(obj)
+		s.C[c], s.P[c], s.Up[c], s.Down[c] = pc, pp, up, down
+	}
+	s.Transit = n.InTransitFor(obj)
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{
+		H:       s.H,
+		C:       append([]hier.ClusterID(nil), s.C...),
+		P:       append([]hier.ClusterID(nil), s.P...),
+		Up:      append([]hier.ClusterID(nil), s.Up...),
+		Down:    append([]hier.ClusterID(nil), s.Down...),
+		Transit: append([]tracker.Transit(nil), s.Transit...),
+	}
+	return c
+}
+
+// Equal compares pointer state (transit sets are compared by both being
+// empty — the theorems compare post-lookAhead states, which have none).
+// It returns a description of the first difference, or "" if equal.
+func Equal(a, b *State) string {
+	if len(a.C) != len(b.C) {
+		return fmt.Sprintf("different cluster counts: %d vs %d", len(a.C), len(b.C))
+	}
+	for i := range a.C {
+		id := hier.ClusterID(i)
+		if a.C[i] != b.C[i] {
+			return fmt.Sprintf("%v: c = %v vs %v", id, a.C[i], b.C[i])
+		}
+		if a.P[i] != b.P[i] {
+			return fmt.Sprintf("%v: p = %v vs %v", id, a.P[i], b.P[i])
+		}
+		if a.Up[i] != b.Up[i] {
+			return fmt.Sprintf("%v: nbrptup = %v vs %v", id, a.Up[i], b.Up[i])
+		}
+		if a.Down[i] != b.Down[i] {
+			return fmt.Sprintf("%v: nbrptdown = %v vs %v", id, a.Down[i], b.Down[i])
+		}
+	}
+	if len(a.Transit) != 0 || len(b.Transit) != 0 {
+		return fmt.Sprintf("in-transit messages remain: %d vs %d", len(a.Transit), len(b.Transit))
+	}
+	return ""
+}
+
+// TrackingPath walks the c pointers from the root and returns the path
+// (root first). It errors if the walk dead-ends or cycles before reaching
+// a self-pointing level-0 leaf.
+func (s *State) TrackingPath() ([]hier.ClusterID, error) {
+	var path []hier.ClusterID
+	seen := make(map[hier.ClusterID]bool)
+	cur := s.H.Root()
+	for {
+		if seen[cur] {
+			return nil, fmt.Errorf("lookahead: tracking path cycles at %v", cur)
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		c := s.C[cur]
+		if c == cur {
+			return path, nil
+		}
+		if c == hier.NoCluster {
+			return nil, fmt.Errorf("lookahead: tracking path dead-ends at %v (level %d)", cur, s.H.Level(cur))
+		}
+		cur = c
+	}
+}

@@ -1,0 +1,201 @@
+// Package metrics accounts for the quantities the paper's theorems bound:
+// communication work (messages weighted by the hop distance they travel in
+// the region graph) and virtual-time latencies of operations. Experiment
+// drivers take snapshots of the ledger around an operation to attribute
+// work to it.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Ledger accumulates message counts, hop-work, and latency samples, each
+// under a free-form kind/name. It is not safe for concurrent use; the
+// simulation is single-threaded.
+type Ledger struct {
+	msgCount map[string]int64
+	hopWork  map[string]int64
+	lat      map[string]*latSeries
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		msgCount: make(map[string]int64),
+		hopWork:  make(map[string]int64),
+		lat:      make(map[string]*latSeries),
+	}
+}
+
+// RecordMessage charges one message of the given kind traveling hops region
+// hops. Zero-hop messages (local delivery) still count as one message.
+func (l *Ledger) RecordMessage(kind string, hops int) {
+	l.msgCount[kind]++
+	l.hopWork[kind] += int64(hops)
+}
+
+// Messages returns the number of messages recorded under kind.
+func (l *Ledger) Messages(kind string) int64 { return l.msgCount[kind] }
+
+// Work returns the hop-work recorded under kind.
+func (l *Ledger) Work(kind string) int64 { return l.hopWork[kind] }
+
+// TotalMessages returns the message count across all kinds.
+func (l *Ledger) TotalMessages() int64 {
+	var n int64
+	for _, v := range l.msgCount {
+		n += v
+	}
+	return n
+}
+
+// TotalWork returns the hop-work across all kinds.
+func (l *Ledger) TotalWork() int64 {
+	var n int64
+	for _, v := range l.hopWork {
+		n += v
+	}
+	return n
+}
+
+// RecordLatency adds a latency sample under name.
+func (l *Ledger) RecordLatency(name string, d time.Duration) {
+	s, ok := l.lat[name]
+	if !ok {
+		s = &latSeries{min: d, max: d}
+		l.lat[name] = s
+	}
+	s.add(d)
+}
+
+// Latency returns the latency statistics recorded under name.
+func (l *Ledger) Latency(name string) LatencyStats {
+	s, ok := l.lat[name]
+	if !ok {
+		return LatencyStats{}
+	}
+	return LatencyStats{Count: s.count, Min: s.min, Max: s.max, Total: s.total}
+}
+
+// Kinds returns all message kinds seen so far, sorted.
+func (l *Ledger) Kinds() []string {
+	kinds := make([]string, 0, len(l.msgCount))
+	for k := range l.msgCount {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Snapshot captures current totals; subtracting two snapshots attributes
+// work to the interval between them.
+func (l *Ledger) Snapshot() Snapshot {
+	s := Snapshot{
+		MsgCount: make(map[string]int64, len(l.msgCount)),
+		HopWork:  make(map[string]int64, len(l.hopWork)),
+	}
+	for k, v := range l.msgCount {
+		s.MsgCount[k] = v
+	}
+	for k, v := range l.hopWork {
+		s.HopWork[k] = v
+	}
+	return s
+}
+
+// Reset clears all recorded data.
+func (l *Ledger) Reset() {
+	l.msgCount = make(map[string]int64)
+	l.hopWork = make(map[string]int64)
+	l.lat = make(map[string]*latSeries)
+}
+
+// String renders a human-readable summary, one kind per line.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	for _, k := range l.Kinds() {
+		fmt.Fprintf(&b, "%-14s msgs=%-8d work=%d\n", k, l.msgCount[k], l.hopWork[k])
+	}
+	fmt.Fprintf(&b, "%-14s msgs=%-8d work=%d", "TOTAL", l.TotalMessages(), l.TotalWork())
+	return b.String()
+}
+
+// Snapshot is a point-in-time copy of the ledger's counters.
+type Snapshot struct {
+	MsgCount map[string]int64
+	HopWork  map[string]int64
+}
+
+// TotalMessages returns the message count across all kinds in the snapshot.
+func (s Snapshot) TotalMessages() int64 {
+	var n int64
+	for _, v := range s.MsgCount {
+		n += v
+	}
+	return n
+}
+
+// TotalWork returns the hop-work across all kinds in the snapshot.
+func (s Snapshot) TotalWork() int64 {
+	var n int64
+	for _, v := range s.HopWork {
+		n += v
+	}
+	return n
+}
+
+// Sub returns the per-kind difference s - earlier.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	d := Snapshot{
+		MsgCount: make(map[string]int64),
+		HopWork:  make(map[string]int64),
+	}
+	for k, v := range s.MsgCount {
+		if dv := v - earlier.MsgCount[k]; dv != 0 {
+			d.MsgCount[k] = dv
+		}
+	}
+	for k, v := range s.HopWork {
+		if dv := v - earlier.HopWork[k]; dv != 0 {
+			d.HopWork[k] = dv
+		}
+	}
+	return d
+}
+
+// LatencyStats summarizes latency samples under one name.
+type LatencyStats struct {
+	Count int64
+	Min   time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
+// Mean returns the average latency, or zero when no samples exist.
+func (s LatencyStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+type latSeries struct {
+	count int64
+	min   time.Duration
+	max   time.Duration
+	total time.Duration
+}
+
+func (s *latSeries) add(d time.Duration) {
+	s.count++
+	s.total += d
+	if d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+}

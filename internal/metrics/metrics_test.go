@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLedgerMessageAccounting(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("grow", 3)
+	l.RecordMessage("grow", 2)
+	l.RecordMessage("shrink", 1)
+	l.RecordMessage("local", 0)
+
+	if got := l.Messages("grow"); got != 2 {
+		t.Errorf("Messages(grow) = %d, want 2", got)
+	}
+	if got := l.Work("grow"); got != 5 {
+		t.Errorf("Work(grow) = %d, want 5", got)
+	}
+	if got := l.Messages("local"); got != 1 {
+		t.Errorf("Messages(local) = %d, want 1 (zero-hop still counts)", got)
+	}
+	if got := l.TotalMessages(); got != 4 {
+		t.Errorf("TotalMessages = %d, want 4", got)
+	}
+	if got := l.TotalWork(); got != 6 {
+		t.Errorf("TotalWork = %d, want 6", got)
+	}
+	if got := l.Messages("absent"); got != 0 {
+		t.Errorf("Messages(absent) = %d, want 0", got)
+	}
+}
+
+func TestLedgerKindsSorted(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("zeta", 1)
+	l.RecordMessage("alpha", 1)
+	l.RecordMessage("mid", 1)
+	kinds := l.Kinds()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(kinds) != 3 {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("Kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("grow", 3)
+	before := l.Snapshot()
+	l.RecordMessage("grow", 4)
+	l.RecordMessage("find", 2)
+	diff := l.Snapshot().Sub(before)
+	if diff.MsgCount["grow"] != 1 || diff.HopWork["grow"] != 4 {
+		t.Errorf("grow diff = %d msgs / %d work, want 1/4", diff.MsgCount["grow"], diff.HopWork["grow"])
+	}
+	if diff.MsgCount["find"] != 1 || diff.HopWork["find"] != 2 {
+		t.Errorf("find diff = %d msgs / %d work, want 1/2", diff.MsgCount["find"], diff.HopWork["find"])
+	}
+	if diff.TotalMessages() != 2 || diff.TotalWork() != 6 {
+		t.Errorf("totals = %d msgs / %d work, want 2/6", diff.TotalMessages(), diff.TotalWork())
+	}
+}
+
+func TestSnapshotIsImmutableCopy(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("grow", 1)
+	snap := l.Snapshot()
+	l.RecordMessage("grow", 1)
+	if snap.MsgCount["grow"] != 1 {
+		t.Error("snapshot mutated by later recording")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	l := NewLedger()
+	l.RecordLatency("find", 10*time.Millisecond)
+	l.RecordLatency("find", 30*time.Millisecond)
+	l.RecordLatency("find", 20*time.Millisecond)
+	s := l.Latency("find")
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v, want 10ms/30ms", s.Min, s.Max)
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", s.Mean())
+	}
+	empty := l.Latency("none")
+	if empty.Count != 0 || empty.Mean() != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("grow", 3)
+	l.RecordLatency("find", time.Second)
+	l.Reset()
+	if l.TotalMessages() != 0 || l.TotalWork() != 0 || l.Latency("find").Count != 0 {
+		t.Error("Reset did not clear the ledger")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("grow", 3)
+	s := l.String()
+	if !strings.Contains(s, "grow") || !strings.Contains(s, "TOTAL") {
+		t.Errorf("String() = %q, want kinds and TOTAL", s)
+	}
+}

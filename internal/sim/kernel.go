@@ -1,0 +1,277 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underneath the VSA layer: a virtual real-time clock, an event queue with
+// stable FIFO ordering among simultaneous events, cancellable events,
+// resettable timers (the TIOA-style "timer" variables of Fig. 2), and a
+// seeded random source.
+//
+// The kernel substitutes for the physical testbed of the paper: automata
+// local steps take zero virtual time (as §II-C.1 assumes), and all message
+// delays are imposed by the communication services layered on top. Every
+// run is reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the run.
+type Time = time.Duration
+
+// Forever is a time later than any event; it represents the TIOA timer
+// value ∞.
+const Forever Time = math.MaxInt64
+
+// ErrEventLimit is returned by RunLimited when the event budget is
+// exhausted before the queue drains — usually a sign of a livelock in the
+// simulated protocol.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Event is a scheduled callback. Events are created by Kernel.Schedule and
+// Kernel.At and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When returns the virtual time at which the event fires.
+func (e *Event) When() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the simulated world is sequential, which is what makes
+// runs reproducible.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	nsteps uint64
+}
+
+// New returns a kernel at time zero with a deterministic random source
+// derived from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps returns the number of events processed so far.
+func (k *Kernel) Steps() uint64 { return k.nsteps }
+
+// Schedule queues fn to run delay after the current time. A negative delay
+// is treated as zero. Scheduling at Forever parks the event permanently
+// (it can still be cancelled); it never fires.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	at := k.now + delay
+	if delay == Forever || at < k.now { // overflow-safe Forever handling
+		at = Forever
+	}
+	return k.At(at, fn)
+}
+
+// At queues fn to run at absolute virtual time t. Times in the past are
+// clamped to now (the event runs after already-queued events for now).
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false if no runnable event remains.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at == Forever {
+			// Parked events never fire; nothing runnable remains at or
+			// before any finite time.
+			return false
+		}
+		k.now = e.at
+		k.nsteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains (or only parked events
+// remain) and returns the number of events processed.
+func (k *Kernel) Run() int {
+	n := 0
+	for k.Step() {
+		n++
+	}
+	return n
+}
+
+// RunLimited is Run with a safety budget: it stops with ErrEventLimit after
+// max events. Use it in tests to turn protocol livelocks into failures
+// instead of hangs.
+func (k *Kernel) RunLimited(max int) (int, error) {
+	for n := 0; n < max; n++ {
+		if !k.Step() {
+			return n, nil
+		}
+	}
+	if k.peekRunnable() != nil {
+		return max, ErrEventLimit
+	}
+	return max, nil
+}
+
+// RunUntil processes events with firing time <= t, then advances the clock
+// to exactly t. It returns the number of events processed.
+func (k *Kernel) RunUntil(t Time) int {
+	n := 0
+	for {
+		e := k.peekRunnable()
+		if e == nil || e.at > t {
+			break
+		}
+		k.Step()
+		n++
+	}
+	if t > k.now {
+		k.now = t
+	}
+	return n
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Time) int { return k.RunUntil(k.now + d) }
+
+// Pending returns the number of queued, non-cancelled, non-parked events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.canceled && e.at != Forever {
+			n++
+		}
+	}
+	return n
+}
+
+// NextEventTime returns the firing time of the earliest runnable event, or
+// Forever if none is queued.
+func (k *Kernel) NextEventTime() Time {
+	if e := k.peekRunnable(); e != nil {
+		return e.at
+	}
+	return Forever
+}
+
+func (k *Kernel) peekRunnable() *Event {
+	for k.queue.Len() > 0 {
+		e := k.queue[0]
+		if e.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if e.at == Forever {
+			return nil
+		}
+		return e
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq): simultaneous events fire in
+// scheduling order, which keeps runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// RunRealtime processes events while pacing virtual time against the wall
+// clock: one virtual second passes per wall second divided by speedup.
+// It returns when the queue drains, or as soon as stop is closed (stop may
+// be nil). Use it to watch a scenario unfold live (cmd/vinestalk), or with
+// a large speedup as a drop-in Run with cancellation.
+func (k *Kernel) RunRealtime(speedup float64, stop <-chan struct{}) int {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	start := time.Now()
+	virtualStart := k.now
+	n := 0
+	for {
+		select {
+		case <-stop:
+			return n
+		default:
+		}
+		e := k.peekRunnable()
+		if e == nil {
+			return n
+		}
+		// Wait until the wall clock catches up with the event's time.
+		due := time.Duration(float64(e.at-virtualStart) / speedup)
+		if sleep := due - time.Since(start); sleep > 0 {
+			timer := time.NewTimer(sleep)
+			select {
+			case <-stop:
+				timer.Stop()
+				return n
+			case <-timer.C:
+			}
+		}
+		if !k.Step() {
+			return n
+		}
+		n++
+	}
+}

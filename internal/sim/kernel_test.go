@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	k.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	k.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := k.Run(); n != 3 {
+		t.Fatalf("Run processed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelSimultaneousEventsFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	k.Schedule(10*time.Millisecond, func() {
+		fired = append(fired, k.Now())
+		k.Schedule(5*time.Millisecond, func() {
+			fired = append(fired, k.Now())
+		})
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Fatalf("fired = %v, want [10ms 15ms]", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", k.Pending())
+	}
+}
+
+func TestKernelNegativeDelayClampedToNow(t *testing.T) {
+	k := New(1)
+	k.Schedule(10*time.Millisecond, func() {
+		k.Schedule(-5*time.Millisecond, func() {
+			if k.Now() != 10*time.Millisecond {
+				t.Errorf("negative delay fired at %v", k.Now())
+			}
+		})
+	})
+	k.Run()
+}
+
+func TestKernelForeverEventNeverFires(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.Schedule(Forever, func() { fired = true })
+	k.Schedule(time.Millisecond, func() {})
+	if n := k.Run(); n != 1 {
+		t.Fatalf("Run = %d, want 1", n)
+	}
+	if fired {
+		t.Error("Forever event fired")
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0 (parked events excluded)", k.Pending())
+	}
+	e.Cancel()
+	if k.NextEventTime() != Forever {
+		t.Errorf("NextEventTime = %v, want Forever", k.NextEventTime())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := New(1)
+	var fired []int
+	k.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	k.Schedule(20*time.Millisecond, func() { fired = append(fired, 2) })
+	k.Schedule(30*time.Millisecond, func() { fired = append(fired, 3) })
+	if n := k.RunUntil(20 * time.Millisecond); n != 2 {
+		t.Fatalf("RunUntil processed %d, want 2", n)
+	}
+	if k.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v, want 20ms", k.Now())
+	}
+	if n := k.RunFor(5 * time.Millisecond); n != 0 {
+		t.Fatalf("RunFor processed %d, want 0", n)
+	}
+	if k.Now() != 25*time.Millisecond {
+		t.Errorf("Now = %v, want 25ms", k.Now())
+	}
+	k.Run()
+	if len(fired) != 3 {
+		t.Errorf("fired = %v, want all three", fired)
+	}
+}
+
+func TestKernelRunLimited(t *testing.T) {
+	k := New(1)
+	// A self-perpetuating event chain: RunLimited must stop it.
+	var loop func()
+	loop = func() { k.Schedule(time.Microsecond, loop) }
+	k.Schedule(0, loop)
+	n, err := k.RunLimited(100)
+	if err != ErrEventLimit {
+		t.Fatalf("RunLimited err = %v, want ErrEventLimit", err)
+	}
+	if n != 100 {
+		t.Errorf("RunLimited processed %d, want 100", n)
+	}
+	// A finite queue drains without error.
+	k2 := New(1)
+	k2.Schedule(time.Millisecond, func() {})
+	if _, err := k2.RunLimited(100); err != nil {
+		t.Errorf("RunLimited on finite queue: %v", err)
+	}
+}
+
+func TestKernelDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Rand().Int63() != c.Rand().Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestKernelStepsCounter(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 5; i++ {
+		k.Schedule(Time(i)*time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", k.Steps())
+	}
+}
+
+func TestTimerBasicFire(t *testing.T) {
+	k := New(1)
+	fired := Time(-1)
+	tm := NewTimer(k, func() { fired = k.Now() })
+	tm.SetAfter(10 * time.Millisecond)
+	if !tm.Armed() || tm.Deadline() != 10*time.Millisecond {
+		t.Fatalf("Deadline = %v, want 10ms", tm.Deadline())
+	}
+	k.Run()
+	if fired != 10*time.Millisecond {
+		t.Errorf("fired at %v, want 10ms", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	k := New(1)
+	count := 0
+	var at Time
+	tm := NewTimer(k, func() { count++; at = k.Now() })
+	tm.SetAfter(10 * time.Millisecond)
+	tm.SetAfter(25 * time.Millisecond) // supersede
+	k.Run()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want 1", count)
+	}
+	if at != 25*time.Millisecond {
+		t.Errorf("fired at %v, want 25ms", at)
+	}
+}
+
+func TestTimerClear(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := NewTimer(k, func() { fired = true })
+	tm.SetAfter(time.Millisecond)
+	tm.Clear()
+	k.Run()
+	if fired {
+		t.Error("cleared timer fired")
+	}
+	if tm.Armed() {
+		t.Error("cleared timer reports armed")
+	}
+}
+
+func TestTimerRearmInsideCallback(t *testing.T) {
+	k := New(1)
+	var times []Time
+	var tm *Timer
+	tm = NewTimer(k, func() {
+		times = append(times, k.Now())
+		if len(times) < 3 {
+			tm.SetAfter(10 * time.Millisecond)
+		}
+	})
+	tm.SetAfter(10 * time.Millisecond)
+	k.Run()
+	if len(times) != 3 {
+		t.Fatalf("fired %d times, want 3", len(times))
+	}
+	for i, want := range []Time{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		if times[i] != want {
+			t.Errorf("fire %d at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestRunRealtimePacesAgainstWallClock(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.Schedule(Time(i)*10*time.Millisecond, func() { fired = append(fired, k.Now()) })
+	}
+	start := time.Now()
+	// 30ms of virtual time at 10x speedup ≈ 3ms of wall time.
+	n := k.RunRealtime(10, nil)
+	wall := time.Since(start)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	if wall < 2*time.Millisecond {
+		t.Errorf("realtime run finished in %v; pacing did not happen", wall)
+	}
+	if wall > time.Second {
+		t.Errorf("realtime run took %v; pacing far too slow", wall)
+	}
+}
+
+func TestRunRealtimeStop(t *testing.T) {
+	k := New(1)
+	k.Schedule(time.Hour, func() { t.Error("event fired despite stop") })
+	stop := make(chan struct{})
+	close(stop)
+	if n := k.RunRealtime(1, stop); n != 0 {
+		t.Fatalf("processed %d events after stop", n)
+	}
+}
+
+func TestRunRealtimeBadSpeedupDefaults(t *testing.T) {
+	k := New(1)
+	ran := false
+	k.Schedule(0, func() { ran = true })
+	k.RunRealtime(-5, nil)
+	if !ran {
+		t.Error("event did not run with defaulted speedup")
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Timer models the resettable TIOA timer variables of the Tracker automaton
+// (Fig. 2): a deadline that is either a finite virtual time or ∞ (Forever).
+// When the deadline arrives, the callback runs — unless the timer was reset
+// or cleared in the meantime. Setting an already-armed timer supersedes the
+// previous deadline, exactly like assigning a new value to the timer
+// variable.
+type Timer struct {
+	k        *Kernel
+	fn       func()
+	deadline Time
+	ev       *Event
+}
+
+// NewTimer creates an unarmed timer (deadline ∞) that invokes fn when it
+// expires.
+func NewTimer(k *Kernel, fn func()) *Timer {
+	return &Timer{k: k, fn: fn, deadline: Forever}
+}
+
+// Set arms the timer to fire at absolute virtual time t, superseding any
+// earlier deadline. Setting t = Forever is equivalent to Clear.
+func (t *Timer) Set(at Time) {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+	t.deadline = at
+	if at == Forever {
+		return
+	}
+	t.ev = t.k.At(at, func() {
+		// A newer Set would have cancelled this event; reaching here means
+		// the deadline is current.
+		t.deadline = Forever
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// SetAfter arms the timer to fire delay after the current time.
+func (t *Timer) SetAfter(delay Time) { t.Set(t.k.Now() + delay) }
+
+// Clear disarms the timer (deadline ← ∞).
+func (t *Timer) Clear() { t.Set(Forever) }
+
+// Deadline returns the current deadline, Forever if unarmed.
+func (t *Timer) Deadline() Time { return t.deadline }
+
+// Armed reports whether the timer has a finite deadline.
+func (t *Timer) Armed() bool { return t.deadline != Forever }

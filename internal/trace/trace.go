@@ -1,0 +1,84 @@
+// Package trace provides protocol-level observability for narrated runs
+// and debugging: a bounded ring of structured events that components emit
+// (message sends and deliveries, timer firings, found outputs, VSA
+// lifecycle) plus an optional live sink for CLI streaming. Tracing is off
+// unless a Tracer is attached, and costs nothing when off.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"vinestalk/internal/sim"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	// At is the virtual time of the event.
+	At sim.Time
+	// Kind groups events ("send", "recv", "timer", "found", ...).
+	Kind string
+	// Detail is the human-readable description.
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v  %-7s %s", e.At, e.Kind, e.Detail)
+}
+
+// Tracer collects events into a bounded ring (oldest dropped first) and
+// optionally streams them to a live sink. It is not safe for concurrent
+// use; the simulation is single-threaded.
+type Tracer struct {
+	capacity int
+	events   []Event
+	start    int // ring start index
+	total    uint64
+	sink     func(Event)
+}
+
+// New creates a tracer retaining up to capacity events (minimum 1).
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Attach installs a live sink invoked for every event as it is emitted.
+func (t *Tracer) Attach(sink func(Event)) { t.sink = sink }
+
+// Emitf records an event.
+func (t *Tracer) Emitf(at sim.Time, kind, format string, args ...any) {
+	e := Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	if len(t.events) < t.capacity {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % t.capacity
+	}
+	t.total++
+	if t.sink != nil {
+		t.sink(e)
+	}
+}
+
+// Events returns the retained events in emission order (a copy).
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Total returns the number of events emitted over the tracer's lifetime
+// (including any that have rotated out of the ring).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dump writes the retained events to w, one line each.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}

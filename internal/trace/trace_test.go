@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRetainsInOrder(t *testing.T) {
+	tr := New(10)
+	for i := 0; i < 5; i++ {
+		tr.Emitf(time.Duration(i)*time.Millisecond, "send", "msg %d", i)
+	}
+	events := tr.Events()
+	if len(events) != 5 {
+		t.Fatalf("retained %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Kind != "send" || !strings.Contains(e.Detail, "msg") {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && events[i-1].At > e.At {
+			t.Fatal("events out of order")
+		}
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+}
+
+func TestTracerRingRotation(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 7; i++ {
+		tr.Emitf(time.Duration(i), "k", "%d", i)
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	want := []string{"4", "5", "6"}
+	for i := range want {
+		if events[i].Detail != want[i] {
+			t.Fatalf("events = %+v, want details %v", events, want)
+		}
+	}
+	if tr.Total() != 7 {
+		t.Errorf("Total = %d, want 7", tr.Total())
+	}
+}
+
+func TestTracerLiveSink(t *testing.T) {
+	tr := New(2)
+	var got []Event
+	tr.Attach(func(e Event) { got = append(got, e) })
+	for i := 0; i < 4; i++ {
+		tr.Emitf(0, "k", "%d", i)
+	}
+	if len(got) != 4 {
+		t.Fatalf("sink saw %d events, want all 4", len(got))
+	}
+}
+
+func TestTracerMinimumCapacity(t *testing.T) {
+	tr := New(0)
+	tr.Emitf(0, "a", "x")
+	tr.Emitf(0, "b", "y")
+	events := tr.Events()
+	if len(events) != 1 || events[0].Kind != "b" {
+		t.Fatalf("events = %+v, want just the last", events)
+	}
+}
+
+func TestTracerDumpAndString(t *testing.T) {
+	tr := New(4)
+	tr.Emitf(15*time.Millisecond, "send", "grow c1 -> c2")
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "grow c1 -> c2") || !strings.Contains(out, "send") {
+		t.Errorf("Dump = %q", out)
+	}
+}

@@ -1,0 +1,197 @@
+package tracker
+
+import (
+	"math/rand"
+	"testing"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/geocast"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+// The paper generalizes STALK's cluster definitions so that *any*
+// hierarchy satisfying §II-B's structural requirements can carry the
+// tracking path (the grid is just the running example). These tests run
+// the unmodified tracker over a landmark decomposition — an irregular,
+// non-grid clustering — and over a 4-neighbor tiling's landmark
+// hierarchy, verifying that moves and finds work and the structure stays
+// sound.
+
+func newHierFixture(t *testing.T, tl geo.Tiling, h *hier.Hierarchy, start geo.RegionID) *fixture {
+	t.Helper()
+	f := &fixture{t: t, k: sim.New(42)}
+	if g, ok := tl.(*geo.GridTiling); ok {
+		f.tiling = g
+	}
+	f.h = h
+	f.layer = vsa.NewLayer(f.k, tl, vsa.WithAlwaysAlive())
+	f.ledger = metrics.NewLedger()
+	vb := vbcast.New(f.k, f.layer, delta, lagE, f.ledger)
+	gc := geocast.New(f.k, f.layer, h.Graph(), vb, f.ledger)
+	geom := hier.MeasureGeometry(h)
+	cg, err := cgcast.New(h, f.layer, gc, vb, geom, f.ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(cg, geom,
+		WithFoundCallback(func(r FindResult) { f.founds = append(f.founds, r) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.net = net
+	if err := net.AddStationaryClients(); err != nil {
+		t.Fatal(err)
+	}
+	f.layer.StartAllAlive()
+	ev, err := evader.New(tl, start, net.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ev = ev
+	net.AttachEvader(ev.Region)
+	return f
+}
+
+func TestTrackerOverLandmarkHierarchy(t *testing.T) {
+	tl := geo.MustGridTiling(9, 9)
+	h, err := hier.NewLandmark(tl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newHierFixture(t, tl, h, 40) // center-ish
+	f.settle()
+	f.assertTracksEvader()
+
+	rng := rand.New(rand.NewSource(19))
+	for step := 0; step < 15; step++ {
+		nbrs := tl.Neighbors(f.ev.Region())
+		if err := f.ev.MoveTo(nbrs[rng.Intn(len(nbrs))]); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		f.assertTracksEvader()
+	}
+	// Finds from several origins.
+	for _, origin := range []geo.RegionID{0, 8, 72, 80, 44} {
+		id, err := f.net.Find(origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		if !f.net.FindDone(id) {
+			t.Fatalf("find from %v incomplete on landmark hierarchy", origin)
+		}
+	}
+	for _, r := range f.founds {
+		if r.FoundAt != f.ev.Region() {
+			t.Errorf("find %d found at %v, want %v", r.ID, r.FoundAt, f.ev.Region())
+		}
+	}
+}
+
+func TestTrackerOverFourNeighborLandmarkHierarchy(t *testing.T) {
+	// Even where square-block grids violate proximity, the tracker remains
+	// *correct* over a structurally-valid hierarchy — only the locality
+	// constants degrade, exactly as the analysis predicts.
+	tl, err := geo.NewGridTiling4(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hier.NewLandmark(tl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newHierFixture(t, tl, h, 24)
+	f.settle()
+	f.assertTracksEvader()
+	for _, move := range []geo.RegionID{25, 26, 33} {
+		if err := f.ev.MoveTo(move); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		f.assertTracksEvader()
+	}
+	id, err := f.net.Find(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if !f.net.FindDone(id) {
+		t.Fatal("find incomplete on 4-neighbor landmark hierarchy")
+	}
+}
+
+func TestTrackerOverIrregularThinnedTiling(t *testing.T) {
+	// The fully general §II-A deployment space: an 8x8 grid thinned to a
+	// sparse irregular graph (spanning structure + 40% of other edges),
+	// clustered by landmark decomposition. The unmodified tracker must
+	// track and answer finds.
+	base := geo.MustGridTiling(8, 8)
+	thin, err := geo.Thin(base, 0.4, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hier.NewLandmark(thin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newHierFixture(t, thin, h, 27)
+	f.settle()
+	f.assertPathReachesEvaderGeneric(t, thin)
+
+	rng := rand.New(rand.NewSource(14))
+	for step := 0; step < 12; step++ {
+		nbrs := thin.Neighbors(f.ev.Region())
+		if err := f.ev.MoveTo(nbrs[rng.Intn(len(nbrs))]); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		f.assertPathReachesEvaderGeneric(t, thin)
+	}
+	for _, origin := range []geo.RegionID{0, 63, 31} {
+		id, err := f.net.Find(origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		if !f.net.FindDone(id) {
+			t.Fatalf("find from %v incomplete on irregular tiling", origin)
+		}
+	}
+	for _, r := range f.founds {
+		if r.FoundAt != f.ev.Region() {
+			t.Errorf("find %d found at %v, want %v", r.ID, r.FoundAt, f.ev.Region())
+		}
+	}
+}
+
+// assertPathReachesEvaderGeneric walks the c pointers on any tiling (the
+// fixture's grid-based helper assumes *geo.GridTiling).
+func (f *fixture) assertPathReachesEvaderGeneric(t *testing.T, tl geo.Tiling) {
+	t.Helper()
+	cur := f.h.Root()
+	seen := make(map[hier.ClusterID]bool)
+	for {
+		if seen[cur] {
+			t.Fatalf("path cycles at %v", cur)
+		}
+		seen[cur] = true
+		c, _, _, _ := f.net.Process(cur).Pointers()
+		if c == cur {
+			if want := f.h.Cluster(f.ev.Region(), 0); cur != want {
+				t.Fatalf("path ends at %v, evader at %v", cur, want)
+			}
+			return
+		}
+		if !c.Valid() {
+			t.Fatalf("path dead-ends at %v", cur)
+		}
+		cur = c
+	}
+}

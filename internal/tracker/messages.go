@@ -1,0 +1,83 @@
+// Package tracker implements VINESTALK's Tracker automata (paper Fig. 2),
+// the client algorithm of §IV-A/§V, and the wiring of one Tracker_{u,l}
+// subautomaton per cluster onto the VSA layer. The move path (grow/shrink
+// with lateral links and secondary pointers) follows §IV and the find path
+// (search and trace phases) follows §V; the transcription keeps the
+// figure's guards and effects action by action.
+package tracker
+
+import (
+	"vinestalk/internal/geo"
+)
+
+// Protocol message kinds, exactly the alphabet of Fig. 2.
+const (
+	// KindGrow extends the tracking path toward the object's new location.
+	KindGrow = "grow"
+	// KindGrowNbr tells neighbors the sender joined the path via a lateral
+	// link (they set nbrptdown).
+	KindGrowNbr = "growNbr"
+	// KindGrowPar tells neighbors the sender joined the path via its
+	// hierarchy parent (they set nbrptup).
+	KindGrowPar = "growPar"
+	// KindShrink removes a deserted branch of the path.
+	KindShrink = "shrink"
+	// KindShrinkUpd tells neighbors the sender left the path (they clear
+	// secondary pointers to it).
+	KindShrinkUpd = "shrinkUpd"
+	// KindFind carries a find operation along the search/trace phases.
+	KindFind = "find"
+	// KindFindQuery asks neighbors whether they are on the path or hold a
+	// secondary pointer to it.
+	KindFindQuery = "findQuery"
+	// KindFindAck answers a findQuery with a pointer toward the path.
+	KindFindAck = "findAck"
+	// KindFound is broadcast to clients at the object's region when a find
+	// completes its trace.
+	KindFound = "found"
+	// KindRefresh is the §VII extension heartbeat that renews path leases
+	// and heals breaks after VSA failures. It is inert unless the network
+	// is built with a heartbeat configuration.
+	KindRefresh = "refresh"
+)
+
+// ObjectID identifies a tracked mobile object. The paper tracks one
+// evader; the §VII extension tracks several, each with its own
+// independent tracking structure multiplexed over the same processes.
+type ObjectID int32
+
+// DefaultObject is the object id used by the single-evader API.
+const DefaultObject ObjectID = 0
+
+// envelope wraps every protocol payload with the object it concerns.
+type envelope struct {
+	Obj  ObjectID
+	Body any
+}
+
+// FindID identifies a find operation. IDs are instrumentation only — the
+// paper's find messages are anonymous — and exist so the harness can match
+// found outputs to the finds that caused them.
+type FindID int64
+
+// FindPayload travels inside find, findQuery-triggered forwards, and found
+// messages.
+type FindPayload struct {
+	// ID matches the found output back to the find input.
+	ID FindID
+	// Origin is the region where the find input occurred.
+	Origin geo.RegionID
+}
+
+// FindResult reports a completed find to the harness.
+type FindResult struct {
+	// ID of the find operation.
+	ID FindID
+	// Object is the tracked object the find concerned.
+	Object ObjectID
+	// Origin region of the find input.
+	Origin geo.RegionID
+	// FoundAt is the region where the found output occurred. The tracking
+	// service spec requires this to host the evader.
+	FoundAt geo.RegionID
+}

@@ -1,0 +1,559 @@
+package tracker
+
+import (
+	"fmt"
+	"sort"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/vsa"
+)
+
+// HeartbeatConfig enables the §VII extension: clients detecting the evader
+// re-broadcast their detection every Period, refreshes climb the tracking
+// path renewing per-process leases, and processes whose lease lapses clean
+// themselves up. This heals the structure after VSA failures and restarts.
+type HeartbeatConfig struct {
+	// Period between client refresh broadcasts.
+	Period sim.Time
+	// leases[l] is precomputed by the network: generous enough for a
+	// refresh to climb to level l between renewals.
+	leases []sim.Time
+}
+
+func (hb *HeartbeatConfig) leaseFor(level int) sim.Time {
+	if level >= len(hb.leases) {
+		level = len(hb.leases) - 1
+	}
+	return hb.leases[level]
+}
+
+// transitKey identifies a protocol message in flight for the in-transit
+// registry consumed by the lookAhead checker (Fig. 3 needs the set of
+// grow/shrink-family messages in channels).
+type transitKey struct {
+	Obj  ObjectID
+	Kind string
+	From hier.ClusterID // NoCluster for client-originated messages
+	To   hier.ClusterID
+}
+
+// Transit describes one in-flight protocol message.
+type Transit struct {
+	Obj  ObjectID
+	Kind string
+	From hier.ClusterID
+	To   hier.ClusterID
+}
+
+// Network instantiates one Tracker process per cluster over a C-gcast
+// service, hosts them on the VSA layer, runs the client algorithm, and
+// exposes the find API plus state snapshots for the correctness checkers.
+type Network struct {
+	cg         *cgcast.Service
+	h          *hier.Hierarchy
+	k          *sim.Kernel
+	geom       hier.Geometry
+	sched      Schedule
+	hb         *HeartbeatConfig
+	noLateral  bool
+	replicated bool
+
+	procs   []*Process
+	backups []*Process // per cluster, nil without replication or alt head
+	clients map[vsa.ClientID]*Client
+
+	inflight map[transitKey]int
+	findSeq  FindID
+	started  map[FindID]sim.Time
+	done     map[FindID]bool
+	onFound  func(FindResult)
+	evaderAt map[ObjectID]func() geo.RegionID
+	findObj  map[FindID]ObjectID
+	tr       *trace.Tracer
+
+	maxQueryLevel int   // highest level that ran a findquery since the last reset
+	growRecv      []int // grow receipts per level (Theorem 4.9 amortization)
+}
+
+// Option configures a Network.
+type Option interface{ apply(*Network) }
+
+type scheduleOption struct{ sched Schedule }
+
+func (o scheduleOption) apply(n *Network) { n.sched = o.sched }
+
+// WithSchedule overrides the default grow/shrink timer schedule. It must
+// satisfy condition (1); New validates it.
+func WithSchedule(s Schedule) Option { return scheduleOption{sched: s} }
+
+type heartbeatOption struct{ period sim.Time }
+
+func (o heartbeatOption) apply(n *Network) { n.hb = &HeartbeatConfig{Period: o.period} }
+
+// WithHeartbeat enables the §VII failure-recovery extension with the given
+// client refresh period.
+func WithHeartbeat(period sim.Time) Option { return heartbeatOption{period: period} }
+
+type replicationOption struct{}
+
+func (replicationOption) apply(n *Network) { n.replicated = true }
+
+// WithHeadReplication enables the §VII quorum extension at the tracker: a
+// warm-standby replica of every multi-member cluster's process runs at the
+// cluster's alternate head, consuming the same (duplicated) message stream
+// but emitting only while the primary head's VSA is down. The C-gcast
+// service must be built with cgcast.WithReplication.
+func WithHeadReplication() Option { return replicationOption{} }
+
+type noLateralOption struct{}
+
+func (noLateralOption) apply(n *Network) { n.noLateral = true }
+
+// WithoutLateralLinks disables lateral links: a growing path always climbs
+// to the hierarchy parent. This is the baseline VINESTALK's §IV motivates
+// against — it suffers the "dithering" problem on multi-level cluster
+// boundaries (experiment E3).
+func WithoutLateralLinks() Option { return noLateralOption{} }
+
+type tracerOption struct{ tr *trace.Tracer }
+
+func (o tracerOption) apply(n *Network) { n.tr = o.tr }
+
+// WithTracer streams protocol-level events (sends, deliveries, found
+// outputs, VSA resets) into the given tracer for narrated runs and
+// debugging.
+func WithTracer(tr *trace.Tracer) Option { return tracerOption{tr: tr} }
+
+type foundOption struct{ fn func(FindResult) }
+
+func (o foundOption) apply(n *Network) { n.onFound = o.fn }
+
+// WithFoundCallback registers the harness callback invoked once per
+// completed find.
+func WithFoundCallback(fn func(FindResult)) Option { return foundOption{fn: fn} }
+
+// New builds the tracker network over an assembled C-gcast service, using
+// the same geometry the service was built with. It creates all cluster
+// processes and registers a dispatcher VSA handler for every region; call
+// AddClient (or AddStationaryClients) before starting the evader.
+func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, error) {
+	h := cg.Hierarchy()
+	n := &Network{
+		cg:       cg,
+		h:        h,
+		k:        cg.Kernel(),
+		geom:     geom,
+		sched:    DefaultSchedule(geom, cg.Unit()),
+		clients:  make(map[vsa.ClientID]*Client),
+		inflight: make(map[transitKey]int),
+		started:  make(map[FindID]sim.Time),
+		done:     make(map[FindID]bool),
+		evaderAt: make(map[ObjectID]func() geo.RegionID),
+		findObj:  make(map[FindID]ObjectID),
+	}
+	for _, o := range opts {
+		o.apply(n)
+	}
+	if err := n.sched.Validate(geom, cg.Unit()); err != nil {
+		return nil, err
+	}
+	if n.hb != nil {
+		n.hb.leases = n.computeLeases()
+	}
+	if n.replicated != cg.Replicated() {
+		return nil, fmt.Errorf("tracker: head replication mismatch: network %v, C-gcast %v", n.replicated, cg.Replicated())
+	}
+
+	n.procs = make([]*Process, h.NumClusters())
+	n.backups = make([]*Process, h.NumClusters())
+	dispatchers := make(map[geo.RegionID]*dispatcher)
+	disp := func(u geo.RegionID) *dispatcher {
+		d, ok := dispatchers[u]
+		if !ok {
+			d = &dispatcher{byLevel: make(map[int]*Process)}
+			dispatchers[u] = d
+		}
+		return d
+	}
+	for c := 0; c < h.NumClusters(); c++ {
+		id := hier.ClusterID(c)
+		pr := newProcess(n, id)
+		n.procs[c] = pr
+		disp(h.Head(id)).byLevel[h.Level(id)] = pr
+		if n.replicated {
+			if alt := h.AltHead(id); alt != geo.NoRegion {
+				bk := newProcess(n, id)
+				bk.backup = true
+				n.backups[c] = bk
+				disp(alt).byLevel[h.Level(id)] = bk
+			}
+		}
+	}
+	for u := 0; u < h.Tiling().NumRegions(); u++ {
+		region := geo.RegionID(u)
+		cg.Layer().RegisterVSA(region, disp(region))
+	}
+	return n, nil
+}
+
+// computeLeases derives per-level lease durations: two refresh periods plus
+// the worst-case time for a refresh to climb to that level (grow waits plus
+// parent-hop delays).
+func (n *Network) computeLeases() []sim.Time {
+	m := n.h.MaxLevel()
+	leases := make([]sim.Time, m+1)
+	climb := sim.Time(0)
+	for l := 0; l <= m; l++ {
+		if l > 0 {
+			climb += n.sched.S[l-1] + n.cg.Unit()*sim.Time(n.geom.P[l-1])
+		}
+		leases[l] = 2*n.hb.Period + 2*climb + n.cg.Unit()
+	}
+	return leases
+}
+
+// dispatcher is the vsa.VSAHandler for one region: it routes deliveries to
+// the Tracker subautomaton of the addressed level and resets them all when
+// the VSA fails or restarts.
+type dispatcher struct {
+	byLevel map[int]*Process
+}
+
+func (d *dispatcher) Receive(level int, msg any) {
+	del, ok := msg.(cgcast.Delivery)
+	if !ok {
+		return
+	}
+	pr, ok := d.byLevel[level]
+	if !ok {
+		return
+	}
+	pr.net.noteDelivered(del, pr.id)
+	if tr := pr.net.tr; tr != nil {
+		obj := ObjectID(-1)
+		if env, ok := del.Payload.(envelope); ok {
+			obj = env.Obj
+		}
+		tr.Emitf(pr.net.k.Now(), "recv", "obj %d: %s at %v (level %d) from %v", obj, del.Kind, pr.id, level, del.From)
+	}
+	pr.receive(del)
+}
+
+func (d *dispatcher) Reset() {
+	for _, pr := range d.byLevel {
+		if tr := pr.net.tr; tr != nil {
+			tr.Emitf(pr.net.k.Now(), "reset", "process %v (level %d) lost its state", pr.id, pr.level)
+		}
+		pr.reset()
+	}
+}
+
+// Hierarchy returns the cluster hierarchy.
+func (n *Network) Hierarchy() *hier.Hierarchy { return n.h }
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Schedule returns the grow/shrink timer schedule in force.
+func (n *Network) Schedule() Schedule { return n.sched }
+
+// Process returns the (primary) Tracker process for a cluster.
+func (n *Network) Process(c hier.ClusterID) *Process {
+	if !c.Valid() || int(c) >= len(n.procs) {
+		return nil
+	}
+	return n.procs[c]
+}
+
+// BackupProcess returns the warm-standby replica at the cluster's
+// alternate head, or nil without head replication.
+func (n *Network) BackupProcess(c hier.ClusterID) *Process {
+	if !c.Valid() || int(c) >= len(n.backups) {
+		return nil
+	}
+	return n.backups[c]
+}
+
+// sendFromProcess transmits a protocol message between cluster processes,
+// keeping the in-transit registry consistent for the checker. A backup
+// replica's sends are suppressed while the primary head's VSA is alive
+// (its state still evolves identically, since both replicas consume the
+// same duplicated message stream).
+func (n *Network) sendFromProcess(pr *Process, obj ObjectID, to hier.ClusterID, kind string, body any) {
+	src := n.h.Head(pr.id)
+	if pr.backup {
+		if n.cg.Layer().Alive(src) {
+			return // primary speaks for the cluster
+		}
+		src = n.h.AltHead(pr.id)
+	}
+	key := transitKey{Obj: obj, Kind: kind, From: pr.id, To: to}
+	copies := n.cg.Copies(to)
+	n.inflight[key] += copies
+	if err := n.cg.ClusterToClusterFrom(src, pr.id, to, kind, envelope{Obj: obj, Body: body}); err != nil {
+		n.inflight[key] -= copies
+		return
+	}
+	if n.tr != nil {
+		n.tr.Emitf(n.k.Now(), "send", "obj %d: %s %v -> %v", obj, kind, pr.id, to)
+	}
+}
+
+// sendFromClient transmits a client message to a level-0 cluster.
+func (n *Network) sendFromClient(obj ObjectID, id vsa.ClientID, to hier.ClusterID, kind string, body any) error {
+	key := transitKey{Obj: obj, Kind: kind, From: hier.NoCluster, To: to}
+	n.inflight[key]++
+	if err := n.cg.ClientToCluster(id, to, kind, envelope{Obj: obj, Body: body}); err != nil {
+		n.inflight[key]--
+		return err
+	}
+	return nil
+}
+
+// noteDelivered removes a delivered message from the in-transit registry.
+func (n *Network) noteDelivered(d cgcast.Delivery, to hier.ClusterID) {
+	env, ok := d.Payload.(envelope)
+	if !ok {
+		return
+	}
+	key := transitKey{Obj: env.Obj, Kind: d.Kind, From: d.From, To: to}
+	if n.inflight[key] > 0 {
+		n.inflight[key]--
+		if n.inflight[key] == 0 {
+			delete(n.inflight, key)
+		}
+	}
+}
+
+// sendFound broadcasts found from a level-0 cluster to clients in its own
+// and neighboring regions.
+func (n *Network) sendFound(pr *Process, obj ObjectID, payloads []FindPayload) {
+	if pr.backup && n.cg.Layer().Alive(n.h.Head(pr.id)) {
+		return
+	}
+	_ = n.cg.ClusterToClients(pr.id, KindFound, envelope{Obj: obj, Body: payloads})
+}
+
+// AddClient installs a tracker client (sensor node) with the given id at
+// region u and registers it with the VSA layer.
+func (n *Network) AddClient(id vsa.ClientID, u geo.RegionID) (*Client, error) {
+	if _, dup := n.clients[id]; dup {
+		return nil, fmt.Errorf("tracker: client %v already exists", id)
+	}
+	c := &Client{net: n, id: id}
+	if err := n.cg.Layer().AddClient(id, u, c); err != nil {
+		return nil, err
+	}
+	n.clients[id] = c
+	return c, nil
+}
+
+// AddStationaryClients deploys one client per region — the standard sensor
+// deployment of the experiments — with client ids equal to region ids.
+func (n *Network) AddStationaryClients() error {
+	for u := 0; u < n.h.Tiling().NumRegions(); u++ {
+		if _, err := n.AddClient(vsa.ClientID(u), geo.RegionID(u)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client returns the tracker client with the given id, or nil.
+func (n *Network) Client(id vsa.ClientID) *Client { return n.clients[id] }
+
+// Sink adapts the network's client population to the evader GPS service:
+// move/left inputs reach every alive client in the affected region.
+func (n *Network) Sink() evader.Sink { return n.SinkFor(DefaultObject) }
+
+// SinkFor returns the GPS sink for one of several tracked objects.
+func (n *Network) SinkFor(obj ObjectID) evader.Sink {
+	return func(u geo.RegionID, ev evader.Event) {
+		n.handleObjectEvent(obj, u, ev == evader.EventMove)
+	}
+}
+
+// AttachEvader lets clients detect an evader already present in a region
+// they enter or restart in (the augmented GPS of §III only reports evader
+// *transitions*; a sensor node arriving where the object sits would detect
+// it too, and the §VII heartbeat extension needs some detector to survive
+// client churn in the evader's region).
+func (n *Network) AttachEvader(at func() geo.RegionID) {
+	n.AttachObject(DefaultObject, at)
+}
+
+// AttachObject is AttachEvader for one of several tracked objects.
+func (n *Network) AttachObject(obj ObjectID, at func() geo.RegionID) {
+	n.evaderAt[obj] = at
+}
+
+// HandleEvaderEvent delivers a GPS detection input to the clients of region
+// u (paper §III: move on entry, left on exit). Wire it as the evader.Sink.
+func (n *Network) HandleEvaderEvent(u geo.RegionID, entered bool) {
+	n.handleObjectEvent(DefaultObject, u, entered)
+}
+
+func (n *Network) handleObjectEvent(obj ObjectID, u geo.RegionID, entered bool) {
+	for _, id := range n.cg.Layer().ClientsIn(u) {
+		if c, ok := n.clients[id]; ok {
+			if entered {
+				c.evaderMove(obj, u)
+			} else {
+				c.evaderLeft(obj, u)
+			}
+		}
+	}
+}
+
+// Find issues a find input at a client in region u (any alive client
+// there). It returns the find's id; the found output is reported through
+// the WithFoundCallback hook.
+func (n *Network) Find(u geo.RegionID) (FindID, error) {
+	return n.FindObject(u, DefaultObject)
+}
+
+// FindObject is Find for one of several tracked objects.
+func (n *Network) FindObject(u geo.RegionID, obj ObjectID) (FindID, error) {
+	ids := n.cg.Layer().ClientsIn(u)
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("tracker: no alive client in region %v to receive find input", u)
+	}
+	c, ok := n.clients[ids[0]]
+	if !ok {
+		return 0, fmt.Errorf("tracker: client %v not part of this network", ids[0])
+	}
+	n.findSeq++
+	id := n.findSeq
+	n.started[id] = n.k.Now()
+	n.findObj[id] = obj
+	if err := c.find(obj, FindPayload{ID: id, Origin: u}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// FindIssued returns the virtual time the find input occurred.
+func (n *Network) FindIssued(id FindID) (sim.Time, bool) {
+	t, ok := n.started[id]
+	return t, ok
+}
+
+// FindDone reports whether a found output for the find has occurred.
+func (n *Network) FindDone(id FindID) bool { return n.done[id] }
+
+// reportFound deduplicates found outputs per find id (several clients in
+// the evader's region may output simultaneously) and invokes the callback.
+func (n *Network) reportFound(obj ObjectID, p FindPayload, at geo.RegionID) {
+	if n.done[p.ID] {
+		return
+	}
+	n.done[p.ID] = true
+	if n.tr != nil {
+		n.tr.Emitf(n.k.Now(), "found", "obj %d: find %d (from %v) answered at %v", obj, p.ID, p.Origin, at)
+	}
+	if n.onFound != nil {
+		n.onFound(FindResult{ID: p.ID, Object: obj, Origin: p.Origin, FoundAt: at})
+	}
+}
+
+// MoveQuiescent reports whether all move-related activity has settled: no
+// grow/shrink-family messages in flight and no armed grow/shrink timers.
+// Experiments use it to detect that a move's updates terminated (Thm 4.5).
+func (n *Network) MoveQuiescent() bool {
+	for key, cnt := range n.inflight {
+		if cnt > 0 && key.Kind != KindFind && key.Kind != KindFindQuery &&
+			key.Kind != KindFindAck && key.Kind != KindRefresh {
+			return false
+		}
+	}
+	for _, pr := range n.procs {
+		if pr.Busy() {
+			return false
+		}
+	}
+	for _, pr := range n.backups {
+		if pr != nil && pr.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// InTransit returns the in-flight protocol messages (sorted, for
+// determinism), as the lookAhead checker consumes them.
+func (n *Network) InTransit() []Transit {
+	var out []Transit
+	for key, cnt := range n.inflight {
+		for i := 0; i < cnt; i++ {
+			out = append(out, Transit{Obj: key.Obj, Kind: key.Kind, From: key.From, To: key.To})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// noteGrow counts a grow receipt at the given level — the pointer-update
+// frequency the Theorem 4.9 amortization argument counts (a level-l
+// pointer is updated at most once per q(l−1) steps of object movement).
+func (n *Network) noteGrow(level int) {
+	if n.growRecv == nil {
+		n.growRecv = make([]int, n.h.MaxLevel()+1)
+	}
+	n.growRecv[level]++
+}
+
+// GrowReceiptsByLevel returns the per-level grow receipt counts since the
+// last reset (index = hierarchy level).
+func (n *Network) GrowReceiptsByLevel() []int {
+	out := make([]int, n.h.MaxLevel()+1)
+	copy(out, n.growRecv)
+	return out
+}
+
+// ResetGrowReceipts clears the per-level grow counters.
+func (n *Network) ResetGrowReceipts() { n.growRecv = nil }
+
+// noteFindQuery records the level of an internal findquery action for the
+// §VI instrumentation (the search phase's highest level).
+func (n *Network) noteFindQuery(level int) {
+	if level > n.maxQueryLevel {
+		n.maxQueryLevel = level
+	}
+}
+
+// MaxFindQueryLevel returns the highest hierarchy level at which any find
+// ran its neighbor query since the last ResetFindQueryLevel. The §VI
+// analysis bounds this at one level above the atomic case.
+func (n *Network) MaxFindQueryLevel() int { return n.maxQueryLevel }
+
+// ResetFindQueryLevel clears the MaxFindQueryLevel instrumentation.
+func (n *Network) ResetFindQueryLevel() { n.maxQueryLevel = -1 }
+
+// InTransitFor returns the in-flight messages concerning one object.
+func (n *Network) InTransitFor(obj ObjectID) []Transit {
+	all := n.InTransit()
+	out := all[:0]
+	for _, t := range all {
+		if t.Obj == obj {
+			out = append(out, t)
+		}
+	}
+	return out
+}

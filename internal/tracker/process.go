@@ -1,0 +1,494 @@
+package tracker
+
+import (
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+)
+
+// Process is Tracker_{u,lvl} of Fig. 2: the cluster process for clust =
+// cluster(u, lvl), hosted at the VSA of head region u.
+//
+// The paper tracks a single evader; the §VII multiple-objects extension is
+// realized by keying the figure's entire state vector per tracked object:
+// each ObjectID gets its own (c, p, nbrptup, nbrptdown, timer, finding,
+// nbrtimeout) tuple, and protocol messages carry the object they concern.
+// The structures are independent — with one object this is exactly the
+// figure's automaton, and with k objects the state and work multiply by k.
+type Process struct {
+	net    *Network
+	id     hier.ClusterID
+	level  int
+	backup bool // replica at the alternate head (§VII quorum extension)
+
+	objs map[ObjectID]*objState
+}
+
+// objState is one object's Fig. 2 state vector at this process. Field
+// names mirror the figure: c (child pointer), p (path parent), nbrptup and
+// nbrptdown (secondary tracking pointers), the single grow/shrink timer,
+// the finding flag (here: the pending find set), and nbrtimeout.
+type objState struct {
+	pr  *Process
+	obj ObjectID
+
+	c         hier.ClusterID
+	p         hier.ClusterID
+	nbrptup   hier.ClusterID
+	nbrptdown hier.ClusterID
+
+	timer      *sim.Timer
+	pending    []FindPayload
+	nbrTimeout *sim.Timer
+
+	// lease and nbrLease implement the §VII heartbeat extension; inert
+	// when the network has no heartbeat configuration. lease guards the
+	// primary pointers (c, p); nbrLease guards the secondary pointers,
+	// which are renewed by the growPar/growNbr re-announcements that
+	// refresh propagation triggers.
+	lease    *sim.Timer
+	nbrLease *sim.Timer
+}
+
+func newProcess(net *Network, id hier.ClusterID) *Process {
+	return &Process{
+		net:   net,
+		id:    id,
+		level: net.h.Level(id),
+		objs:  make(map[ObjectID]*objState),
+	}
+}
+
+// state returns (lazily creating) the state vector for one object.
+func (pr *Process) state(obj ObjectID) *objState {
+	st, ok := pr.objs[obj]
+	if !ok {
+		st = &objState{
+			pr:        pr,
+			obj:       obj,
+			c:         hier.NoCluster,
+			p:         hier.NoCluster,
+			nbrptup:   hier.NoCluster,
+			nbrptdown: hier.NoCluster,
+		}
+		st.timer = sim.NewTimer(pr.net.k, st.onTimer)
+		st.nbrTimeout = sim.NewTimer(pr.net.k, st.onNbrTimeout)
+		st.lease = sim.NewTimer(pr.net.k, st.onLeaseExpired)
+		st.nbrLease = sim.NewTimer(pr.net.k, st.onNbrLeaseExpired)
+		pr.objs[obj] = st
+	}
+	return st
+}
+
+// reset returns the process to its initial state (VSA failure/restart).
+func (pr *Process) reset() {
+	for _, st := range pr.objs {
+		st.timer.Clear()
+		st.nbrTimeout.Clear()
+		st.lease.Clear()
+		st.nbrLease.Clear()
+	}
+	pr.objs = make(map[ObjectID]*objState)
+}
+
+// Cluster returns the cluster this process tracks for.
+func (pr *Process) Cluster() hier.ClusterID { return pr.id }
+
+// Level returns level(clust).
+func (pr *Process) Level() int { return pr.level }
+
+// Pointers returns (c, p, nbrptup, nbrptdown) for the default object.
+func (pr *Process) Pointers() (c, p, up, down hier.ClusterID) {
+	return pr.PointersFor(DefaultObject)
+}
+
+// PointersFor returns the pointer vector for one tracked object.
+func (pr *Process) PointersFor(obj ObjectID) (c, p, up, down hier.ClusterID) {
+	st, ok := pr.objs[obj]
+	if !ok {
+		return hier.NoCluster, hier.NoCluster, hier.NoCluster, hier.NoCluster
+	}
+	return st.c, st.p, st.nbrptup, st.nbrptdown
+}
+
+// Busy reports whether the process holds move-related obligations (an
+// armed grow/shrink timer for any object); used for quiescence detection.
+func (pr *Process) Busy() bool {
+	for _, st := range pr.objs {
+		if st.timer.Armed() {
+			return true
+		}
+	}
+	return false
+}
+
+// receive dispatches a C-gcast delivery to the Fig. 2 input actions of the
+// addressed object's state vector.
+func (pr *Process) receive(d cgcast.Delivery) {
+	env, ok := d.Payload.(envelope)
+	if !ok {
+		return
+	}
+	// Client-originated grow/shrink name the level-0 cluster itself (the
+	// client broadcast an object detection for this region).
+	cid := d.From
+	if cid == hier.NoCluster {
+		cid = pr.id
+	}
+	st := pr.state(env.Obj)
+	st.sanitize()
+	switch d.Kind {
+	case KindGrow:
+		pr.net.noteGrow(pr.level)
+		st.onGrow(cid)
+	case KindGrowNbr:
+		st.onGrowNbr(cid)
+	case KindGrowPar:
+		st.onGrowPar(cid)
+	case KindShrink:
+		st.onShrink(cid)
+	case KindShrinkUpd:
+		st.onShrinkUpd(cid)
+	case KindFind:
+		st.onFind(env.Body.([]FindPayload))
+	case KindFindQuery:
+		st.onFindQuery(cid)
+	case KindFindAck:
+		st.onFindAck(env.Body.(hier.ClusterID))
+	case KindRefresh:
+		hops, _ := env.Body.(int)
+		st.onRefresh(cid, hops)
+	}
+	// TIOA semantics: any newly-enabled find output fires (zero-time local
+	// steps), so re-evaluate after every state change.
+	st.evaluateFind()
+}
+
+// send emits a protocol message about this object.
+func (st *objState) send(to hier.ClusterID, kind string, body any) {
+	st.pr.net.sendFromProcess(st.pr, st.obj, to, kind, body)
+}
+
+// --- Move-related actions (Fig. 2, left column) ---
+
+// onGrow is Input cTOBrcv(〈grow, cid〉): the timer is armed only when the
+// process is off the path entirely (c = p = ⊥) and below MAX; c always
+// adopts the sender (a newer path supersedes what a pending grow will
+// report upward).
+func (st *objState) onGrow(cid hier.ClusterID) {
+	pr := st.pr
+	if st.c == hier.NoCluster && st.p == hier.NoCluster && pr.level != pr.net.h.MaxLevel() {
+		st.timer.SetAfter(pr.net.sched.G[pr.level])
+	}
+	st.c = cid
+	st.renewLease()
+}
+
+// onGrowNbr is Input cTOBrcv(〈growNbr, cid〉): the sender connected to the
+// path via a lateral link.
+func (st *objState) onGrowNbr(cid hier.ClusterID) {
+	st.nbrptdown = cid
+	st.renewNbrLease()
+}
+
+// onGrowPar is Input cTOBrcv(〈growPar, cid〉): the sender connected to the
+// path via its hierarchy parent.
+func (st *objState) onGrowPar(cid hier.ClusterID) {
+	st.nbrptup = cid
+	st.renewNbrLease()
+}
+
+// onShrink is Input cTOBrcv(〈shrink, cid〉): only deadwood is cleaned — the
+// message is ignored unless c still names the shrinking child.
+func (st *objState) onShrink(cid hier.ClusterID) {
+	pr := st.pr
+	if st.c != cid {
+		return
+	}
+	st.c = hier.NoCluster
+	if pr.level != pr.net.h.MaxLevel() {
+		st.timer.SetAfter(pr.net.sched.S[pr.level])
+	}
+}
+
+// onShrinkUpd is Input cTOBrcv(〈shrinkUpd, cid〉): drop secondary pointers
+// to a process that left the path.
+func (st *objState) onShrinkUpd(cid hier.ClusterID) {
+	if st.nbrptup == cid {
+		st.nbrptup = hier.NoCluster
+	}
+	if st.nbrptdown == cid {
+		st.nbrptdown = hier.NoCluster
+	}
+}
+
+// onTimer realizes the two timer-gated outputs, whose preconditions are
+// re-checked at expiry (a shrink may have cleared c while the grow timer
+// ran, or a grow may have re-attached the branch while the shrink timer
+// ran — in both cases no message is sent):
+//
+//	cTOBsend(〈grow, clust〉, par): c ≠ ⊥ ∧ p = ⊥, par = nbrptup if set
+//	  else parent(clust); then p ← par and neighbors learn via
+//	  growNbr (lateral) or growPar (vertical).
+//	cTOBsend(〈shrink, clust〉, p): c = ⊥ ∧ p ≠ ⊥; then p ← ⊥ and
+//	  neighbors learn via shrinkUpd.
+func (st *objState) onTimer() {
+	st.sanitize()
+	pr := st.pr
+	h := pr.net.h
+	switch {
+	case st.c != hier.NoCluster && st.p == hier.NoCluster && pr.level != h.MaxLevel():
+		lateral := st.nbrptup != hier.NoCluster && !pr.net.noLateral
+		par := st.nbrptup
+		if !lateral {
+			par = h.Parent(pr.id)
+		}
+		st.p = par
+		st.send(par, KindGrow, nil)
+		kind := KindGrowPar
+		if lateral {
+			kind = KindGrowNbr
+		}
+		for _, b := range h.Nbrs(pr.id) {
+			st.send(b, kind, nil)
+		}
+		st.renewLease()
+	case st.c == hier.NoCluster && st.p != hier.NoCluster:
+		dest := st.p
+		st.p = hier.NoCluster
+		st.send(dest, KindShrink, nil)
+		for _, b := range h.Nbrs(pr.id) {
+			st.send(b, KindShrinkUpd, nil)
+		}
+		st.lease.Clear()
+	}
+	st.evaluateFind()
+}
+
+// --- Find-related actions (Fig. 2, right column) ---
+
+// onFind is Input cTOBrcv(〈find, cid〉): finding ← true, nbrtimeout ← ∞.
+// The pending set generalizes the figure's single finding flag so that
+// concurrent finds meeting at one process are all serviced rather than
+// conflated; with at most one find in the system it degenerates to the flag.
+func (st *objState) onFind(payloads []FindPayload) {
+	st.pending = append(st.pending, payloads...)
+	st.nbrTimeout.Clear()
+}
+
+// onFindQuery is Input cTOBrcv(〈findQuery, cid〉): answer with the best
+// pointer toward the path, or stay silent.
+func (st *objState) onFindQuery(cid hier.ClusterID) {
+	switch {
+	case st.c != hier.NoCluster:
+		st.send(cid, KindFindAck, st.c)
+	case st.nbrptdown != hier.NoCluster:
+		st.send(cid, KindFindAck, st.nbrptdown)
+	case st.nbrptup != hier.NoCluster:
+		st.send(cid, KindFindAck, st.nbrptup)
+	}
+}
+
+// onFindAck is Input cTOBrcv(〈findAck, dest〉): forward the held find to
+// the acked pointer if the process is still searching and still has no
+// pointer of its own.
+func (st *objState) onFindAck(dest hier.ClusterID) {
+	if len(st.pending) == 0 || dest == st.pr.id {
+		return
+	}
+	if st.c != hier.NoCluster || st.nbrptdown != hier.NoCluster {
+		return
+	}
+	if st.nbrptup != hier.NoCluster && st.nbrptup != st.p {
+		return
+	}
+	st.forwardFind(dest)
+}
+
+// evaluateFind realizes the eagerly-enabled find outputs of Fig. 2: the
+// found broadcast (finding ∧ c = clust), the three direct find forwards,
+// and the internal findquery action. It is called after every state change.
+func (st *objState) evaluateFind() {
+	if len(st.pending) == 0 {
+		return
+	}
+	pr := st.pr
+	h := pr.net.h
+	switch {
+	case st.c == pr.id:
+		// Tracing complete: broadcast found to clients in this and
+		// neighboring regions.
+		payloads := st.pending
+		st.pending = nil
+		st.nbrTimeout.Clear()
+		pr.net.sendFound(pr, st.obj, payloads)
+	case st.c != hier.NoCluster:
+		st.forwardFind(st.c)
+	case st.nbrptdown != hier.NoCluster:
+		st.forwardFind(st.nbrptdown)
+	case st.nbrptup != hier.NoCluster && st.nbrptup != st.p:
+		st.forwardFind(st.nbrptup)
+	case !st.nbrTimeout.Armed():
+		// Internal findquery: ask every neighbor except the path parent,
+		// and wait one neighbor round trip. The +1ns margin makes an ack
+		// arriving at exactly the round-trip bound win over the timeout
+		// (TIOA would resolve the tie either way; the paper intends the
+		// ack to count as "received before nbrtimeout expires").
+		pr.net.noteFindQuery(pr.level)
+		st.nbrTimeout.SetAfter(2*pr.net.cg.Unit()*sim.Time(pr.net.geom.N[pr.level]) + 1)
+		for _, b := range h.Nbrs(pr.id) {
+			if b == st.p {
+				continue
+			}
+			st.send(b, KindFindQuery, nil)
+		}
+	}
+}
+
+// onNbrTimeout realizes the nbrtimeout ≤ now disjunct of the find-forward
+// output: no neighbor answered, so escalate to the hierarchy parent (or to
+// nbrptup when it coincides with p).
+func (st *objState) onNbrTimeout() {
+	if len(st.pending) == 0 {
+		return
+	}
+	if st.c != hier.NoCluster || st.nbrptdown != hier.NoCluster {
+		// A pointer appeared as the timeout fired; the direct forwards
+		// handle it.
+		st.evaluateFind()
+		return
+	}
+	dest := st.nbrptup
+	if dest == hier.NoCluster {
+		dest = st.pr.net.h.Parent(st.pr.id)
+	}
+	if dest == hier.NoCluster || dest == st.pr.id {
+		return // level MAX with no pointer anywhere: keep holding
+	}
+	st.forwardFind(dest)
+}
+
+// forwardFind sends every held find to dest and clears the searching state.
+func (st *objState) forwardFind(dest hier.ClusterID) {
+	payloads := st.pending
+	st.pending = nil
+	st.nbrTimeout.Clear()
+	st.send(dest, KindFind, payloads)
+}
+
+// --- §VII heartbeat extension ---
+
+// onRefresh renews the lease and heals path breaks: a process that lost its
+// state to a VSA failure re-adopts the refreshing child and re-grows toward
+// the root; an intact process forwards the refresh along its path parent.
+func (st *objState) onRefresh(cid hier.ClusterID, hops int) {
+	pr := st.pr
+	if pr.net.hb == nil {
+		return
+	}
+	// TTL: a legal tracking path visits at most MAX+1 levels with at most
+	// one lateral hop per level. A refresh that has traveled further is
+	// circulating through corrupted pointers (e.g. a lateral p-cycle) and
+	// must not keep renewing the garbage's leases.
+	if hops > 2*pr.net.h.MaxLevel()+3 {
+		return
+	}
+	st.c = cid
+	st.renewLease()
+	switch {
+	case st.p != hier.NoCluster:
+		st.send(st.p, KindRefresh, hops+1)
+		// Re-announce the connection kind so neighbors' secondary
+		// pointers (and their leases) stay fresh.
+		kind := KindGrowPar
+		if pr.net.h.AreNbrs(pr.id, st.p) {
+			kind = KindGrowNbr
+		}
+		for _, b := range pr.net.h.Nbrs(pr.id) {
+			st.send(b, kind, nil)
+		}
+	case pr.level != pr.net.h.MaxLevel() && !st.timer.Armed():
+		st.timer.SetAfter(pr.net.sched.G[pr.level])
+	}
+}
+
+// sanitize enforces the per-process type invariants on pointer state, the
+// local-checking half of the §VII stabilization recipe: c must be a child,
+// a neighbor, or (at level 0) the process itself; p must be a neighbor or
+// the hierarchy parent; secondary pointers must be neighbors. Values
+// outside these sets can only arise from corruption and are dropped on the
+// spot. Only active in heartbeat mode (in normal operation the protocol
+// preserves the invariants, which the E5 checker verifies).
+func (st *objState) sanitize() {
+	pr := st.pr
+	if pr.net.hb == nil {
+		return
+	}
+	h := pr.net.h
+	if c := st.c; c != hier.NoCluster {
+		if !(h.IsChild(c, pr.id) || h.AreNbrs(c, pr.id) || (c == pr.id && pr.level == 0)) {
+			st.c = hier.NoCluster
+		}
+	}
+	if p := st.p; p != hier.NoCluster {
+		if !(h.Parent(pr.id) == p || h.AreNbrs(p, pr.id)) {
+			st.p = hier.NoCluster
+		}
+	}
+	if up := st.nbrptup; up != hier.NoCluster && !h.AreNbrs(up, pr.id) {
+		st.nbrptup = hier.NoCluster
+	}
+	if down := st.nbrptdown; down != hier.NoCluster && !h.AreNbrs(down, pr.id) {
+		st.nbrptdown = hier.NoCluster
+	}
+}
+
+// renewLease re-arms the path lease when heartbeats are enabled.
+func (st *objState) renewLease() {
+	if st.pr.net.hb == nil {
+		return
+	}
+	st.lease.SetAfter(st.pr.net.hb.leaseFor(st.pr.level))
+}
+
+// renewNbrLease re-arms the secondary-pointer lease.
+func (st *objState) renewNbrLease() {
+	if st.pr.net.hb == nil {
+		return
+	}
+	st.nbrLease.SetAfter(st.pr.net.hb.leaseFor(st.pr.level))
+}
+
+// onNbrLeaseExpired drops secondary pointers that stopped being
+// re-announced (their holder left the path, or the pointers were
+// corrupted state to begin with).
+func (st *objState) onNbrLeaseExpired() {
+	if st.pr.net.hb == nil {
+		return
+	}
+	st.nbrptup = hier.NoCluster
+	st.nbrptdown = hier.NoCluster
+}
+
+// onLeaseExpired tears down stale path state that stopped receiving
+// refreshes (e.g. the path below broke at a failed VSA).
+func (st *objState) onLeaseExpired() {
+	pr := st.pr
+	if pr.net.hb == nil {
+		return
+	}
+	st.sanitize()
+	if st.c == hier.NoCluster && st.p == hier.NoCluster {
+		return
+	}
+	st.c = hier.NoCluster
+	if st.p != hier.NoCluster {
+		dest := st.p
+		st.p = hier.NoCluster
+		st.send(dest, KindShrink, nil)
+	}
+	for _, b := range pr.net.h.Nbrs(pr.id) {
+		st.send(b, KindShrinkUpd, nil)
+	}
+	st.timer.Clear()
+}

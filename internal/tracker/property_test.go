@@ -1,0 +1,100 @@
+package tracker
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+)
+
+// Property: DefaultSchedule satisfies condition (1) for the measured
+// geometry of any random small grid and any positive unit delay.
+func TestDefaultScheduleAlwaysValidQuick(t *testing.T) {
+	f := func(sideSeed, rSeed uint8, unitMillis uint16) bool {
+		side := 4 + int(sideSeed)%9 // 4..12
+		r := 2 + int(rSeed)%3       // 2..4
+		unit := sim.Time(int(unitMillis)%100+1) * time.Millisecond
+		h := hier.MustGrid(geo.MustGridTiling(side, side), r)
+		geom := hier.MeasureGeometry(h)
+		sch := DefaultSchedule(geom, unit)
+		return sch.Validate(geom, unit) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DefaultSchedule also validates against the closed-form grid
+// geometry for any base and depth (the formulas the paper states).
+func TestDefaultScheduleFormulaGeometryQuick(t *testing.T) {
+	f := func(rSeed, maxSeed uint8) bool {
+		r := 2 + int(rSeed)%5          // 2..6
+		maxLevel := 1 + int(maxSeed)%6 // 1..6
+		unit := 15 * time.Millisecond
+		geom := hier.GridFormulas(r, maxLevel)
+		sch := DefaultSchedule(geom, unit)
+		return sch.Validate(geom, unit) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shaving the slack of any level's shrink timer below the
+// condition-(1) line is rejected by Validate.
+func TestScheduleSlackRemovalRejectedQuick(t *testing.T) {
+	unit := 15 * time.Millisecond
+	geom := hier.GridFormulas(2, 4)
+	base := DefaultSchedule(geom, unit)
+	f := func(levelSeed uint8) bool {
+		level := int(levelSeed) % len(base.S)
+		broken := Schedule{
+			G: append([]sim.Time(nil), base.G...),
+			S: append([]sim.Time(nil), base.S...),
+		}
+		// Remove this level's entire slack contribution and a bit more:
+		// the partial sums from this level on now fall to exactly the
+		// bound or below, violating the strict inequality.
+		broken.S[level] = broken.G[level] - 1
+		return broken.Validate(geom, unit) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a quiescent tracked network, every region can find the
+// evader — the liveness half of the §III tracking-service spec — for
+// random evader positions.
+func TestEveryRegionFindsEvaderQuick(t *testing.T) {
+	f := func(startSeed, originSeed uint8) bool {
+		side := 8
+		tl := geo.MustGridTiling(side, side)
+		start := geo.RegionID(int(startSeed) % tl.NumRegions())
+		origin := geo.RegionID(int(originSeed) % tl.NumRegions())
+		fx := newFixture(t, fixtureConfig{side: side, start: start, alwaysUp: true})
+		fx.settle()
+		id, err := fx.net.Find(origin)
+		if err != nil {
+			return false
+		}
+		fx.settle()
+		if !fx.net.FindDone(id) {
+			t.Logf("find from %v with evader at %v incomplete", origin, start)
+			return false
+		}
+		for _, r := range fx.founds {
+			if r.ID == id && r.FoundAt != start {
+				t.Logf("found at %v, want %v", r.FoundAt, start)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

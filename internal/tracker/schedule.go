@@ -1,0 +1,77 @@
+package tracker
+
+import (
+	"fmt"
+
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+)
+
+// Schedule holds the grow and shrink timer functions g, s: L−{MAX} → R of
+// §IV-B. G[l] is the wait before a level-l process extends the path after
+// learning of a new branch; S[l] the wait before it cleans a deserted one.
+type Schedule struct {
+	G []sim.Time
+	S []sim.Time
+}
+
+// MaxLevel returns the highest level with a defined timer (= MAX−1 of the
+// hierarchy the schedule is built for).
+func (sch Schedule) MaxLevel() int { return len(sch.G) - 1 }
+
+// Validate checks condition (1) of §IV-B against a geometry and the delay
+// unit δ+e:
+//
+//	Σ_{j=0}^{l} [s(j) − g(j)] > (δ+e)·n(l)   for every l ∈ L−{MAX}.
+//
+// The condition is what keeps a climbing grow ahead of the shrink chasing
+// the same deserted branch (Lemma 4.3); an invalid schedule can tear down
+// live paths.
+func (sch Schedule) Validate(geom hier.Geometry, unit sim.Time) error {
+	if len(sch.G) != len(sch.S) {
+		return fmt.Errorf("tracker: schedule has %d grow and %d shrink levels", len(sch.G), len(sch.S))
+	}
+	if len(sch.G) == 0 {
+		return fmt.Errorf("tracker: empty schedule")
+	}
+	if len(sch.G) > geom.MaxLevel() {
+		return fmt.Errorf("tracker: schedule covers %d levels, geometry has %d below MAX", len(sch.G), geom.MaxLevel())
+	}
+	var sum sim.Time
+	for l := range sch.G {
+		if sch.G[l] < 0 || sch.S[l] < 0 {
+			return fmt.Errorf("tracker: negative timer at level %d", l)
+		}
+		sum += sch.S[l] - sch.G[l]
+		if need := unit * sim.Time(geom.N[l]); sum <= need {
+			return fmt.Errorf("tracker: condition (1) violated at level %d: Σ[s−g] = %v, need > %v", l, sum, need)
+		}
+	}
+	return nil
+}
+
+// DefaultSchedule derives a schedule from a geometry that satisfies
+// condition (1) with margin: the partial sums Σ[s−g] up to level l equal
+// (δ+e)·(n(l)+1). Grow timers are g(l) = (δ+e)·(n(l)+1), giving the
+// O(r^l)-shaped growth the grid corollary of Theorem 4.9 assumes.
+func DefaultSchedule(geom hier.Geometry, unit sim.Time) Schedule {
+	levels := geom.MaxLevel() // timers are defined on L−{MAX}
+	sch := Schedule{
+		G: make([]sim.Time, levels),
+		S: make([]sim.Time, levels),
+	}
+	prevN := -1 // so diff(0) = n(0)+1
+	runMax := 0 // running max: non-grid hierarchies can measure a
+	// non-monotone n, and condition (1) only needs the partial sums to
+	// dominate each level's own n
+	for l := 0; l < levels; l++ {
+		if geom.N[l] > runMax {
+			runMax = geom.N[l]
+		}
+		diff := unit * sim.Time(runMax-prevN)
+		sch.G[l] = unit * sim.Time(runMax+1)
+		sch.S[l] = sch.G[l] + diff
+		prevN = runMax
+	}
+	return sch
+}

@@ -1,0 +1,400 @@
+package tracker
+
+import (
+	"testing"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+func TestInitialMoveBuildsVerticalPath(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 0, alwaysUp: true})
+	f.settle()
+	path := f.trackingPath()
+	// 4x4 grid, r=2: MAX=2, so the initial vertical growth is root ->
+	// level-1 block -> level-0 region.
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want 3 clusters", path)
+	}
+	f.assertTracksEvader()
+	// Vertical growth: every non-root path process points to its hierarchy
+	// parent.
+	for _, c := range path[1:] {
+		_, p, _, _ := f.net.Process(c).Pointers()
+		if p != f.h.Parent(c) {
+			t.Errorf("process %v has p=%v, want hierarchy parent %v", c, p, f.h.Parent(c))
+		}
+	}
+	// Neighbors of path processes hold nbrptup secondary pointers.
+	mid := path[1]
+	for _, nb := range f.h.Nbrs(mid) {
+		_, _, up, _ := f.net.Process(nb).Pointers()
+		if up != mid {
+			t.Errorf("neighbor %v of %v has nbrptup=%v, want %v", nb, mid, up, mid)
+		}
+	}
+}
+
+func TestMoveToNeighborUsesLateralLink(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 0, alwaysUp: true})
+	f.settle()
+	// Move within the same level-1 block: r0 -> r1.
+	if err := f.ev.MoveTo(1); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	f.assertTracksEvader()
+	// The new leaf should have connected via a lateral link to the old
+	// region's level-0 process (its nbrptup pointed there).
+	leaf := f.h.Cluster(1, 0)
+	_, p, _, _ := f.net.Process(leaf).Pointers()
+	if f.h.Level(p) != 0 {
+		t.Fatalf("leaf %v attached to %v (level %d), want a lateral level-0 link", leaf, p, f.h.Level(p))
+	}
+	if !f.h.AreNbrs(leaf, p) {
+		t.Fatalf("leaf parent %v is not a neighbor of %v", p, leaf)
+	}
+	// Old region's process stays on the path with c pointing laterally.
+	old := f.h.Cluster(0, 0)
+	c, oldP, _, _ := f.net.Process(old).Pointers()
+	if c != leaf {
+		t.Errorf("old leaf c=%v, want %v", c, leaf)
+	}
+	if oldP != f.h.Parent(old) {
+		t.Errorf("old leaf p=%v, want hierarchy parent", oldP)
+	}
+	// Neighbors of the new leaf learned the lateral link via growNbr.
+	for _, nb := range f.h.Nbrs(leaf) {
+		_, _, _, down := f.net.Process(nb).Pointers()
+		if down != leaf {
+			t.Errorf("neighbor %v nbrptdown=%v, want %v", nb, down, leaf)
+		}
+	}
+}
+
+func TestLongWalkKeepsTracking(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	g := f.tiling
+	// Walk along the top row, then down the right column, settling after
+	// each step (atomic moves, §IV).
+	var path []geo.RegionID
+	for x := 1; x < 8; x++ {
+		path = append(path, g.RegionAt(x, 0))
+	}
+	for y := 1; y < 8; y++ {
+		path = append(path, g.RegionAt(7, y))
+	}
+	for _, u := range path {
+		if err := f.ev.MoveTo(u); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		f.assertTracksEvader()
+	}
+}
+
+func TestAtMostOneLateralLinkPerLevel(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	g := f.tiling
+	for x := 1; x < 8; x++ {
+		if err := f.ev.MoveTo(g.RegionAt(x, 0)); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		// Count lateral links per level along the tracking path (path
+		// segment requirement 3 + Lemma 4.2 imply at most one per level).
+		laterals := make(map[int]int)
+		for _, c := range f.trackingPath() {
+			_, p, _, _ := f.net.Process(c).Pointers()
+			if p != hier.NoCluster && f.h.AreNbrs(c, p) {
+				laterals[f.h.Level(c)]++
+			}
+		}
+		for lvl, n := range laterals {
+			if n > 1 {
+				t.Fatalf("%d lateral links at level %d after move to x=%d", n, lvl, x)
+			}
+		}
+	}
+}
+
+func TestFindReachesEvader(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	origin := f.tiling.RegionAt(7, 7)
+	id, err := f.net.Find(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if len(f.founds) != 1 {
+		t.Fatalf("founds = %v, want exactly one", f.founds)
+	}
+	got := f.founds[0]
+	if got.ID != id || got.Origin != origin {
+		t.Errorf("found = %+v, want id=%d origin=%v", got, id, origin)
+	}
+	if got.FoundAt != f.ev.Region() {
+		t.Errorf("found at %v, want evader region %v", got.FoundAt, f.ev.Region())
+	}
+	if !f.net.FindDone(id) {
+		t.Error("FindDone = false after found")
+	}
+}
+
+func TestFindFromEveryRegion(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 27, alwaysUp: true})
+	f.settle()
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		id, err := f.net.Find(geo.RegionID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		if !f.net.FindDone(id) {
+			t.Fatalf("find from r%d never completed", u)
+		}
+	}
+	if len(f.founds) != f.tiling.NumRegions() {
+		t.Fatalf("founds = %d, want %d", len(f.founds), f.tiling.NumRegions())
+	}
+	for _, r := range f.founds {
+		if r.FoundAt != f.ev.Region() {
+			t.Errorf("find %d found at %v, want %v", r.ID, r.FoundAt, f.ev.Region())
+		}
+	}
+}
+
+func TestFindNearbyUsesSecondaryPointers(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 9, alwaysUp: true}) // (1,1)
+	f.settle()
+	before := f.ledger.Snapshot()
+	// Find from an adjacent region: the level-0 neighbor holds a secondary
+	// pointer (nbrptup) to the path, so the search must finish at level 0
+	// without ever querying level-1 processes.
+	if _, err := f.net.Find(f.tiling.RegionAt(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	diff := f.ledger.Snapshot().Sub(before)
+	if diff.MsgCount["proto/findQuery"] != 0 {
+		t.Errorf("adjacent find sent %d findQueries, want 0 (secondary pointer should short-circuit)", diff.MsgCount["proto/findQuery"])
+	}
+	if len(f.founds) != 1 {
+		t.Fatalf("founds = %v", f.founds)
+	}
+}
+
+func TestFindAfterMoveSequence(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	g := f.tiling
+	for x := 1; x <= 5; x++ {
+		if err := f.ev.MoveTo(g.RegionAt(x, x)); err == nil {
+			f.settle()
+		} else {
+			// Diagonal moves are neighbors on this grid; any error is real.
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.net.Find(g.RegionAt(0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if len(f.founds) != 1 || f.founds[0].FoundAt != f.ev.Region() {
+		t.Fatalf("founds = %+v, want one at %v", f.founds, f.ev.Region())
+	}
+}
+
+func TestConcurrentFindsFromDistinctOrigins(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	origins := []geo.RegionID{
+		f.tiling.RegionAt(7, 7), f.tiling.RegionAt(0, 7),
+		f.tiling.RegionAt(7, 0), f.tiling.RegionAt(3, 4),
+	}
+	ids := make([]FindID, 0, len(origins))
+	for _, u := range origins {
+		id, err := f.net.Find(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	f.settle()
+	for i, id := range ids {
+		if !f.net.FindDone(id) {
+			t.Errorf("concurrent find %d (origin %v) never completed", id, origins[i])
+		}
+	}
+}
+
+func TestMoveWhileFindInProgress(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	id, err := f.net.Find(f.tiling.RegionAt(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the find get partway, then move the evader (§VI concurrency).
+	f.k.RunFor(2 * unit)
+	if err := f.ev.MoveTo(f.tiling.RegionAt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if !f.net.FindDone(id) {
+		t.Fatal("find issued before a move never completed")
+	}
+	if f.founds[0].FoundAt != f.ev.Region() {
+		// The found must be at a region hosting the evader at found time;
+		// with one move and settle, that is the final region.
+		t.Errorf("found at %v, want %v", f.founds[0].FoundAt, f.ev.Region())
+	}
+}
+
+func TestPipelinedMovesSettleToCorrectPath(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	f.settle()
+	// Fire several moves without waiting for updates to complete.
+	g := f.tiling
+	steps := []geo.RegionID{
+		g.RegionAt(1, 0), g.RegionAt(2, 0), g.RegionAt(3, 0),
+		g.RegionAt(4, 0), g.RegionAt(4, 1), g.RegionAt(4, 2),
+	}
+	for _, u := range steps {
+		if err := f.ev.MoveTo(u); err != nil {
+			t.Fatal(err)
+		}
+		f.k.RunFor(unit) // much less than a full settle
+	}
+	f.settle()
+	f.assertTracksEvader()
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+		f.settle()
+		g := f.tiling
+		for x := 1; x < 8; x++ {
+			if err := f.ev.MoveTo(g.RegionAt(x, x%2)); err != nil {
+				t.Fatal(err)
+			}
+			f.settle()
+		}
+		if _, err := f.net.Find(g.RegionAt(0, 7)); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+		return f.ledger.TotalMessages(), f.ledger.TotalWork()
+	}
+	m1, w1 := run()
+	m2, w2 := run()
+	if m1 != m2 || w1 != w2 {
+		t.Fatalf("two identical runs diverged: (%d,%d) vs (%d,%d)", m1, w1, m2, w2)
+	}
+}
+
+func TestScheduleValidateRejectsBadTimers(t *testing.T) {
+	geom := hier.GridFormulas(2, 3)
+	good := DefaultSchedule(geom, unit)
+	if err := good.Validate(geom, unit); err != nil {
+		t.Fatalf("default schedule invalid: %v", err)
+	}
+	bad := Schedule{G: good.G, S: good.G} // s = g: zero slack
+	if err := bad.Validate(geom, unit); err == nil {
+		t.Error("schedule with s=g accepted")
+	}
+	if err := (Schedule{}).Validate(geom, unit); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	uneven := Schedule{G: good.G, S: good.S[:1]}
+	if err := uneven.Validate(geom, unit); err == nil {
+		t.Error("uneven schedule accepted")
+	}
+	neg := Schedule{G: []sim.Time{-1, -1, -1}, S: []sim.Time{unit * 10, unit * 10, unit * 10}}
+	if err := neg.Validate(geom, unit); err == nil {
+		t.Error("negative timers accepted")
+	}
+	tooLong := DefaultSchedule(hier.GridFormulas(2, 5), unit)
+	if err := tooLong.Validate(geom, unit); err == nil {
+		t.Error("schedule longer than geometry accepted")
+	}
+	if got := good.MaxLevel(); got != 2 {
+		t.Errorf("MaxLevel = %d, want 2", got)
+	}
+}
+
+func TestNetworkRejectsInvalidSchedule(t *testing.T) {
+	// Building a network with an s=g schedule must fail Validate.
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	f := newFixture(t, fixtureConfig{side: 4, start: 0, alwaysUp: true})
+	geom := hier.MeasureGeometry(f.h)
+	bad := DefaultSchedule(geom, unit)
+	bad.S = append([]sim.Time(nil), bad.G...) // no slack
+	cg := f.net.cg
+	if _, err := New(cg, geom, WithSchedule(bad)); err == nil {
+		t.Fatal("New accepted a schedule violating condition (1)")
+	}
+}
+
+// The paper delivers move/left inputs to *every* client in the affected
+// region; each broadcasts its detection. With several clients per region,
+// tracking must stay correct (grow receipt is idempotent per the Fig. 2
+// effects) and finds must complete, at proportionally higher client-side
+// message cost.
+func TestMultipleClientsPerRegion(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 0, alwaysUp: true})
+	// Two extra clients in every region (three total per region).
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		for dup := 1; dup <= 2; dup++ {
+			id := vsa.ClientID(1000*dup + u)
+			if _, err := f.net.AddClient(id, geo.RegionID(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f.settle()
+	f.assertTracksEvader()
+
+	before := f.ledger.Snapshot()
+	if err := f.ev.MoveTo(1); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	f.assertTracksEvader()
+	diff := f.ledger.Snapshot().Sub(before)
+	// Three clients in each affected region each broadcast: 3 grows and
+	// 3 shrinks from clients.
+	if got := diff.MsgCount["proto/grow"]; got < 3 {
+		t.Errorf("grow messages = %d, want at least the 3 client detections", got)
+	}
+
+	id, err := f.net.Find(f.tiling.RegionAt(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if !f.net.FindDone(id) {
+		t.Fatal("find incomplete with multiple clients per region")
+	}
+	// All three clients in the evader region would answer the found; the
+	// network deduplicates to one result.
+	count := 0
+	for _, r := range f.founds {
+		if r.ID == id {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("find reported %d times, want exactly 1", count)
+	}
+}

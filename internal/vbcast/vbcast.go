@@ -1,0 +1,128 @@
+// Package vbcast implements V-bcast, the reliable local broadcast service
+// of the VSA layer (paper §II-C "Preliminaries"): communication between
+// clients and VSAs in the same or neighboring regions with message delay δ,
+// where VSA-originated outputs may additionally lag by up to the emulation
+// delay e.
+//
+// Substitution note: on the paper's testbed, δ is the maximum delay of the
+// physical nodes' radio broadcast and e the worst-case lag of the VSA
+// emulation. Here both are simulation parameters; the service delivers at
+// exactly δ (client origin) or δ+e (VSA origin), the worst case the
+// analysis assumes.
+package vbcast
+
+import (
+	"fmt"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+// Service is the local broadcast service. All sends are asynchronous:
+// delivery happens via the VSA layer after the configured delay, and is
+// dropped if the destination has failed (or restarted) in the meantime.
+type Service struct {
+	k      *sim.Kernel
+	layer  *vsa.Layer
+	delta  sim.Time
+	e      sim.Time
+	ledger *metrics.Ledger
+}
+
+// New creates the service. delta is the physical broadcast delay δ and e
+// the VSA emulation output lag; ledger may be nil to disable transport
+// accounting.
+func New(k *sim.Kernel, layer *vsa.Layer, delta, e sim.Time, ledger *metrics.Ledger) *Service {
+	return &Service{k: k, layer: layer, delta: delta, e: e, ledger: ledger}
+}
+
+// Delta returns δ.
+func (s *Service) Delta() sim.Time { return s.delta }
+
+// E returns the emulation lag e.
+func (s *Service) E() sim.Time { return s.e }
+
+// ClientToVSA broadcasts msg from a client to the VSA of target (the
+// client's own region or a neighbor), delivered to the subautomaton at the
+// given level after δ. It returns an error if the sender is dead or the
+// target is out of broadcast range.
+func (s *Service) ClientToVSA(from vsa.ClientID, target geo.RegionID, level int, msg any) error {
+	src := s.layer.ClientRegion(from)
+	if src == geo.NoRegion {
+		return fmt.Errorf("vbcast: client %v not alive", from)
+	}
+	if target != src && !geo.AreNeighbors(s.layer.Tiling(), src, target) {
+		return fmt.Errorf("vbcast: region %v not within broadcast range of %v", target, src)
+	}
+	s.record("transport/client", hopCount(src, target))
+	inc := s.layer.Incarnation(target)
+	s.k.Schedule(s.delta, func() {
+		if s.layer.Incarnation(target) != inc {
+			return // VSA failed or restarted while the message was in flight
+		}
+		s.layer.DeliverToVSA(target, level, msg)
+	})
+	return nil
+}
+
+// VSAToClients broadcasts msg from region from's VSA to every alive client
+// in the target regions (each must be from itself or a neighbor), delivered
+// after δ+e. Clients that die in flight miss the message.
+func (s *Service) VSAToClients(from geo.RegionID, targets []geo.RegionID, msg any) error {
+	if !s.layer.Alive(from) {
+		return fmt.Errorf("vbcast: VSA %v not alive", from)
+	}
+	for _, tgt := range targets {
+		if tgt != from && !geo.AreNeighbors(s.layer.Tiling(), from, tgt) {
+			return fmt.Errorf("vbcast: region %v not within broadcast range of %v", tgt, from)
+		}
+	}
+	s.record("transport/vsa-client", len(targets))
+	tgts := append([]geo.RegionID(nil), targets...)
+	s.k.Schedule(s.delta+s.e, func() {
+		for _, tgt := range tgts {
+			for _, id := range s.layer.ClientsIn(tgt) {
+				s.layer.DeliverToClient(id, msg)
+			}
+		}
+	})
+	return nil
+}
+
+// VSAToVSA relays msg one hop between neighboring regions' VSAs (or
+// self-delivers when from == to), arriving after δ+e. The callback runs at
+// arrival instead of a direct subautomaton delivery, letting higher layers
+// (geocast) continue routing. Delivery is dropped if either endpoint's VSA
+// fails in flight.
+func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
+	if !s.layer.Alive(from) {
+		return fmt.Errorf("vbcast: VSA %v not alive", from)
+	}
+	if to != from && !geo.AreNeighbors(s.layer.Tiling(), from, to) {
+		return fmt.Errorf("vbcast: region %v not a neighbor of %v", to, from)
+	}
+	s.record("transport/hop", hopCount(from, to))
+	inc := s.layer.Incarnation(to)
+	s.k.Schedule(s.delta+s.e, func() {
+		if s.layer.Incarnation(to) != inc || !s.layer.Alive(to) {
+			return
+		}
+		onArrive()
+	})
+	return nil
+}
+
+func (s *Service) record(kind string, hops int) {
+	if s.ledger != nil {
+		s.ledger.RecordMessage(kind, hops)
+	}
+}
+
+func hopCount(from, to geo.RegionID) int {
+	if from == to {
+		return 0
+	}
+	return 1
+}

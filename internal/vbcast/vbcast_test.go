@@ -1,0 +1,193 @@
+package vbcast
+
+import (
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+const (
+	delta = 10 * time.Millisecond
+	lagE  = 5 * time.Millisecond
+)
+
+type recClient struct{ msgs []any }
+
+func (c *recClient) GPSUpdate(geo.RegionID) {}
+func (c *recClient) Receive(msg any)        { c.msgs = append(c.msgs, msg) }
+
+type recVSA struct {
+	levels []int
+	msgs   []any
+}
+
+func (v *recVSA) Receive(level int, msg any) {
+	v.levels = append(v.levels, level)
+	v.msgs = append(v.msgs, msg)
+}
+func (v *recVSA) Reset() { v.levels, v.msgs = nil, nil }
+
+// fixture: 3x3 grid, one client per region, all VSAs alive.
+func setup(t *testing.T) (*sim.Kernel, *vsa.Layer, *Service, []*recVSA, []*recClient) {
+	t.Helper()
+	k := sim.New(7)
+	tiling := geo.MustGridTiling(3, 3)
+	layer := vsa.NewLayer(k, tiling)
+	vsas := make([]*recVSA, tiling.NumRegions())
+	clients := make([]*recClient, tiling.NumRegions())
+	for u := 0; u < tiling.NumRegions(); u++ {
+		vsas[u] = &recVSA{}
+		layer.RegisterVSA(geo.RegionID(u), vsas[u])
+		clients[u] = &recClient{}
+		if err := layer.AddClient(vsa.ClientID(u), geo.RegionID(u), clients[u]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layer.StartAllAlive()
+	svc := New(k, layer, delta, lagE, metrics.NewLedger())
+	return k, layer, svc, vsas, clients
+}
+
+func TestClientToVSADelay(t *testing.T) {
+	k, _, svc, vsas, _ := setup(t)
+	if err := svc.ClientToVSA(4, 4, 2, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(delta - time.Millisecond)
+	if len(vsas[4].msgs) != 0 {
+		t.Fatal("message delivered before δ")
+	}
+	k.RunUntil(delta)
+	if len(vsas[4].msgs) != 1 || vsas[4].msgs[0] != "hello" || vsas[4].levels[0] != 2 {
+		t.Fatalf("delivery = %v at levels %v", vsas[4].msgs, vsas[4].levels)
+	}
+}
+
+func TestClientToVSANeighborAllowedFarRejected(t *testing.T) {
+	k, _, svc, vsas, _ := setup(t)
+	// Client in r0 to neighboring region r1's VSA: allowed.
+	if err := svc.ClientToVSA(0, 1, 0, "nbr"); err != nil {
+		t.Fatal(err)
+	}
+	// r0 to r8 (not neighbors): rejected.
+	if err := svc.ClientToVSA(0, 8, 0, "far"); err == nil {
+		t.Fatal("out-of-range broadcast accepted")
+	}
+	k.Run()
+	if len(vsas[1].msgs) != 1 {
+		t.Fatalf("neighbor delivery = %v", vsas[1].msgs)
+	}
+}
+
+func TestClientToVSADeadSender(t *testing.T) {
+	_, layer, svc, _, _ := setup(t)
+	layer.FailClient(0)
+	if err := svc.ClientToVSA(0, 0, 0, "x"); err == nil {
+		t.Fatal("send from dead client accepted")
+	}
+}
+
+func TestClientToVSADroppedWhenVSAFails(t *testing.T) {
+	k, layer, svc, vsas, _ := setup(t)
+	if err := svc.ClientToVSA(0, 1, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// r1's VSA fails mid-flight (its only client leaves).
+	k.RunFor(delta / 2)
+	if err := layer.MoveClient(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(vsas[1].msgs) != 0 {
+		t.Fatal("message delivered to failed VSA")
+	}
+}
+
+func TestVSAToClientsBroadcast(t *testing.T) {
+	k, _, svc, _, clients := setup(t)
+	targets := []geo.RegionID{4, 1, 3}
+	if err := svc.VSAToClients(4, targets, "found"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(delta + lagE - time.Millisecond)
+	if len(clients[4].msgs) != 0 {
+		t.Fatal("delivered before δ+e")
+	}
+	k.Run()
+	for _, u := range targets {
+		if len(clients[u].msgs) != 1 {
+			t.Errorf("client in r%d got %v, want one message", u, clients[u].msgs)
+		}
+	}
+	if len(clients[8].msgs) != 0 {
+		t.Error("untargeted client received broadcast")
+	}
+}
+
+func TestVSAToClientsValidation(t *testing.T) {
+	_, layer, svc, _, _ := setup(t)
+	if err := svc.VSAToClients(0, []geo.RegionID{8}, "x"); err == nil {
+		t.Error("broadcast to non-neighbor accepted")
+	}
+	// Kill r0's VSA (its client leaves).
+	if err := layer.MoveClient(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.VSAToClients(0, []geo.RegionID{0}, "x"); err == nil {
+		t.Error("broadcast from dead VSA accepted")
+	}
+}
+
+func TestVSAToVSARelay(t *testing.T) {
+	k, _, svc, _, _ := setup(t)
+	var arrivedAt sim.Time = -1
+	if err := svc.VSAToVSA(0, 1, func() { arrivedAt = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrivedAt != delta+lagE {
+		t.Fatalf("arrived at %v, want %v", arrivedAt, delta+lagE)
+	}
+	if err := svc.VSAToVSA(0, 8, func() {}); err == nil {
+		t.Error("non-neighbor relay accepted")
+	}
+}
+
+func TestVSAToVSADroppedOnDestFailure(t *testing.T) {
+	k, layer, svc, _, _ := setup(t)
+	arrived := false
+	if err := svc.VSAToVSA(0, 1, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(delta / 2)
+	if err := layer.MoveClient(1, 2); err != nil { // r1 VSA dies
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("relay arrived at failed VSA")
+	}
+}
+
+func TestVSAToVSASelfDelivery(t *testing.T) {
+	k, _, svc, _, _ := setup(t)
+	arrived := false
+	if err := svc.VSAToVSA(3, 3, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !arrived {
+		t.Fatal("self relay never arrived")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	_, _, svc, _, _ := setup(t)
+	if svc.Delta() != delta || svc.E() != lagE {
+		t.Errorf("Delta/E = %v/%v", svc.Delta(), svc.E())
+	}
+}

@@ -1,0 +1,67 @@
+// Package vinestalk is a faithful, executable reproduction of
+// "A Virtual Node-Based Tracking Algorithm for Mobile Networks"
+// (Nolte & Lynch, ICDCS 2007): the VINESTALK mobile-object tracking
+// algorithm on the Virtual Stationary Automata (VSA) layer.
+//
+// The package is a facade over the internal implementation:
+//
+//   - a deterministic discrete-event simulation of the VSA layer (mobile
+//     clients, per-region virtual automata, V-bcast/geocast/C-gcast
+//     communication with the paper's delay schedule);
+//   - the Tracker automaton of the paper's Fig. 2 (grow/shrink path
+//     maintenance with lateral links and secondary pointers, search/trace
+//     finds), one process per cluster of a base-r grid hierarchy;
+//   - the correctness machinery of §IV-C (Fig. 3 lookAhead, the atomic
+//     specification, consistency predicates) as runtime checkers;
+//   - the §VII extensions (heartbeat healing after VSA failures).
+//
+// # Quickstart
+//
+//	svc, err := vinestalk.New(vinestalk.Config{Width: 16, AlwaysAliveVSAs: true})
+//	if err != nil { ... }
+//	_ = svc.Settle()                     // build the initial tracking path
+//	_ = svc.MoveEvader(svc.Evader().Region() + 1)
+//	_ = svc.Settle()                     // path updated (O(log D) work)
+//	id, _ := svc.Find(vinestalk.RegionID(0))
+//	_ = svc.Settle()                     // found at the evader's region
+//	fmt.Println(svc.FindDone(id), svc.Founds())
+//
+// Deeper control (mobility models, failure injection, raw tracker state,
+// experiment drivers) is available through the Service accessors; see the
+// repository's examples/ directory and DESIGN.md.
+package vinestalk
+
+import (
+	"vinestalk/internal/core"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/tracker"
+)
+
+type (
+	// Config describes a tracking-service deployment: grid size,
+	// hierarchy base, delays δ and e, failure semantics, and extensions.
+	Config = core.Config
+	// Service is an assembled tracking service over the VSA layer.
+	Service = core.Service
+	// RegionID identifies a region of the deployment space.
+	RegionID = geo.RegionID
+	// FindID identifies a find operation.
+	FindID = tracker.FindID
+	// ObjectID identifies a tracked mobile object (§VII multiple objects).
+	ObjectID = tracker.ObjectID
+	// FindResult reports a completed find (origin, region found at).
+	FindResult = tracker.FindResult
+	// Schedule holds the grow/shrink timer functions g, s of §IV-B.
+	Schedule = tracker.Schedule
+	// Time is virtual simulation time.
+	Time = sim.Time
+)
+
+// NoRegion is the sentinel for "no region".
+const NoRegion = geo.NoRegion
+
+// New assembles and boots a tracking service: tiling, hierarchy, VSA
+// layer, communication services, tracker processes, one sensor client per
+// region, and the evader at its start region.
+func New(cfg Config) (*Service, error) { return core.New(cfg) }

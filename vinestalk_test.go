@@ -1,0 +1,53 @@
+package vinestalk_test
+
+import (
+	"testing"
+
+	"vinestalk"
+)
+
+// The facade quickstart path, exactly as a downstream user would write it.
+func TestQuickstartFlow(t *testing.T) {
+	svc, err := vinestalk.New(vinestalk.Config{Width: 8, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.MoveEvader(svc.Tiling().RegionAt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Find(svc.Tiling().RegionAt(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.FindDone(id) {
+		t.Fatal("find did not complete")
+	}
+	founds := svc.Founds()
+	if len(founds) != 1 || founds[0].FoundAt != svc.Evader().Region() {
+		t.Fatalf("founds = %+v", founds)
+	}
+	if err := svc.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CheckTheorem48(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if vinestalk.NoRegion.Valid() {
+		t.Error("NoRegion should be invalid")
+	}
+	if _, err := vinestalk.New(vinestalk.Config{}); err == nil {
+		t.Error("New accepted empty config")
+	}
+}
