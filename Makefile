@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments experiments-quick fuzz cover clean
+.PHONY: all build test test-short race vet bench experiments experiments-quick fuzz cover clean
 
 all: build vet test
 
@@ -18,6 +18,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full suite under the race detector — the sweep engine's correctness bar.
+race:
+	$(GO) test -race ./...
 
 # One benchmark target per experiment table plus micro-benches.
 bench:

@@ -29,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Run(true)
+		res, err := exp.Run(experiments.Env{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E1,E4] [-csv results]
+//	experiments [-quick] [-only E1,E4] [-csv results] [-parallel N]
+//
+// Experiments and their sweep cells run on -parallel workers (default
+// GOMAXPROCS); the rendered tables are byte-identical at any worker count.
 package main
 
 import (
@@ -23,12 +26,19 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced grid sizes and repetition counts")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<ID>.csv")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 	var ids []string
 	if *only != "" {
 		ids = strings.Split(*only, ",")
 	}
-	if err := experiments.RunAll(os.Stdout, *quick, ids, *csvDir); err != nil {
+	err := experiments.RunAll(os.Stdout, experiments.Options{
+		Quick:    *quick,
+		Only:     ids,
+		CSVDir:   *csvDir,
+		Parallel: *parallel,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -18,10 +18,10 @@ import (
 // while find work (Theorem 5.2's Σ(1+ω(j))n(j) term) stays O(d) for every
 // base. The check is that no base blows up: all bases stay within a small
 // constant factor on both operations, and the protocol stays correct.
-func A1BaseSweep(quick bool) (*Result, error) {
+func A1BaseSweep(env Env) (*Result, error) {
 	side := 16
 	steps := 24
-	if quick {
+	if env.Quick {
 		steps = 12
 	}
 	res := &Result{Table: Table{
@@ -31,9 +31,15 @@ func A1BaseSweep(quick bool) (*Result, error) {
 		Columns: []string{"r", "MAX", "move work/step", "find work (corner)", "find latency"},
 	}}
 
-	type point struct{ move, find float64 }
-	var points []point
-	for _, r := range []int{2, 3, 4} {
+	// One sweep cell per hierarchy base, each on its own service.
+	type point struct {
+		r        int
+		maxLevel int
+		move     float64
+		find     float64
+		lat      time.Duration
+	}
+	points, err := cells(env, []int{2, 3, 4}, func(r int) (point, error) {
 		svc, err := core.New(core.Config{
 			Width:           side,
 			Base:            r,
@@ -42,10 +48,10 @@ func A1BaseSweep(quick bool) (*Result, error) {
 			Seed:            int64(r),
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return point{}, err
 		}
 		// Finds first, with the evader parked at the center, averaged over
 		// all four corners (same distance for every base).
@@ -59,13 +65,11 @@ func A1BaseSweep(quick bool) (*Result, error) {
 		for _, u := range corners {
 			_, fw, l, err := svc.FindStats(u)
 			if err != nil {
-				return nil, fmt.Errorf("r=%d find: %w", r, err)
+				return point{}, fmt.Errorf("r=%d find: %w", r, err)
 			}
 			findWork += fw
 			lat += l
 		}
-		findPer := float64(findWork) / float64(len(corners))
-		avgLat := time.Duration(int64(lat) / int64(len(corners)))
 
 		model := evader.RandomWalk{Tiling: svc.Tiling()}
 		var moveWork int64
@@ -73,13 +77,23 @@ func A1BaseSweep(quick bool) (*Result, error) {
 			next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
 			_, w, _, err := svc.MoveStats(next)
 			if err != nil {
-				return nil, fmt.Errorf("r=%d: %w", r, err)
+				return point{}, fmt.Errorf("r=%d: %w", r, err)
 			}
 			moveWork += w
 		}
-		movePer := float64(moveWork) / float64(steps)
-		res.Table.AddRow(r, svc.Hierarchy().MaxLevel(), movePer, findPer, avgLat)
-		points = append(points, point{move: movePer, find: findPer})
+		return point{
+			r:        r,
+			maxLevel: svc.Hierarchy().MaxLevel(),
+			move:     float64(moveWork) / float64(steps),
+			find:     float64(findWork) / float64(len(corners)),
+			lat:      time.Duration(int64(lat) / int64(len(corners))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.Table.AddRow(p.r, p.maxLevel, p.move, p.find, p.lat)
 	}
 
 	minM, maxM := points[0].move, points[0].move
@@ -98,10 +112,10 @@ func A1BaseSweep(quick bool) (*Result, error) {
 // heads shorten head-to-head routes, so both move and find work should be
 // no worse — this quantifies the constant-factor price of careless head
 // placement.
-func A2HeadPlacement(quick bool) (*Result, error) {
+func A2HeadPlacement(env Env) (*Result, error) {
 	side := 16
 	steps := 24
-	if quick {
+	if env.Quick {
 		steps = 12
 	}
 	res := &Result{Table: Table{
@@ -141,17 +155,33 @@ func A2HeadPlacement(quick bool) (*Result, error) {
 		return float64(moveWork) / float64(steps), float64(fw), nil
 	}
 
-	tiling := geo.MustGridTiling(side, side)
-	centralMove, centralFind, err := measure(hier.GridCentroidHead(tiling), "central")
+	// One sweep cell per head-placement variant; each builds its own tiling
+	// and selector so nothing is shared across cells.
+	type variant struct {
+		label string
+		sel   func(*geo.GridTiling) hier.HeadSelector
+	}
+	variants := []variant{
+		{"central", func(t *geo.GridTiling) hier.HeadSelector { return hier.GridCentroidHead(t) }},
+		{"min-id", func(*geo.GridTiling) hier.HeadSelector { return hier.MinIDHead }},
+	}
+	type point struct{ move, find float64 }
+	points, err := cells(env, variants, func(v variant) (point, error) {
+		t := geo.MustGridTiling(side, side)
+		move, find, err := measure(v.sel(t), v.label)
+		if err != nil {
+			return point{}, err
+		}
+		return point{move: move, find: find}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Table.AddRow("central", centralMove, centralFind)
-	cornerMove, cornerFind, err := measure(hier.MinIDHead, "min-id")
-	if err != nil {
-		return nil, err
+	for i, p := range points {
+		res.Table.AddRow(variants[i].label, p.move, p.find)
 	}
-	res.Table.AddRow("min-id", cornerMove, cornerFind)
+	centralMove, centralFind := points[0].move, points[0].find
+	cornerMove, cornerFind := points[1].move, points[1].find
 
 	res.check("central heads no worse on moves", centralMove <= 1.15*cornerMove,
 		"central %.2f vs min-id %.2f per move", centralMove, cornerMove)
@@ -165,10 +195,10 @@ func A2HeadPlacement(quick bool) (*Result, error) {
 // shrink timers. Work should be insensitive (the same messages flow), but
 // settle time grows with slack — showing the condition, not the constants,
 // is what correctness rests on.
-func A3ScheduleSlack(quick bool) (*Result, error) {
+func A3ScheduleSlack(env Env) (*Result, error) {
 	side := 16
 	steps := 16
-	if quick {
+	if env.Quick {
 		steps = 8
 	}
 	res := &Result{Table: Table{
@@ -232,27 +262,34 @@ func A3ScheduleSlack(quick bool) (*Result, error) {
 				ok = false
 			}
 		}
-		p := point{
+		return point{
 			work:   float64(work) / float64(steps),
 			settle: settle / time.Duration(steps),
 			ok:     ok,
-		}
-		res.Table.AddRow(name, p.work, p.settle, p.ok)
-		return p, nil
+		}, nil
 	}
 
-	tp, err := measure("tight (min slack)", tight)
+	// One sweep cell per schedule variant (the schedules themselves are
+	// cheap, deterministic derivations shared read-only).
+	type variant struct {
+		name string
+		sch  tracker.Schedule
+	}
+	variants := []variant{
+		{"tight (min slack)", tight},
+		{"default", def},
+		{"4x slack", slack},
+	}
+	points, err := cells(env, variants, func(v variant) (point, error) {
+		return measure(v.name, v.sch)
+	})
 	if err != nil {
 		return nil, err
 	}
-	dp, err := measure("default", def)
-	if err != nil {
-		return nil, err
+	for i, p := range points {
+		res.Table.AddRow(variants[i].name, p.work, p.settle, p.ok)
 	}
-	sp, err := measure("4x slack", slack)
-	if err != nil {
-		return nil, err
-	}
+	tp, dp, sp := points[0], points[1], points[2]
 
 	res.check("all schedules correct", tp.ok && dp.ok && sp.ok, "Theorem 4.8 held after every move under all three")
 	res.check("work slack-insensitive", maxFloat(tp.work, maxFloat(dp.work, sp.work)) <=

@@ -13,10 +13,10 @@ import (
 // sets of VSAs". The experiment measures the work overhead on a standard
 // workload and then kills a primary head VSA — finds must keep completing
 // through the backup replica, where the unreplicated tracker breaks.
-func A4Quorum(quick bool) (*Result, error) {
+func A4Quorum(env Env) (*Result, error) {
 	side := 8
 	moves := 6
-	if !quick {
+	if !env.Quick {
 		side = 16
 		moves = 10
 	}
@@ -96,14 +96,12 @@ func A4Quorum(quick bool) (*Result, error) {
 		return outcome{work: work, survives: svc.FindDone(id)}, nil
 	}
 
-	plain, err := measure(false)
+	// One sweep cell per variant, each on its own service.
+	outcomes, err := cells(env, []bool{false, true}, measure)
 	if err != nil {
 		return nil, err
 	}
-	repl, err := measure(true)
-	if err != nil {
-		return nil, err
-	}
+	plain, repl := outcomes[0], outcomes[1]
 	res.Table.AddRow("single head", plain.work, 1.0, plain.survives)
 	res.Table.AddRow("replicated heads", repl.work, float64(repl.work)/float64(plain.work), repl.survives)
 

@@ -14,10 +14,12 @@ import (
 // across a 32×32 grid — crossing a level-l block boundary exactly every
 // r^l steps — and the measured per-level grow-receipt counts must fall
 // geometrically by ≈ r per level.
-func A5Amortization(quick bool) (*Result, error) {
+// A5 is a single-scenario experiment (one evader, one grid), so it has no
+// parameter sweep to parallelize; it runs sequentially under any Env.
+func A5Amortization(env Env) (*Result, error) {
 	side := 32
 	sweeps := 3
-	if quick {
+	if env.Quick {
 		side = 16
 		sweeps = 2
 	}

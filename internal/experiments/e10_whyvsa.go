@@ -25,10 +25,10 @@ import (
 // (each at least one broadcast). The first column is measured; the second
 // is the modeled lower bound on the alternative's extra cost, clearly
 // labeled as such.
-func E10WhyVSA(quick bool) (*Result, error) {
+func E10WhyVSA(env Env) (*Result, error) {
 	side := 8
 	moves := 12
-	if !quick {
+	if !env.Quick {
 		side = 16
 		moves = 20
 	}
@@ -40,13 +40,15 @@ func E10WhyVSA(quick bool) (*Result, error) {
 		Columns: []string{"churn (client hops/move)", "move work/step", "find work", "state-bearing handoffs (modeled)"},
 	}}
 
+	// One sweep cell per churn rate, each with its own service and client
+	// population.
 	type point struct {
 		churn    int
 		moveWork float64
+		findWork int64
 		handoffs int
 	}
-	var points []point
-	for _, churn := range churnRates {
+	points, err := cells(env, churnRates, func(churn int) (point, error) {
 		svc, err := core.New(core.Config{
 			Width:           side,
 			AlwaysAliveVSAs: true, // coverage maintained; churn only relocates extras
@@ -54,10 +56,10 @@ func E10WhyVSA(quick bool) (*Result, error) {
 			Seed:            83,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return point{}, err
 		}
 		// A population of mobile clients on top of the stationary one.
 		// Churn and the evader walk draw from independent streams so the
@@ -68,7 +70,7 @@ func E10WhyVSA(quick bool) (*Result, error) {
 		for i := 0; i < 16; i++ {
 			id := vsa.ClientID(1000 + i)
 			if _, err := svc.Network().AddClient(id, geo.RegionID(rng.Intn(side*side))); err != nil {
-				return nil, err
+				return point{}, err
 			}
 			mobiles = append(mobiles, id)
 		}
@@ -85,7 +87,7 @@ func E10WhyVSA(quick bool) (*Result, error) {
 				from := svc.Layer().ClientRegion(id)
 				nbrs := svc.Tiling().Neighbors(from)
 				if err := svc.Layer().MoveClient(id, nbrs[rng.Intn(len(nbrs))]); err != nil {
-					return nil, err
+					return point{}, err
 				}
 				if bearing[from] {
 					handoffs++
@@ -94,17 +96,26 @@ func E10WhyVSA(quick bool) (*Result, error) {
 			nbrs := svc.Tiling().Neighbors(svc.Evader().Region())
 			_, w, _, err := svc.MoveStats(nbrs[walkRng.Intn(len(nbrs))])
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			moveWork += w
 		}
 		_, findWork, _, err := svc.FindStats(svc.Tiling().RegionAt(0, 0))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		perMove := float64(moveWork) / float64(moves)
-		res.Table.AddRow(churn, perMove, findWork, handoffs)
-		points = append(points, point{churn: churn, moveWork: perMove, handoffs: handoffs})
+		return point{
+			churn:    churn,
+			moveWork: float64(moveWork) / float64(moves),
+			findWork: findWork,
+			handoffs: handoffs,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.Table.AddRow(p.churn, p.moveWork, p.findWork, p.handoffs)
 	}
 
 	lo, hi := points[0].moveWork, points[0].moveWork

@@ -14,9 +14,9 @@ import (
 // evader sits at the grid center; finds are issued from origins at
 // doubling distances, and the per-distance averages must grow linearly
 // (flat work/d within a constant factor).
-func E1FindCost(quick bool) (*Result, error) {
+func E1FindCost(env Env) (*Result, error) {
 	side := 32
-	if quick {
+	if env.Quick {
 		side = 16
 	}
 	res := &Result{Table: Table{
@@ -26,28 +26,37 @@ func E1FindCost(quick bool) (*Result, error) {
 		Columns: []string{"d", "finds", "msgs", "work", "latency", "work/d", "latency/d"},
 	}}
 
-	svc, err := core.New(core.Config{
-		Width:           side,
-		AlwaysAliveVSAs: true,
-		Start:           centerRegion(side),
-		FormulaGeometry: side >= 32,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := svc.Settle(); err != nil {
-		return nil, err
+	var distances []int
+	for d := 1; d <= side/2-1; d *= 2 {
+		distances = append(distances, d)
 	}
 
+	// One sweep cell per distance: each builds its own settled service (the
+	// evader parked at the center) and issues that distance's find batch.
 	type point struct {
 		d       int
+		n       int
+		avgMsgs float64
+		avgWork float64
+		avgLat  time.Duration
 		workPer float64
 		latPer  float64
 	}
-	var points []point
-	g := svc.Tiling()
-	cx, cy := side/2, side/2
-	for d := 1; d <= side/2-1; d *= 2 {
+	measured, err := cells(env, distances, func(d int) (point, error) {
+		svc, err := core.New(core.Config{
+			Width:           side,
+			AlwaysAliveVSAs: true,
+			Start:           centerRegion(side),
+			FormulaGeometry: side >= 32,
+		})
+		if err != nil {
+			return point{}, err
+		}
+		if err := svc.Settle(); err != nil {
+			return point{}, err
+		}
+		g := svc.Tiling()
+		cx, cy := side/2, side/2
 		origins := originsAtDistance(g, cx, cy, d)
 		var msgs, work int64
 		var lat sim.Time
@@ -55,7 +64,7 @@ func E1FindCost(quick bool) (*Result, error) {
 		for _, u := range origins {
 			m, w, l, err := svc.FindStats(u)
 			if err != nil {
-				return nil, fmt.Errorf("find at distance %d from %v: %w", d, u, err)
+				return point{}, fmt.Errorf("find at distance %d from %v: %w", d, u, err)
 			}
 			msgs += m
 			work += w
@@ -63,13 +72,28 @@ func E1FindCost(quick bool) (*Result, error) {
 			n++
 		}
 		if n == 0 {
-			continue
+			return point{d: d}, nil
 		}
 		avgWork := float64(work) / float64(n)
 		avgLat := time.Duration(int64(lat) / int64(n))
-		res.Table.AddRow(d, n, float64(msgs)/float64(n), avgWork,
-			avgLat, avgWork/float64(d), time.Duration(int64(avgLat)/int64(d)))
-		points = append(points, point{d: d, workPer: avgWork / float64(d), latPer: float64(avgLat) / float64(d)})
+		return point{
+			d: d, n: n, avgMsgs: float64(msgs) / float64(n),
+			avgWork: avgWork, avgLat: avgLat,
+			workPer: avgWork / float64(d), latPer: float64(avgLat) / float64(d),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var points []point
+	for _, p := range measured {
+		if p.n == 0 {
+			continue
+		}
+		res.Table.AddRow(p.d, p.n, p.avgMsgs, p.avgWork,
+			p.avgLat, p.workPer, time.Duration(int64(p.avgLat)/int64(p.d)))
+		points = append(points, p)
 	}
 
 	// Shape check: work/d and latency/d stay within a constant factor

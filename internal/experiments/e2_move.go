@@ -15,10 +15,10 @@ import (
 // O(d·r·log_r D) work and time. A random walk of fixed length runs on
 // grids of doubling diameter; per-step work must grow like log D — far
 // slower than D itself.
-func E2MoveCost(quick bool) (*Result, error) {
+func E2MoveCost(env Env) (*Result, error) {
 	sides := []int{8, 16, 32, 64}
 	steps := 30
-	if quick {
+	if env.Quick {
 		sides = []int{8, 16, 32}
 		steps = 15
 	}
@@ -29,12 +29,14 @@ func E2MoveCost(quick bool) (*Result, error) {
 		Columns: []string{"side", "D", "log2(D)", "steps", "work/step", "time/step", "(work/step)/log2(D)"},
 	}}
 
+	// One sweep cell per grid size: each builds its own service and walks
+	// its own seeded random walk.
 	type point struct {
 		d        int
 		workStep float64
+		timeStep time.Duration
 	}
-	var points []point
-	for _, side := range sides {
+	points, err := cells(env, sides, func(side int) (point, error) {
 		svc, err := core.New(core.Config{
 			Width:           side,
 			AlwaysAliveVSAs: true,
@@ -43,10 +45,10 @@ func E2MoveCost(quick bool) (*Result, error) {
 			Seed:            7,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return point{}, err
 		}
 		model := evader.RandomWalk{Tiling: svc.Tiling()}
 		var work int64
@@ -55,17 +57,23 @@ func E2MoveCost(quick bool) (*Result, error) {
 			next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
 			_, w, dt, err := svc.MoveStats(next)
 			if err != nil {
-				return nil, fmt.Errorf("side %d step %d: %w", side, i, err)
+				return point{}, fmt.Errorf("side %d step %d: %w", side, i, err)
 			}
 			work += w
 			elapsed += dt
 		}
-		diam := side - 1
-		logD := math.Log2(float64(diam))
-		workStep := float64(work) / float64(steps)
-		res.Table.AddRow(side, diam, logD, steps, workStep,
-			time.Duration(int64(elapsed)/int64(steps)), workStep/logD)
-		points = append(points, point{d: diam, workStep: workStep})
+		return point{
+			d:        side - 1,
+			workStep: float64(work) / float64(steps),
+			timeStep: time.Duration(int64(elapsed) / int64(steps)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		logD := math.Log2(float64(p.d))
+		res.Table.AddRow(sides[i], p.d, logD, steps, p.workStep, p.timeStep, p.workStep/logD)
 	}
 
 	// Shape checks: growth across the sweep must be far below linear in D

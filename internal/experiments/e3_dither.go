@@ -12,10 +12,10 @@ import (
 // across the top-level cluster boundary. With lateral links the per-move
 // work stays constant as the grid grows; without them every crossing
 // rebuilds the path to the root, so per-move work grows with the diameter.
-func E3Dithering(quick bool) (*Result, error) {
+func E3Dithering(env Env) (*Result, error) {
 	sides := []int{8, 16, 32}
 	oscillations := 24
-	if quick {
+	if env.Quick {
 		sides = []int{8, 16}
 		oscillations = 12
 	}
@@ -26,19 +26,25 @@ func E3Dithering(quick bool) (*Result, error) {
 		Columns: []string{"side", "lateral work/move", "no-lateral work/move", "ratio"},
 	}}
 
+	// One sweep cell per grid size; each cell runs both variants on its own
+	// pair of services.
 	type point struct{ lateral, nolateral float64 }
-	var points []point
-	for _, side := range sides {
+	points, err := cells(env, sides, func(side int) (point, error) {
 		lat, err := ditherWorkPerMove(side, oscillations, false)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		nolat, err := ditherWorkPerMove(side, oscillations, true)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		res.Table.AddRow(side, lat, nolat, nolat/lat)
-		points = append(points, point{lateral: lat, nolateral: nolat})
+		return point{lateral: lat, nolateral: nolat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		res.Table.AddRow(sides[i], p.lateral, p.nolateral, p.nolateral/p.lateral)
 	}
 
 	last := points[len(points)-1]

@@ -31,9 +31,9 @@ type e4Outcome struct {
 //     linearly (Theorem 5.2 vs expanding ring);
 //   - the hierarchical directory without lateral links (hierdir, GLS-like)
 //     pays ~D per move under dithering, VINESTALK stays flat (§IV).
-func E4Baselines(quick bool) (*Result, error) {
+func E4Baselines(env Env) (*Result, error) {
 	sides := []int{8, 16, 32}
-	if quick {
+	if env.Quick {
 		sides = []int{8, 24}
 	}
 	const (
@@ -48,27 +48,40 @@ func E4Baselines(quick bool) (*Result, error) {
 			"local-find work", "dither work"},
 	}}
 
-	vines := make(map[int]e4Outcome)
-	base := make(map[int]map[string]e4Outcome)
-	for _, side := range sides {
+	// One sweep cell per grid size: each cell builds its own workload and
+	// runs all four trackers on private kernels.
+	type cell struct {
+		v  e4Outcome
+		bs map[string]e4Outcome
+	}
+	measured, err := cells(env, sides, func(side int) (cell, error) {
 		// The walk length scales with the grid so the object actually
 		// ranges over it (a fixed-length walk would hide the centralized
 		// scheme's Θ(D) move cost behind a near-home workload).
 		workload := buildE4Workload(side, 2*side, findsEach, ditherMoves)
 		v, err := runE4Vinestalk(side, workload)
 		if err != nil {
-			return nil, fmt.Errorf("side %d vinestalk: %w", side, err)
+			return cell{}, fmt.Errorf("side %d vinestalk: %w", side, err)
 		}
-		vines[side] = v
-		res.Table.AddRow(side, "vinestalk", v.moveWork, v.farFind, v.localFind, v.ditherWork)
-
 		bs, err := runE4Baselines(side, workload)
 		if err != nil {
-			return nil, fmt.Errorf("side %d baselines: %w", side, err)
+			return cell{}, fmt.Errorf("side %d baselines: %w", side, err)
 		}
-		base[side] = bs
+		return cell{v: v, bs: bs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	vines := make(map[int]e4Outcome)
+	base := make(map[int]map[string]e4Outcome)
+	for i, c := range measured {
+		side := sides[i]
+		vines[side] = c.v
+		res.Table.AddRow(side, "vinestalk", c.v.moveWork, c.v.farFind, c.v.localFind, c.v.ditherWork)
+		base[side] = c.bs
 		for _, name := range []string{"rootptr", "flood", "hierdir"} {
-			o := bs[name]
+			o := c.bs[name]
 			res.Table.AddRow(side, name, o.moveWork, o.farFind, o.localFind, o.ditherWork)
 		}
 	}

@@ -14,7 +14,7 @@ import (
 // atomicMoveSeq (Theorem 4.8 with lookAhead = identity at quiescence), and
 // the Lemma 4.1/4.3 invariants must hold at sampled mid-flight event
 // boundaries.
-func E5Checker(quick bool) (*Result, error) {
+func E5Checker(env Env) (*Result, error) {
 	configs := []struct {
 		side, base int
 		steps      int
@@ -23,7 +23,7 @@ func E5Checker(quick bool) (*Result, error) {
 		{16, 2, 25},
 		{9, 3, 25},
 	}
-	if quick {
+	if env.Quick {
 		configs = configs[:2]
 		for i := range configs {
 			configs[i].steps = 12
@@ -36,8 +36,15 @@ func E5Checker(quick bool) (*Result, error) {
 		Columns: []string{"grid", "base", "moves", "quiescent checks", "mid-flight checks", "violations"},
 	}}
 
-	totalViolations := 0
-	for _, cfg := range configs {
+	// One sweep cell per configuration, each on its own service and RNG.
+	type cell struct {
+		quiescent, midflight, violations int
+	}
+	type config = struct {
+		side, base int
+		steps      int
+	}
+	measured, err := cells(env, configs, func(cfg config) (cell, error) {
 		svc, err := core.New(core.Config{
 			Width:           cfg.side,
 			Base:            cfg.base,
@@ -46,48 +53,57 @@ func E5Checker(quick bool) (*Result, error) {
 			Seed:            13,
 		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		rng := rand.New(rand.NewSource(17))
-		quiescent, midflight, violations := 0, 0, 0
+		var c cell
 		for step := 0; step < cfg.steps; step++ {
 			nbrs := svc.Tiling().Neighbors(svc.Evader().Region())
 			if err := svc.MoveEvader(nbrs[rng.Intn(len(nbrs))]); err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			// Mid-flight: step the kernel event by event, checking the
 			// invariants and the lookAhead equality at each boundary.
 			want, err := lookahead.AtomicMoveSeq(svc.Hierarchy(), svc.Evader().Trail())
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			for {
 				snap := lookahead.Capture(svc.Network())
 				if err := snap.CheckInvariants(); err != nil {
-					violations++
+					c.violations++
 				}
 				if diff := lookahead.Equal(lookahead.LookAhead(snap), want); diff != "" {
-					violations++
+					c.violations++
 				}
-				midflight++
+				c.midflight++
 				if !svc.Kernel().Step() {
 					break
 				}
 			}
 			if err := svc.CheckConsistent(); err != nil {
-				violations++
+				c.violations++
 			}
 			if err := svc.CheckTheorem48(); err != nil {
-				violations++
+				c.violations++
 			}
-			quiescent++
+			c.quiescent++
 		}
-		totalViolations += violations
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalViolations := 0
+	for i, c := range measured {
+		cfg := configs[i]
+		totalViolations += c.violations
 		res.Table.AddRow(fmt.Sprintf("%dx%d", cfg.side, cfg.side), cfg.base,
-			cfg.steps, quiescent*2, midflight*2, violations)
+			cfg.steps, c.quiescent*2, c.midflight*2, c.violations)
 	}
 	res.check("no violations", totalViolations == 0, "%d violations across all configurations", totalViolations)
 	return res, nil

@@ -16,10 +16,10 @@ import (
 // within a constant factor of the atomic case — as long as the object is
 // slow enough. Sweeping the move period down shows the degradation the
 // paper's speed restriction exists to prevent.
-func E6Concurrent(quick bool) (*Result, error) {
+func E6Concurrent(env Env) (*Result, error) {
 	side := 16
 	findCount := 10
-	if quick {
+	if env.Quick {
 		side = 8
 		findCount = 6
 	}
@@ -42,14 +42,17 @@ func E6Concurrent(quick bool) (*Result, error) {
 		return nil, err
 	}
 
+	// One sweep cell per move period, each with its own service and walker;
+	// the atomic reference above is shared read-only.
 	type point struct {
 		period   int
+		issued   int
 		done     int
+		avg      time.Duration
 		stretch  float64
 		maxLevel int
 	}
-	var points []point
-	for _, p := range periods {
+	points, err := cells(env, periods, func(p int) (point, error) {
 		period := sim.Time(p) * unit
 		svc, err := core.New(core.Config{
 			Width:           side,
@@ -58,10 +61,10 @@ func E6Concurrent(quick bool) (*Result, error) {
 			Seed:            int64(p),
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return point{}, err
 		}
 		evader.StartWalker(svc.Kernel(), svc.Evader(),
 			evader.RandomWalk{Tiling: svc.Tiling()}, period, -1, nil)
@@ -74,7 +77,7 @@ func E6Concurrent(quick bool) (*Result, error) {
 			svc.RunFor(2 * period)
 			id, err := svc.Find(origin)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			issued = append(issued, id)
 			starts[id] = svc.Kernel().Now()
@@ -94,9 +97,16 @@ func E6Concurrent(quick bool) (*Result, error) {
 			avg = totalLat / time.Duration(cnt)
 			stretch = float64(avg) / float64(atomicLat)
 		}
-		maxLevel := svc.Network().MaxFindQueryLevel()
-		res.Table.AddRow(fmt.Sprintf("%d units", p), len(issued), done, avg, stretch, maxLevel)
-		points = append(points, point{period: p, done: done, stretch: stretch, maxLevel: maxLevel})
+		return point{
+			period: p, issued: len(issued), done: done, avg: avg,
+			stretch: stretch, maxLevel: svc.Network().MaxFindQueryLevel(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.Table.AddRow(fmt.Sprintf("%d units", p.period), p.issued, p.done, p.avg, p.stretch, p.maxLevel)
 	}
 
 	// Shape checks: at legal speeds (slowest two periods) everything

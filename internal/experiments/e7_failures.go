@@ -13,7 +13,7 @@ import (
 // heartbeat extension: a mid-path VSA fails (its region empties) and
 // restarts with fresh state. Without heartbeats the tracking structure
 // stays broken; with them it heals and finds succeed again.
-func E7Failures(quick bool) (*Result, error) {
+func E7Failures(env Env) (*Result, error) {
 	side := 8
 	res := &Result{Table: Table{
 		ID:      "E7",
@@ -21,10 +21,16 @@ func E7Failures(quick bool) (*Result, error) {
 		Claim:   "heartbeat refresh heals the path after VSA restarts; without it the structure stays broken (§VII)",
 		Columns: []string{"variant", "phase", "find completed"},
 	}}
-	_ = quick
 
 	unit := 15 * time.Millisecond
-	for _, hb := range []sim.Time{0, 8 * unit} {
+
+	// One sweep cell per heartbeat variant; each fails and restarts a VSA
+	// on its own service.
+	type cell struct {
+		name          string
+		before, after bool
+	}
+	measured, err := cells(env, []sim.Time{0, 8 * unit}, func(hb sim.Time) (cell, error) {
 		name := "no-heartbeat"
 		if hb > 0 {
 			name = "heartbeat"
@@ -36,26 +42,23 @@ func E7Failures(quick bool) (*Result, error) {
 			Heartbeat: hb,
 		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		svc.RunFor(100 * unit) // build the initial path
 
-		probe := func(phase string, wait sim.Time) (bool, error) {
+		probe := func(wait sim.Time) (bool, error) {
 			id, err := svc.Find(svc.Tiling().RegionAt(side-1, side-1))
 			if err != nil {
 				return false, err
 			}
 			svc.RunFor(wait)
-			ok := svc.FindDone(id)
-			res.Table.AddRow(name, phase, ok)
-			return ok, nil
+			return svc.FindDone(id), nil
 		}
 
-		before, err := probe("before failure", 200*unit)
+		before, err := probe(200 * unit)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		res.check(name+": find works before failure", before, "baseline probe")
 
 		// Fail the VSA hosting the evader's level-1 cluster, then bring a
 		// client back so it restarts with fresh state.
@@ -64,22 +67,32 @@ func E7Failures(quick bool) (*Result, error) {
 		refuge := svc.Tiling().Neighbors(head)[0]
 		for _, id := range svc.Layer().ClientsIn(head) {
 			if err := svc.Layer().MoveClient(id, refuge); err != nil {
-				return nil, err
+				return cell{}, err
 			}
 		}
 		if err := svc.Layer().MoveClient(vsa.ClientID(int(head)), head); err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		svc.RunFor(600 * unit) // restart + (with heartbeats) heal
 
-		after, err := probe("after restart", 600*unit)
+		after, err := probe(600 * unit)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		if hb > 0 {
-			res.check("heartbeat: find recovers", after, "post-restart probe")
+		return cell{name: name, before: before, after: after}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, c := range measured {
+		res.Table.AddRow(c.name, "before failure", c.before)
+		res.Table.AddRow(c.name, "after restart", c.after)
+		res.check(c.name+": find works before failure", c.before, "baseline probe")
+		if c.name == "heartbeat" {
+			res.check("heartbeat: find recovers", c.after, "post-restart probe")
 		} else {
-			res.check("no-heartbeat: stays broken", !after, "post-restart probe")
+			res.check("no-heartbeat: stays broken", !c.after, "post-restart probe")
 		}
 	}
 	return res, nil

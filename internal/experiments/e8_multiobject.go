@@ -15,11 +15,11 @@ import (
 // k times one object's work (the structures are independent), and
 // object-addressed finds always reach their own object even when the
 // objects cross paths.
-func E8MultiObject(quick bool) (*Result, error) {
+func E8MultiObject(env Env) (*Result, error) {
 	side := 12
 	steps := 10
 	counts := []int{1, 2, 4}
-	if quick {
+	if env.Quick {
 		side = 8
 		steps = 6
 	}
@@ -30,14 +30,14 @@ func E8MultiObject(quick bool) (*Result, error) {
 		Columns: []string{"objects", "total move work", "work per object", "finds ok"},
 	}}
 
+	// One sweep cell per object count, each on its own service.
 	type point struct {
 		k        int
 		work     int64
 		findsOK  int
 		findsAll int
 	}
-	var points []point
-	for _, k := range counts {
+	points, err := cells(env, counts, func(k int) (point, error) {
 		svc, err := core.New(core.Config{
 			Width:           side,
 			AlwaysAliveVSAs: true,
@@ -45,18 +45,18 @@ func E8MultiObject(quick bool) (*Result, error) {
 			Seed:            61,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		evaders := map[tracker.ObjectID]*evader.Evader{0: svc.Evader()}
 		for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
 			ev, err := svc.AddObject(obj, geo.RegionID(int(obj)*3))
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			evaders[obj] = ev
 		}
 		if err := svc.Settle(); err != nil {
-			return nil, err
+			return point{}, err
 		}
 
 		// Identical per-object walks (same seed per object across k runs),
@@ -68,10 +68,10 @@ func E8MultiObject(quick bool) (*Result, error) {
 				cur := evaders[obj].Region()
 				nbrs := svc.Tiling().Neighbors(cur)
 				if err := evaders[obj].MoveTo(nbrs[rng.Intn(len(nbrs))]); err != nil {
-					return nil, err
+					return point{}, err
 				}
 				if err := svc.Settle(); err != nil {
-					return nil, err
+					return point{}, err
 				}
 			}
 		}
@@ -83,10 +83,10 @@ func E8MultiObject(quick bool) (*Result, error) {
 			findsAll++
 			id, err := svc.FindObject(geo.RegionID(side*side-1), obj)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			if err := svc.Settle(); err != nil {
-				return nil, err
+				return point{}, err
 			}
 			if !svc.FindDone(id) {
 				continue
@@ -97,8 +97,13 @@ func E8MultiObject(quick bool) (*Result, error) {
 				}
 			}
 		}
-		res.Table.AddRow(k, work, float64(work)/float64(k), fmt.Sprintf("%d/%d", findsOK, findsAll))
-		points = append(points, point{k: k, work: work, findsOK: findsOK, findsAll: findsAll})
+		return point{k: k, work: work, findsOK: findsOK, findsAll: findsAll}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.Table.AddRow(p.k, p.work, float64(p.work)/float64(p.k), fmt.Sprintf("%d/%d", p.findsOK, p.findsAll))
 	}
 
 	for _, p := range points {

@@ -39,10 +39,10 @@ func (counterProgram) Step(state []byte, in emul.Input) ([]byte, []emul.Output) 
 // emulation lag e. The experiment drives the leader-based emulator with
 // node churn (joins, leaves, leader crashes) and measures output
 // correctness and the observed lag distribution.
-func E9Emulation(quick bool) (*Result, error) {
+func E9Emulation(env Env) (*Result, error) {
 	trials := 6
 	steps := 60
-	if quick {
+	if env.Quick {
 		trials = 3
 		steps = 30
 	}
@@ -54,14 +54,25 @@ func E9Emulation(quick bool) (*Result, error) {
 	}}
 
 	delta := 10 * time.Millisecond
-	allOK := true
-	for trial := 0; trial < trials; trial++ {
+	trialIDs := make([]int, trials)
+	for i := range trialIDs {
+		trialIDs[i] = i
+	}
+	// One sweep cell per churn trial, each on its own kernel and emulator.
+	type cell struct {
+		inputs   int
+		ok       bool
+		maxLag   sim.Time
+		bound    sim.Time
+		handoffs int
+	}
+	measured, err := cells(env, trialIDs, func(trial int) (cell, error) {
 		k := sim.New(int64(trial) + 7)
 		tiling := geo.MustGridTiling(2, 2)
 		e := emul.New(k, tiling, counterProgram{}, delta, 3*delta)
 		for id := emul.NodeID(1); id <= 4; id++ {
 			if err := e.AddNode(id, 0); err != nil {
-				return nil, err
+				return cell{}, err
 			}
 		}
 		e.Boot()
@@ -78,7 +89,7 @@ func E9Emulation(quick bool) (*Result, error) {
 				inputs = append(inputs, v)
 				submitTimes = append(submitTimes, k.Now())
 				if err := e.Submit(0, v); err != nil {
-					return nil, err
+					return cell{}, err
 				}
 			case 2:
 				// Churn a non-leader node.
@@ -122,8 +133,16 @@ func E9Emulation(quick bool) (*Result, error) {
 		if maxLag > bound {
 			ok = false
 		}
-		allOK = allOK && ok
-		res.Table.AddRow(trial, len(inputs), ok, maxLag, bound, handoffs)
+		return cell{inputs: len(inputs), ok: ok, maxLag: maxLag, bound: bound, handoffs: handoffs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	allOK := true
+	for trial, c := range measured {
+		allOK = allOK && c.ok
+		res.Table.AddRow(trial, c.inputs, c.ok, c.maxLag, c.bound, c.handoffs)
 	}
 	res.check("emulation faithful under churn", allOK,
 		"all trials matched the oracle with lag within the bound")

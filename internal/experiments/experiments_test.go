@@ -12,7 +12,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
-			res, err := exp.Run(true)
+			res, err := exp.Run(Env{Quick: true})
 			if err != nil {
 				t.Fatalf("%s: %v", exp.ID, err)
 			}
@@ -96,7 +96,7 @@ func TestTableCSV(t *testing.T) {
 func TestRunAll(t *testing.T) {
 	var out strings.Builder
 	dir := t.TempDir()
-	if err := RunAll(&out, true, []string{"T1"}, dir); err != nil {
+	if err := RunAll(&out, Options{Quick: true, Only: []string{"T1"}, CSVDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -108,7 +108,26 @@ func TestRunAll(t *testing.T) {
 	if _, err := os.Stat(dir + "/T1.csv"); err != nil {
 		t.Errorf("csv not written: %v", err)
 	}
-	if err := RunAll(&out, true, []string{"NOPE"}, ""); err == nil {
-		t.Error("RunAll accepted an unknown experiment id")
+}
+
+// Unknown -only ids must be rejected with a message naming each offending
+// id, not just the whole list.
+func TestRunAllReportsUnknownIDs(t *testing.T) {
+	var out strings.Builder
+	err := RunAll(&out, Options{Quick: true, Only: []string{"NOPE", "T1", "bogus"}})
+	if err == nil {
+		t.Fatal("RunAll accepted unknown experiment ids")
+	}
+	for _, want := range []string{"BOGUS", "NOPE"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name offending id %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "unknown experiment id(s) T1") || !strings.Contains(err.Error(), "T1") {
+		// T1 is valid: it must appear only in the known-ids list.
+		t.Errorf("error %q should list T1 among known ids only", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("RunAll produced output despite invalid selection: %q", out.String())
 	}
 }

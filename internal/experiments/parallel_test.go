@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vinestalk/internal/core"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/metrics"
+)
+
+// walkScenario is the representative seed-determinism workload: a settled
+// service, a seeded random walk, and a corner find, reduced to a rendered
+// table and the final ledger snapshot.
+func walkScenario() (string, metrics.Snapshot, error) {
+	svc, err := core.New(core.Config{
+		Width:           16,
+		AlwaysAliveVSAs: true,
+		Start:           centerRegion(16),
+		Seed:            97,
+	})
+	if err != nil {
+		return "", metrics.Snapshot{}, err
+	}
+	if err := svc.Settle(); err != nil {
+		return "", metrics.Snapshot{}, err
+	}
+	model := evader.RandomWalk{Tiling: svc.Tiling()}
+	res := &Result{Table: Table{
+		ID:      "DET",
+		Title:   "seed determinism probe",
+		Columns: []string{"step", "work", "elapsed"},
+	}}
+	for i := 0; i < 12; i++ {
+		next := model.Next(svc.Kernel().Rand(), svc.Evader().Region())
+		_, w, dt, err := svc.MoveStats(next)
+		if err != nil {
+			return "", metrics.Snapshot{}, err
+		}
+		res.Table.AddRow(i, w, dt)
+	}
+	_, fw, lat, err := svc.FindStats(svc.Tiling().RegionAt(0, 0))
+	if err != nil {
+		return "", metrics.Snapshot{}, err
+	}
+	res.Table.AddRow("find", fw, lat)
+	var b strings.Builder
+	res.Render(&b)
+	return b.String(), svc.Ledger().Snapshot(), nil
+}
+
+// The sweep engine must not perturb simulation results: the same seeded
+// scenario run sequentially and as parallel sweep cells yields identical
+// rendered tables and identical ledger snapshots.
+func TestSweepSeedDeterminism(t *testing.T) {
+	wantTable, wantSnap, err := walkScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const copies = 4
+	type out struct {
+		table string
+		snap  metrics.Snapshot
+	}
+	jobs := make([]int, copies)
+	got, err := cells(Env{Workers: copies}, jobs, func(int) (out, error) {
+		table, snap, err := walkScenario()
+		return out{table: table, snap: snap}, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range got {
+		if o.table != wantTable {
+			t.Errorf("cell %d rendered table differs from sequential run:\n--- sequential\n%s\n--- cell\n%s",
+				i, wantTable, o.table)
+		}
+		if !reflect.DeepEqual(o.snap, wantSnap) {
+			t.Errorf("cell %d ledger snapshot differs from sequential run:\nsequential: %+v\ncell:       %+v",
+				i, wantSnap, o.snap)
+		}
+	}
+}
+
+// The full quick suite must render byte-identically at any worker count —
+// the determinism invariant of DESIGN.md §2 extended to the parallel
+// harness.
+func TestRunAllByteIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		var b strings.Builder
+		if err := RunAll(&b, Options{Quick: true, Parallel: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+	sequential := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != sequential {
+			t.Errorf("output at %d workers differs from sequential run", workers)
+		}
+	}
+}
+
+// BenchmarkQuickSuiteSpeedup measures wall-clock of the full quick suite
+// at increasing worker counts; on multi-core hardware the 4+-worker runs
+// should complete at least ~2x faster than sequential.
+func BenchmarkQuickSuiteSpeedup(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := RunAll(io.Discard, Options{Quick: true, Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,58 +1,128 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+
+	"vinestalk/internal/sweep"
 )
 
-// RunAll executes the selected experiments (all when only is empty),
-// rendering each result to w and optionally writing CSVs to csvDir. It
-// returns an error if any experiment fails to run or any shape check
-// fails — the contract the CLI and CI rely on.
-func RunAll(w io.Writer, quick bool, only []string, csvDir string) error {
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+// Options configures a RunAll invocation.
+type Options struct {
+	Quick    bool     // reduced grid sizes and repetition counts
+	Only     []string // experiment ids to run (all when empty)
+	CSVDir   string   // also write each table as <dir>/<ID>.csv when set
+	Parallel int      // sweep worker count; <= 0 means GOMAXPROCS
+}
+
+// RunAll executes the selected experiments, rendering each result to w and
+// optionally writing CSVs. Experiments and their internal sweep cells run
+// on Options.Parallel workers; each experiment's output is buffered and
+// written in presentation order, so the rendered tables are byte-identical
+// at any worker count. It returns an error if any experiment fails to run
+// or any shape check fails — the contract the CLI and CI rely on.
+func RunAll(w io.Writer, opts Options) error {
+	if opts.CSVDir != "" {
+		if err := os.MkdirAll(opts.CSVDir, 0o755); err != nil {
 			return err
 		}
 	}
-	selected := make(map[string]bool, len(only))
-	for _, id := range only {
-		if id = strings.TrimSpace(id); id != "" {
-			selected[strings.ToUpper(id)] = true
-		}
+	selected, err := selectExperiments(opts.Only)
+	if err != nil {
+		return err
 	}
-	matched := 0
-	failures := 0
-	for _, exp := range All() {
-		if len(selected) > 0 && !selected[exp.ID] {
-			continue
-		}
-		matched++
-		fmt.Fprintf(w, "running %s: %s ...\n", exp.ID, exp.Name)
-		res, err := exp.Run(quick)
-		if err != nil {
-			return fmt.Errorf("%s: %w", exp.ID, err)
-		}
-		res.Render(w)
-		if csvDir != "" {
-			path, err := res.SaveCSV(csvDir)
+	env := Env{Quick: opts.Quick, Workers: opts.Parallel}
+
+	// Each experiment renders into its own buffer inside the worker pool;
+	// the buffers are concatenated in presentation order afterwards.
+	type segment struct {
+		out    bytes.Buffer
+		failed bool
+	}
+	segments, err := sweep.Run(context.Background(), selected,
+		func(_ context.Context, exp Experiment) (*segment, error) {
+			seg := &segment{}
+			fmt.Fprintf(&seg.out, "running %s: %s ...\n", exp.ID, exp.Name)
+			res, err := exp.Run(env)
 			if err != nil {
-				return fmt.Errorf("%s: write csv: %w", exp.ID, err)
+				return nil, fmt.Errorf("%s: %w", exp.ID, err)
 			}
-			fmt.Fprintln(w, "wrote", path)
+			res.Render(&seg.out)
+			if opts.CSVDir != "" {
+				path, err := res.SaveCSV(opts.CSVDir)
+				if err != nil {
+					return nil, fmt.Errorf("%s: write csv: %w", exp.ID, err)
+				}
+				fmt.Fprintln(&seg.out, "wrote", path)
+			}
+			seg.failed = !res.Passed()
+			return seg, nil
+		}, sweep.Workers(opts.Parallel))
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	for _, seg := range segments {
+		if _, err := w.Write(seg.out.Bytes()); err != nil {
+			return err
 		}
-		if !res.Passed() {
+		if seg.failed {
 			failures++
 		}
-	}
-	if len(selected) > 0 && matched != len(selected) {
-		return fmt.Errorf("unknown experiment id in %v", only)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) had failing shape checks", failures)
 	}
 	fmt.Fprintln(w, "all experiment shape checks passed")
 	return nil
+}
+
+// selectExperiments resolves the -only id list against the registry in
+// presentation order, reporting every unknown id by name.
+func selectExperiments(only []string) ([]Experiment, error) {
+	all := All()
+	if len(only) == 0 {
+		return all, nil
+	}
+	wanted := make(map[string]bool, len(only))
+	for _, id := range only {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToUpper(id)] = true
+		}
+	}
+	known := make(map[string]bool, len(all))
+	var selected []Experiment
+	for _, exp := range all {
+		known[exp.ID] = true
+		if wanted[exp.ID] {
+			selected = append(selected, exp)
+		}
+	}
+	var unknown []string
+	for id := range wanted {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment id(s) %s; known ids are %s",
+			strings.Join(unknown, ", "), strings.Join(knownIDs(all), ", "))
+	}
+	return selected, nil
+}
+
+// knownIDs lists every registered experiment id in presentation order.
+func knownIDs(all []Experiment) []string {
+	ids := make([]string, len(all))
+	for i, exp := range all {
+		ids[i] = exp.ID
+	}
+	return ids
 }

@@ -12,11 +12,11 @@ import (
 // MAX = ⌈log_r(D+1)⌉, n(l) = 2r^l−1, p(l) = r^{l+1}−1, q(l) = r^l (as a
 // lower bound — small grids measure looser), ω(l) ≤ 8, and satisfy the
 // §II-B relationships and the proximity requirement.
-func T1Geometry(quick bool) (*Result, error) {
+func T1Geometry(env Env) (*Result, error) {
 	configs := []struct{ side, r int }{
 		{8, 2}, {16, 2}, {9, 3}, {27, 3}, {16, 4},
 	}
-	if quick {
+	if env.Quick {
 		configs = configs[:3]
 	}
 	res := &Result{Table: Table{
@@ -26,45 +26,65 @@ func T1Geometry(quick bool) (*Result, error) {
 		Columns: []string{"grid", "r", "level", "n meas/formula", "p meas/formula", "q meas/formula", "ω meas/bound"},
 	}}
 
-	allOK := true
-	for _, cfg := range configs {
+	// One sweep cell per grid configuration; each builds its own tiling and
+	// hierarchy and returns its rows and notes for in-order assembly.
+	type cell struct {
+		rows  [][]any
+		notes []string
+		ok    bool
+	}
+	measured, err := cells(env, configs, func(cfg struct{ side, r int }) (cell, error) {
+		c := cell{ok: true}
 		t := geo.MustGridTiling(cfg.side, cfg.side)
 		h, err := hier.NewGrid(t, cfg.r)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		meas := hier.MeasureGeometry(h)
 		form := hier.GridFormulas(cfg.r, h.MaxLevel())
 		if err := hier.ValidateGeometry(meas); err != nil {
-			allOK = false
-			res.Table.Notes = append(res.Table.Notes, fmt.Sprintf("%dx%d r=%d: %v", cfg.side, cfg.side, cfg.r, err))
+			c.ok = false
+			c.notes = append(c.notes, fmt.Sprintf("%dx%d r=%d: %v", cfg.side, cfg.side, cfg.r, err))
 		}
 		if err := hier.ValidateProximity(h); err != nil {
-			allOK = false
-			res.Table.Notes = append(res.Table.Notes, fmt.Sprintf("%dx%d r=%d proximity: %v", cfg.side, cfg.side, cfg.r, err))
+			c.ok = false
+			c.notes = append(c.notes, fmt.Sprintf("%dx%d r=%d proximity: %v", cfg.side, cfg.side, cfg.r, err))
 		}
 		for l := 0; l < h.MaxLevel(); l++ {
-			res.Table.AddRow(
+			c.rows = append(c.rows, []any{
 				fmt.Sprintf("%dx%d", cfg.side, cfg.side), cfg.r, l,
 				fmt.Sprintf("%d/%d", meas.N[l], form.N[l]),
 				fmt.Sprintf("%d/%d", meas.P[l], form.P[l]),
 				fmt.Sprintf("%d/%d", meas.Q[l], form.Q[l]),
 				fmt.Sprintf("%d/%d", meas.Omega[l], form.Omega[l]),
-			)
+			})
 			if meas.N[l] > form.N[l] || meas.P[l] > form.P[l] ||
 				meas.Q[l] < min(form.Q[l], meas.N[l]) || meas.Omega[l] > form.Omega[l] {
-				allOK = false
+				c.ok = false
 			}
 		}
 		// MAX check: for a full r^m × r^m grid, MAX = ⌈log_r(D+1)⌉.
 		if isPowerOf(cfg.side, cfg.r) {
 			want := logCeil(cfg.side, cfg.r)
 			if h.MaxLevel() != want {
-				allOK = false
-				res.Table.Notes = append(res.Table.Notes,
+				c.ok = false
+				c.notes = append(c.notes,
 					fmt.Sprintf("%dx%d r=%d: MAX=%d, want %d", cfg.side, cfg.side, cfg.r, h.MaxLevel(), want))
 			}
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	allOK := true
+	for _, c := range measured {
+		for _, row := range c.rows {
+			res.Table.AddRow(row...)
+		}
+		res.Table.Notes = append(res.Table.Notes, c.notes...)
+		allOK = allOK && c.ok
 	}
 	res.check("geometry matches §II-B", allOK, "measured parameters within the closed-form bounds, all relationships hold")
 	return res, nil

@@ -36,10 +36,10 @@ func protoWork(snap metrics.Snapshot) int64 {
 // landmark decomposition of the same tiling; both must be correct
 // (Theorem 4.8 checked after every move), with the grid winning on
 // constants because its measured geometry is tighter.
-func T2Landmark(quick bool) (*Result, error) {
+func T2Landmark(env Env) (*Result, error) {
 	side := 9
 	steps := 15
-	if quick {
+	if env.Quick {
 		steps = 10
 	}
 	res := &Result{Table: Table{
@@ -49,22 +49,12 @@ func T2Landmark(quick bool) (*Result, error) {
 		Columns: []string{"hierarchy", "MAX", "clusters", "move work/step", "find work", "Thm 4.8 held"},
 	}}
 
-	tiling := geo.MustGridTiling(side, side)
-	gridH, err := hier.NewGrid(tiling, 3) // 9x9 is a clean base-3 grid
-	if err != nil {
-		return nil, err
-	}
-	landH, err := hier.NewLandmark(tiling, 2)
-	if err != nil {
-		return nil, err
-	}
-
 	type row struct {
 		moveWork float64
 		findWork int64
 		ok       bool
 	}
-	measure := func(h *hier.Hierarchy) (row, error) {
+	measure := func(h *hier.Hierarchy, tiling *geo.GridTiling) (row, error) {
 		k := sim.New(51)
 		layer := vsa.NewLayer(k, tiling, vsa.WithAlwaysAlive())
 		ledger := metrics.NewLedger()
@@ -136,16 +126,44 @@ func T2Landmark(quick bool) (*Result, error) {
 		}, nil
 	}
 
-	grid, err := measure(gridH)
-	if err != nil {
-		return nil, fmt.Errorf("grid hierarchy: %w", err)
+	// One sweep cell per hierarchy variant; each builds its own tiling,
+	// hierarchy, and kernel.
+	type variant struct {
+		label string
+		build func(*geo.GridTiling) (*hier.Hierarchy, error)
 	}
-	land, err := measure(landH)
-	if err != nil {
-		return nil, fmt.Errorf("landmark hierarchy: %w", err)
+	variants := []variant{
+		{"grid (base 3)", func(t *geo.GridTiling) (*hier.Hierarchy, error) {
+			return hier.NewGrid(t, 3) // 9x9 is a clean base-3 grid
+		}},
+		{"landmark", func(t *geo.GridTiling) (*hier.Hierarchy, error) {
+			return hier.NewLandmark(t, 2)
+		}},
 	}
-	res.Table.AddRow("grid (base 3)", gridH.MaxLevel(), gridH.NumClusters(), grid.moveWork, grid.findWork, grid.ok)
-	res.Table.AddRow("landmark", landH.MaxLevel(), landH.NumClusters(), land.moveWork, land.findWork, land.ok)
+	type outcome struct {
+		row         row
+		maxLevel    int
+		numClusters int
+	}
+	outcomes, err := cells(env, variants, func(v variant) (outcome, error) {
+		tiling := geo.MustGridTiling(side, side)
+		h, err := v.build(tiling)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s hierarchy: %w", v.label, err)
+		}
+		r, err := measure(h, tiling)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s hierarchy: %w", v.label, err)
+		}
+		return outcome{row: r, maxLevel: h.MaxLevel(), numClusters: h.NumClusters()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid, land := outcomes[0].row, outcomes[1].row
+	for i, o := range outcomes {
+		res.Table.AddRow(variants[i].label, o.maxLevel, o.numClusters, o.row.moveWork, o.row.findWork, o.row.ok)
+	}
 
 	res.check("both hierarchies correct", grid.ok && land.ok,
 		"Theorem 4.8 held after every move on both")

@@ -118,12 +118,13 @@ func (r *Result) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Experiment is a named experiment driver. quick trades grid sizes and
-// repetition counts for speed (used by tests; the CLI defaults to full).
+// Experiment is a named experiment driver. Env.Quick trades grid sizes and
+// repetition counts for speed (used by tests; the CLI defaults to full);
+// Env.Workers bounds the driver's internal sweep parallelism.
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func(quick bool) (*Result, error)
+	Run  func(env Env) (*Result, error)
 }
 
 // All returns every experiment in presentation order.

@@ -25,6 +25,22 @@ type Time = time.Duration
 // value ∞.
 const Forever Time = math.MaxInt64
 
+// Add returns t + d saturated at Forever, preserving the TIOA ∞ semantics:
+// ∞ plus anything is ∞, and a finite sum that would overflow parks at ∞
+// instead of wrapping negative. A negative d is clamped to zero, matching
+// Schedule's treatment of negative delays. Every deadline arithmetic in
+// this package (Schedule, RunFor, Timer.SetAfter) goes through this one
+// helper so the clamp cannot drift out of sync again.
+func Add(t, d Time) Time {
+	if d < 0 {
+		d = 0
+	}
+	if t == Forever || d == Forever || t > Forever-d {
+		return Forever
+	}
+	return t + d
+}
+
 // ErrEventLimit is returned by RunLimited when the event budget is
 // exhausted before the queue drains — usually a sign of a livelock in the
 // simulated protocol.
@@ -77,14 +93,7 @@ func (k *Kernel) Steps() uint64 { return k.nsteps }
 // is treated as zero. Scheduling at Forever parks the event permanently
 // (it can still be cancelled); it never fires.
 func (k *Kernel) Schedule(delay Time, fn func()) *Event {
-	if delay < 0 {
-		delay = 0
-	}
-	at := k.now + delay
-	if delay == Forever || at < k.now { // overflow-safe Forever handling
-		at = Forever
-	}
-	return k.At(at, fn)
+	return k.At(Add(k.now, delay), fn)
 }
 
 // At queues fn to run at absolute virtual time t. Times in the past are
@@ -163,8 +172,8 @@ func (k *Kernel) RunUntil(t Time) int {
 	return n
 }
 
-// RunFor is RunUntil(Now()+d).
-func (k *Kernel) RunFor(d Time) int { return k.RunUntil(k.now + d) }
+// RunFor is RunUntil(Now()+d), saturating at Forever.
+func (k *Kernel) RunFor(d Time) int { return k.RunUntil(Add(k.now, d)) }
 
 // Pending returns the number of queued, non-cancelled, non-parked events.
 func (k *Kernel) Pending() int {

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression for the ∞-deadline inversion: SetAfter(Forever) used to
+// compute Now()+Forever unguarded, wrap negative, get clamped to now by
+// Kernel.At, and fire immediately — the inverse of the TIOA ∞ semantics.
+// The timer must stay unarmed and never fire.
+func TestTimerSetAfterForeverStaysUnarmed(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := NewTimer(k, func() { fired = true })
+	tm.SetAfter(Forever)
+	if tm.Armed() {
+		t.Fatalf("SetAfter(Forever) armed the timer (deadline %v)", tm.Deadline())
+	}
+	if tm.Deadline() != Forever {
+		t.Fatalf("deadline = %v, want Forever", tm.Deadline())
+	}
+	if n := k.Run(); n != 0 {
+		t.Fatalf("kernel ran %d events, want 0", n)
+	}
+	if fired {
+		t.Fatal("timer armed at ∞ fired")
+	}
+}
+
+// SetAfter(Forever) must also park from a nonzero current time, where the
+// unguarded sum overflows for every positive now.
+func TestTimerSetAfterForeverAtLateTime(t *testing.T) {
+	k := New(1)
+	k.Schedule(time.Hour, func() {})
+	k.Run()
+	if k.Now() != time.Hour {
+		t.Fatalf("now = %v, want 1h", k.Now())
+	}
+	fired := false
+	tm := NewTimer(k, func() { fired = true })
+	tm.SetAfter(Forever)
+	k.Run()
+	if tm.Armed() || fired {
+		t.Fatalf("timer at ∞ from t=1h: armed=%v fired=%v", tm.Armed(), fired)
+	}
+}
+
+// A huge-but-finite delay whose sum with now overflows must park, not fire.
+func TestTimerSetAfterOverflowingFiniteDelay(t *testing.T) {
+	k := New(1)
+	k.Schedule(time.Hour, func() {})
+	k.Run()
+	fired := false
+	tm := NewTimer(k, func() { fired = true })
+	tm.SetAfter(Forever - 1) // now + (Forever-1) overflows for now = 1h
+	k.Run()
+	if tm.Armed() || fired {
+		t.Fatalf("overflowing finite deadline: armed=%v fired=%v", tm.Armed(), fired)
+	}
+}
+
+// Add is the one shared clamp; pin its boundary behavior.
+func TestAddBoundaries(t *testing.T) {
+	big := Forever - Time(time.Hour)
+	cases := []struct {
+		name string
+		t, d Time
+		want Time
+	}{
+		{"zero", 0, 0, 0},
+		{"finite", time.Second, time.Minute, time.Second + time.Minute},
+		{"negative delay clamps to zero", time.Second, -time.Minute, time.Second},
+		{"forever plus zero", Forever, 0, Forever},
+		{"forever plus finite", Forever, time.Second, Forever},
+		{"finite plus forever", time.Second, Forever, Forever},
+		{"forever plus forever", Forever, Forever, Forever},
+		{"exactly forever", Forever - 1, 1, Forever},
+		{"one below forever", Forever - 2, 1, Forever - 1},
+		{"overflowing sum", Forever - 1, 2, Forever},
+		{"large now small delay", big, time.Minute, big + time.Minute},
+		{"large now overflowing delay", big, 2 * Time(time.Hour), Forever},
+	}
+	for _, c := range cases {
+		if got := Add(c.t, c.d); got != c.want {
+			t.Errorf("%s: Add(%d, %d) = %d, want %d", c.name, c.t, c.d, got, c.want)
+		}
+	}
+}
+
+// Schedule and RunFor route through the same clamp: scheduling Forever-ish
+// delays parks, and RunFor(Forever) drains everything without wrapping.
+func TestScheduleAndRunForClampConsistency(t *testing.T) {
+	k := New(1)
+	k.Schedule(time.Hour, func() {})
+	k.Run()
+
+	fired := false
+	e := k.Schedule(Forever-1, func() { fired = true })
+	if e.When() != Forever {
+		t.Fatalf("overflowing Schedule queued at %v, want Forever", e.When())
+	}
+	if n := k.RunFor(Forever); n != 0 {
+		t.Fatalf("RunFor(Forever) ran %d events, want 0", n)
+	}
+	if fired {
+		t.Fatal("parked event fired")
+	}
+	if k.Now() != Forever {
+		t.Fatalf("RunFor(Forever) left now = %v, want Forever", k.Now())
+	}
+}

@@ -39,8 +39,10 @@ func (t *Timer) Set(at Time) {
 	})
 }
 
-// SetAfter arms the timer to fire delay after the current time.
-func (t *Timer) SetAfter(delay Time) { t.Set(t.k.Now() + delay) }
+// SetAfter arms the timer to fire delay after the current time. A delay of
+// Forever (or any delay whose sum with the current time would overflow)
+// leaves the timer unarmed, matching the TIOA ∞ semantics.
+func (t *Timer) SetAfter(delay Time) { t.Set(Add(t.k.Now(), delay)) }
 
 // Clear disarms the timer (deadline ← ∞).
 func (t *Timer) Clear() { t.Set(Forever) }

@@ -1,0 +1,118 @@
+// Package sweep is a bounded worker-pool executor for independent
+// simulation scenarios. Experiment sweeps (internal/experiments) are
+// embarrassingly parallel — every (experiment, seed, parameter) cell owns
+// a private sim.Kernel and metrics.Ledger — so the only engine needed is
+// an order-preserving parallel map with panic capture and cancellation.
+//
+// Determinism is a design invariant (DESIGN.md §2): Run's results are
+// indexed by job position, jobs are claimed in input order, and the
+// returned error is always the lowest-index failure, so callers observe
+// bit-identical outcomes at any worker count.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is a panic recovered from a job, converted to an error so one
+// exploding cell fails its sweep instead of the whole process.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+// Error formats the panic value; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+type config struct {
+	workers int
+}
+
+// Option configures Run.
+type Option func(*config)
+
+// Workers bounds the worker pool at n goroutines. n <= 0 selects the
+// default, GOMAXPROCS. The pool never exceeds the number of jobs.
+func Workers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// Run applies fn to every job on a bounded pool of workers and returns the
+// results in job order: results[i] is fn's output for jobs[i].
+//
+// Jobs are claimed in input order. On the first failure no further jobs
+// start; jobs already running finish, and the error returned is the one
+// from the lowest-index failed job — the same error a sequential run would
+// have returned first (a recovered panic surfaces as *PanicError). When
+// ctx is cancelled, no further jobs start and ctx's error is returned
+// unless a job error takes precedence. Results of jobs that never ran are
+// the zero value of R.
+func Run[J, R any](ctx context.Context, jobs []J, fn func(context.Context, J) (R, error), opts ...Option) ([]R, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := len(jobs)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]R, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() && ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runJob(ctx, jobs[i], fn, &results[i]); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
+}
+
+// runJob executes one job, converting a panic into a *PanicError.
+func runJob[J, R any](ctx context.Context, job J, fn func(context.Context, J) (R, error), out *R) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	r, err := fn(ctx, job)
+	if err != nil {
+		return err
+	}
+	*out = r
+	return nil
+}

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 100} {
+		got, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+			return j * j, nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyJobs(t *testing.T) {
+	got, err := Run(context.Background(), nil, func(_ context.Context, j int) (int, error) {
+		return j, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Run(nil jobs) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestRunBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	jobs := make([]int, 50)
+	_, err := Run(context.Background(), jobs, func(_ context.Context, _ int) (int, error) {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}
+
+// The returned error must be the lowest-index failure — the same error a
+// sequential run would report — at every worker count.
+func TestRunDeterministicError(t *testing.T) {
+	jobs := make([]int, 40)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	fail := map[int]bool{11: true, 17: true, 35: true}
+	for _, workers := range []int{1, 4, 40} {
+		_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+			if fail[j] {
+				return 0, fmt.Errorf("job %d failed", j)
+			}
+			return j, nil
+		}, Workers(workers))
+		if err == nil || err.Error() != "job 11 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index failure (job 11)", workers, err)
+		}
+	}
+}
+
+func TestRunStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]int, 1000)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		ran.Add(1)
+		if j == 0 {
+			return 0, boom
+		}
+		return j, nil
+	}, Workers(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("%d jobs ran after the first failure, want early stop", n)
+	}
+}
+
+func TestRunCapturesPanic(t *testing.T) {
+	jobs := []int{0, 1, 2, 3}
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		if j == 2 {
+			panic("cell exploded")
+		}
+		return j, nil
+	}, Workers(2))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "cell exploded" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	jobs := make([]int, 1000)
+	started := make(chan struct{}, 1)
+	var once sync.Once
+	_, err := Run(ctx, jobs, func(ctx context.Context, j int) (int, error) {
+		ran.Add(1)
+		once.Do(func() { started <- struct{}{}; cancel() })
+		<-ctx.Done()
+		return j, nil
+	}, Workers(2))
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("%d jobs ran after cancellation, want early stop", n)
+	}
+}
+
+func TestRunJobErrorBeatsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := Run(ctx, []int{0, 1}, func(_ context.Context, j int) (int, error) {
+		if j == 0 {
+			cancel()
+			return 0, boom
+		}
+		return j, nil
+	}, Workers(1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want job error to take precedence", err)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	got, err := Run(context.Background(), []int{1, 2, 3}, func(_ context.Context, j int) (int, error) {
+		return j + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("results = %v", got)
+	}
+}
