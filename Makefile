@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench experiments experiments-quick fuzz cover clean
+.PHONY: all build test test-short race vet bench experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -33,6 +33,16 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
+
+# Adversarial schedules: the full E11 sweep (24 fault runs) at two chaos
+# seeds, plus a same-seed byte-identity check across worker counts.
+chaos:
+	$(GO) run ./cmd/experiments -only E11
+	$(GO) run ./cmd/experiments -only E11 -chaos-seed 1
+	$(GO) run ./cmd/experiments -only E11 -parallel 1 > /tmp/e11-seq.txt
+	$(GO) run ./cmd/experiments -only E11 -parallel 8 > /tmp/e11-par.txt
+	diff -u /tmp/e11-seq.txt /tmp/e11-par.txt
+	@echo "chaos: E11 deterministic and violation-free at both seeds"
 
 # Write the tables as CSV into ./results.
 experiments-csv:

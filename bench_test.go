@@ -229,6 +229,8 @@ func BenchmarkE9Emulation(b *testing.B) { benchExperiment(b, "E9") }
 
 func BenchmarkE10WhyVSA(b *testing.B) { benchExperiment(b, "E10") }
 
+func BenchmarkE11Adversarial(b *testing.B) { benchExperiment(b, "E11") }
+
 func BenchmarkA5Amortization(b *testing.B) { benchExperiment(b, "A5") }
 
 func BenchmarkA1BaseSweep(b *testing.B)     { benchExperiment(b, "A1") }

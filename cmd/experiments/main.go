@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E1,E4] [-csv results] [-parallel N]
+//	experiments [-quick] [-only E1,E4] [-csv results] [-parallel N] [-chaos-seed S]
 //
 // Experiments and their sweep cells run on -parallel workers (default
 // GOMAXPROCS); the rendered tables are byte-identical at any worker count.
@@ -27,16 +27,18 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<ID>.csv")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "offset added to E11 fault-plan seeds")
 	flag.Parse()
 	var ids []string
 	if *only != "" {
 		ids = strings.Split(*only, ",")
 	}
 	err := experiments.RunAll(os.Stdout, experiments.Options{
-		Quick:    *quick,
-		Only:     ids,
-		CSVDir:   *csvDir,
-		Parallel: *parallel,
+		Quick:     *quick,
+		Only:      ids,
+		CSVDir:    *csvDir,
+		Parallel:  *parallel,
+		ChaosSeed: *chaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

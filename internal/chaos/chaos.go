@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vbcast"
+)
+
+// Config selects the perturbations of one fault plan. The zero value is a
+// no-op plan (every accessor returns nil / does nothing).
+type Config struct {
+	// Seed roots the plan's named RNG streams. It is independent of the
+	// simulation seed: the same world can be replayed under different fault
+	// plans and vice versa.
+	Seed int64
+	// DelayJitter samples each message's broadcast delay uniformly from
+	// [0,δ] and each VSA output lag from [0,e] instead of the exact worst
+	// case (delivery order per destination is still TOBcast-clamped by
+	// vbcast).
+	DelayJitter bool
+	// CrashWindows is the number of scripted VSA crash/restart windows:
+	// each picks a region and an interval within the horizon, crash-stops
+	// the region's clients at the window start (failing its VSA when the
+	// region empties), and restarts them in place at the window end.
+	CrashWindows int
+	// CrashLen is the length of each crash window.
+	CrashLen sim.Time
+	// ChurnClients is the number of extra mobile clients that churn:
+	// wandering to neighbor regions (GPS-update dither), occasionally
+	// crash-stopping, and restarting at random regions.
+	ChurnClients int
+	// ChurnPeriod is the mean time between one churn client's steps; each
+	// step is dithered in [period/2, 3·period/2].
+	ChurnPeriod sim.Time
+	// DropProb drops each geocast forwarding hop with this probability
+	// while a crash window is active — the loss the abstraction permits
+	// (a transfer caught in the stabilization regime of the underlying
+	// self-stabilizing geocast, ref [10]). Outside crash windows nothing
+	// is dropped.
+	DropProb float64
+	// Horizon is the virtual time after which all faults cease: crash
+	// windows end at or before it and churn stops scheduling steps. The
+	// stabilization bound of the checker is measured from here. Delay
+	// jitter has no horizon; delays within [0,δ] are always legal.
+	Horizon sim.Time
+}
+
+// Enabled reports whether the config perturbs anything at all.
+func (c Config) Enabled() bool {
+	return c.DelayJitter || c.CrashWindows > 0 || c.ChurnClients > 0
+}
+
+func (c Config) validate() error {
+	if c.CrashWindows < 0 || c.ChurnClients < 0 {
+		return errors.New("chaos: negative fault counts")
+	}
+	if c.CrashWindows > 0 && c.CrashLen <= 0 {
+		return errors.New("chaos: CrashWindows requires a positive CrashLen")
+	}
+	if c.CrashWindows > 0 && c.Horizon < c.CrashLen {
+		return errors.New("chaos: Horizon must cover at least one CrashLen")
+	}
+	if c.ChurnClients > 0 && (c.ChurnPeriod <= 0 || c.Horizon <= 0) {
+		return errors.New("chaos: ChurnClients requires positive ChurnPeriod and Horizon")
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("chaos: DropProb %v outside [0,1]", c.DropProb)
+	}
+	if c.DropProb > 0 && c.CrashWindows == 0 {
+		return errors.New("chaos: DropProb without CrashWindows would drop messages the abstraction does not permit to be lost")
+	}
+	return nil
+}
+
+// Window is one scripted crash interval: the region's clients are failed
+// at Start and restarted in place at End.
+type Window struct {
+	Region geo.RegionID
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Plan is a compiled fault plan. Build one with NewPlan, hand its
+// DelayModel and LossFunc to the transports, then Install it to script the
+// lifecycle faults.
+type Plan struct {
+	cfg       Config
+	streams   *Streams
+	windows   []Window
+	installed bool
+}
+
+// NewPlan validates cfg and prepares its RNG streams.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{cfg: cfg, streams: NewStreams(cfg.Seed)}, nil
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Windows returns the compiled crash windows (empty before Install).
+func (p *Plan) Windows() []Window { return append([]Window(nil), p.windows...) }
+
+// DelayModel returns the per-message delay model for vbcast, or nil when
+// jitter is disabled (the transport then keeps the exact worst-case
+// schedule).
+func (p *Plan) DelayModel() vbcast.DelayModel {
+	if !p.cfg.DelayJitter {
+		return nil
+	}
+	return &delayModel{
+		bcast: p.streams.Stream("delay/broadcast"),
+		lag:   p.streams.Stream("delay/emulation"),
+	}
+}
+
+// LossFunc returns the per-hop geocast loss predicate, or nil when loss is
+// disabled. Loss applies only while a crash window is active (the regime
+// in which the underlying stabilizing geocast may lose transfers), so the
+// predicate consults the compiled windows at call time.
+func (p *Plan) LossFunc(k *sim.Kernel) func(cur, next geo.RegionID) bool {
+	if p.cfg.DropProb <= 0 || p.cfg.CrashWindows == 0 {
+		return nil
+	}
+	rng := p.streams.Stream("drop")
+	return func(cur, next geo.RegionID) bool {
+		if !p.windowActive(k.Now()) {
+			return false
+		}
+		return rng.Float64() < p.cfg.DropProb
+	}
+}
+
+// windowActive reports whether any crash window covers time t.
+func (p *Plan) windowActive(t sim.Time) bool {
+	for _, w := range p.windows {
+		if w.Start <= t && t < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// delayModel samples uniform delays from dedicated streams. It implements
+// vbcast.DelayModel.
+type delayModel struct {
+	bcast *rand.Rand
+	lag   *rand.Rand
+}
+
+func (m *delayModel) BroadcastDelay(_, _ geo.RegionID, delta sim.Time) sim.Time {
+	return uniform(m.bcast, delta)
+}
+
+func (m *delayModel) EmulationLag(_ geo.RegionID, e sim.Time) sim.Time {
+	return uniform(m.lag, e)
+}
+
+// uniform samples an integer duration from [0, max], inclusive.
+func uniform(rng *rand.Rand, max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Time(rng.Int63n(int64(max) + 1))
+}

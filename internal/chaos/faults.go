@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+// Install compiles the plan's scripted lifecycle faults into the kernel:
+// crash/restart windows driving the VSA layer and churn clients wandering
+// through the tiling. addClient creates one churn client in the tracked
+// network (it must register the client with the layer); churn clients get
+// ids firstID, firstID+1, ... — pick firstID above every existing client.
+//
+// Install must be called at most once, after the world is assembled but
+// before the kernel runs (the plan schedules absolute times from zero).
+func (p *Plan) Install(k *sim.Kernel, layer *vsa.Layer,
+	addClient func(vsa.ClientID, geo.RegionID) error, firstID vsa.ClientID) error {
+	if p.installed {
+		return errors.New("chaos: plan already installed")
+	}
+	if p.cfg.CrashWindows > 0 || p.cfg.ChurnClients > 0 {
+		if k == nil || layer == nil {
+			return errors.New("chaos: Install needs a kernel and a layer")
+		}
+	}
+	p.installed = true
+	p.compileWindows(layer)
+	for _, w := range p.windows {
+		p.scheduleWindow(k, layer, w)
+	}
+	if p.cfg.ChurnClients > 0 {
+		if addClient == nil {
+			return errors.New("chaos: churn clients need an addClient callback")
+		}
+		for i := 0; i < p.cfg.ChurnClients; i++ {
+			if err := p.startChurnClient(k, layer, addClient, firstID+vsa.ClientID(i), i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// compileWindows samples the crash windows from the "crash" stream: a
+// region and a start time uniform over [0, Horizon−CrashLen], so every
+// window ends by the horizon.
+func (p *Plan) compileWindows(layer *vsa.Layer) {
+	if p.cfg.CrashWindows <= 0 {
+		return
+	}
+	rng := p.streams.Stream("crash")
+	n := layer.Tiling().NumRegions()
+	span := int64(p.cfg.Horizon - p.cfg.CrashLen)
+	for i := 0; i < p.cfg.CrashWindows; i++ {
+		u := geo.RegionID(rng.Intn(n))
+		start := sim.Time(0)
+		if span > 0 {
+			start = sim.Time(rng.Int63n(span + 1))
+		}
+		p.windows = append(p.windows, Window{Region: u, Start: start, End: start + p.cfg.CrashLen})
+	}
+}
+
+// scheduleWindow scripts one window: at Start every client then in the
+// region crash-stops (failing the VSA once the region empties), and at End
+// the recorded clients restart in place — unless something else (churn)
+// already revived them.
+func (p *Plan) scheduleWindow(k *sim.Kernel, layer *vsa.Layer, w Window) {
+	var failed []vsa.ClientID
+	k.At(w.Start, func() {
+		failed = layer.ClientsIn(w.Region)
+		for _, id := range failed {
+			layer.FailClient(id)
+		}
+	})
+	k.At(w.End, func() {
+		for _, id := range failed {
+			if !layer.ClientAlive(id) {
+				// Restart errors are impossible here (the client is dead
+				// and the region is in the tiling); check anyway.
+				if err := layer.RestartClient(id, w.Region); err != nil {
+					panic(fmt.Sprintf("chaos: restart %v in %v: %v", id, w.Region, err))
+				}
+			}
+		}
+	})
+}
+
+// startChurnClient creates churn client number i and schedules its
+// wandering. Each client has its own stream, so plans with different churn
+// counts leave the other clients' walks untouched.
+func (p *Plan) startChurnClient(k *sim.Kernel, layer *vsa.Layer,
+	addClient func(vsa.ClientID, geo.RegionID) error, id vsa.ClientID, i int) error {
+	rng := p.streams.Stream(fmt.Sprintf("churn/%d", i))
+	tiling := layer.Tiling()
+	home := geo.RegionID(rng.Intn(tiling.NumRegions()))
+	if err := addClient(id, home); err != nil {
+		return fmt.Errorf("chaos: churn client %v: %w", id, err)
+	}
+	var step func()
+	step = func() {
+		if k.Now() >= p.cfg.Horizon {
+			return // faults cease at the horizon
+		}
+		switch {
+		case !layer.ClientAlive(id):
+			// Restart at a uniformly random region.
+			u := geo.RegionID(rng.Intn(tiling.NumRegions()))
+			if err := layer.RestartClient(id, u); err != nil {
+				panic(fmt.Sprintf("chaos: churn restart %v: %v", id, err))
+			}
+		case rng.Float64() < 0.15:
+			layer.FailClient(id)
+		default:
+			// GPS-update dither: wander to a random neighbor region.
+			cur := layer.ClientRegion(id)
+			if nbrs := tiling.Neighbors(cur); len(nbrs) > 0 {
+				if err := layer.MoveClient(id, nbrs[rng.Intn(len(nbrs))]); err != nil {
+					panic(fmt.Sprintf("chaos: churn move %v: %v", id, err))
+				}
+			}
+		}
+		k.Schedule(p.churnDelay(rng), step)
+	}
+	k.Schedule(p.churnDelay(rng), step)
+	return nil
+}
+
+// churnDelay dithers the churn period uniformly in [period/2, 3·period/2].
+func (p *Plan) churnDelay(rng *rand.Rand) sim.Time {
+	return p.cfg.ChurnPeriod/2 + uniform(rng, p.cfg.ChurnPeriod)
+}

@@ -1,0 +1,50 @@
+// Package chaos is the deterministic fault-injection layer for adversarial
+// schedules: a seeded plan that perturbs the executions the correctness
+// theorems quantify over — per-message delays sampled in [0,δ] (and VSA
+// output lag in [0,e]) instead of the exact worst case, scripted VSA
+// crash/restart windows, client churn with GPS-update dither, and message
+// loss where the abstraction permits it — plus an execution checker that
+// replays found outputs and quiescent states against the atomic lookAhead
+// specification.
+//
+// Determinism discipline: every perturbation source draws from its own
+// named RNG stream derived from the plan seed, so one source consuming more
+// or fewer samples never shifts another's sequence, and the same seed +
+// fault plan reproduces a byte-identical run regardless of which
+// perturbations are enabled elsewhere.
+package chaos
+
+import (
+	"hash/fnv"
+	"io"
+	"math/rand"
+)
+
+// Streams derives independent deterministic RNG streams by name from one
+// base seed.
+type Streams struct {
+	seed int64
+}
+
+// NewStreams returns a stream factory rooted at seed.
+func NewStreams(seed int64) *Streams { return &Streams{seed: seed} }
+
+// Stream returns the RNG for the named perturbation source. Streams with
+// different names are statistically independent; the same (seed, name)
+// always yields the same sequence.
+func (s *Streams) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	// Mix the name hash with the seed through a splitmix64 finalizer so
+	// related seeds (n, n+1, ...) don't produce correlated streams.
+	return rand.New(rand.NewSource(int64(splitmix64(h.Sum64() ^ uint64(s.seed)))))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed bijection on 64-bit values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vinestalk/internal/cgcast"
+	"vinestalk/internal/chaos"
 	"vinestalk/internal/evader"
 	"vinestalk/internal/geo"
 	"vinestalk/internal/geocast"
@@ -67,6 +68,10 @@ type Config struct {
 	OnFound func(tracker.FindResult)
 	// Tracer, if set, receives protocol-level events for narrated runs.
 	Tracer *trace.Tracer
+	// Chaos, if set and enabled, installs a deterministic fault plan:
+	// sampled message delays, scripted VSA crash windows, churn clients,
+	// and permitted message loss (see internal/chaos).
+	Chaos *chaos.Config
 }
 
 func (c *Config) fillDefaults() error {
@@ -103,6 +108,7 @@ type Service struct {
 	cg     *cgcast.Service
 	net    *tracker.Network
 	ev     *evader.Evader
+	plan   *chaos.Plan
 
 	founds  []tracker.FindResult
 	foundAt map[tracker.FindID]sim.Time
@@ -158,6 +164,15 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	s.ledger = metrics.NewLedger()
 	vb := vbcast.New(s.kernel, s.layer, cfg.Delta, cfg.E, s.ledger)
 	gc := geocast.New(s.kernel, s.layer, h.Graph(), vb, s.ledger)
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		plan, err := chaos.NewPlan(*cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+		vb.SetDelayModel(plan.DelayModel())
+		gc.SetLoss(plan.LossFunc(s.kernel))
+	}
 	if cfg.FormulaGeometry {
 		s.geom = hier.GridFormulas(cfg.Base, h.MaxLevel())
 	} else {
@@ -212,8 +227,23 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	}
 	s.ev = ev
 	net.AttachEvader(ev.Region)
+	if s.plan != nil {
+		// Churn client ids start above the stationary clients (one per
+		// region, ids 0..NumRegions-1).
+		firstID := vsa.ClientID(tiling.NumRegions())
+		addClient := func(id vsa.ClientID, u geo.RegionID) error {
+			_, err := net.AddClient(id, u)
+			return err
+		}
+		if err := s.plan.Install(s.kernel, s.layer, addClient, firstID); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// ChaosPlan returns the installed fault plan, or nil when chaos is off.
+func (s *Service) ChaosPlan() *chaos.Plan { return s.plan }
 
 // Kernel returns the simulation kernel.
 func (s *Service) Kernel() *sim.Kernel { return s.kernel }

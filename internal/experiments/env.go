@@ -10,8 +10,9 @@ import (
 // mode (reduced grid sizes and repetition counts) and the sweep worker
 // budget.
 type Env struct {
-	Quick   bool
-	Workers int // sweep worker count; <= 0 means GOMAXPROCS
+	Quick     bool
+	Workers   int   // sweep worker count; <= 0 means GOMAXPROCS
+	ChaosSeed int64 // offset added to fault-plan seeds (E11)
 }
 
 // cells runs fn over every sweep cell on env.Workers workers, returning

@@ -17,7 +17,8 @@ type Options struct {
 	Quick    bool     // reduced grid sizes and repetition counts
 	Only     []string // experiment ids to run (all when empty)
 	CSVDir   string   // also write each table as <dir>/<ID>.csv when set
-	Parallel int      // sweep worker count; <= 0 means GOMAXPROCS
+	Parallel  int      // sweep worker count; <= 0 means GOMAXPROCS
+	ChaosSeed int64    // offset added to fault-plan seeds (E11)
 }
 
 // RunAll executes the selected experiments, rendering each result to w and
@@ -36,7 +37,7 @@ func RunAll(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	env := Env{Quick: opts.Quick, Workers: opts.Parallel}
+	env := Env{Quick: opts.Quick, Workers: opts.Parallel, ChaosSeed: opts.ChaosSeed}
 
 	// Each experiment renders into its own buffer inside the worker pool;
 	// the buffers are concatenated in presentation order afterwards.

@@ -142,6 +142,7 @@ func All() []Experiment {
 		{ID: "E8", Name: "multiple tracked objects (§VII)", Run: E8MultiObject},
 		{ID: "E9", Name: "VSA emulation fidelity (refs [7],[6])", Run: E9Emulation},
 		{ID: "E10", Name: "value of the virtual-node layer under client mobility (§I)", Run: E10WhyVSA},
+		{ID: "E11", Name: "adversarial schedules: jitter, churn, crashes (§VI, Thm 4.8)", Run: E11Adversarial},
 		{ID: "A1", Name: "ablation: hierarchy base r", Run: A1BaseSweep},
 		{ID: "A2", Name: "ablation: clusterhead placement", Run: A2HeadPlacement},
 		{ID: "A3", Name: "ablation: timer slack above condition (1)", Run: A3ScheduleSlack},

@@ -26,6 +26,7 @@ type Service struct {
 	graph  *geo.Graph
 	vb     *vbcast.Service
 	ledger *metrics.Ledger
+	loss   func(cur, next geo.RegionID) bool
 }
 
 // New creates the routing service over the given local-broadcast transport.
@@ -35,6 +36,14 @@ func New(k *sim.Kernel, layer *vsa.Layer, graph *geo.Graph, vb *vbcast.Service, 
 
 // Graph exposes the shortest-path graph (shared with the hierarchy).
 func (s *Service) Graph() *geo.Graph { return s.graph }
+
+// SetLoss installs a per-hop loss predicate (nil disables loss). Before each
+// forwarding hop from cur to next the predicate is consulted; returning true
+// drops the message there, modeling loss the abstraction permits — a
+// transfer caught by a VSA failure/restart during the stabilization regime
+// of the underlying self-stabilizing geocast (ref [10]). Dropped hops charge
+// no hop-work: the broadcast never happened.
+func (s *Service) SetLoss(fn func(cur, next geo.RegionID) bool) { s.loss = fn }
 
 // Send routes a message from region from's VSA toward region to's VSA,
 // invoking onArrive when it reaches a live VSA at to. The message travels
@@ -52,7 +61,11 @@ func (s *Service) Send(from, to geo.RegionID, onArrive func()) error {
 		return fmt.Errorf("geocast: source VSA %v not alive", from)
 	}
 	if s.ledger != nil {
-		s.ledger.RecordMessage("transport/geocast", s.graph.Distance(from, to))
+		// Charge the message here but its hop-work per hop actually taken
+		// (in relay): detours around dead VSAs cost their real length and
+		// messages dropped mid-route cost only the hops they traveled, so
+		// the ledger reflects work done rather than the static distance.
+		s.ledger.RecordMessage("transport/geocast", 0)
 	}
 	s.relay(from, to, onArrive)
 	return nil
@@ -68,11 +81,16 @@ func (s *Service) relay(cur, to geo.RegionID, onArrive func()) {
 	if next == geo.NoRegion {
 		return // no live route; drop
 	}
+	if s.loss != nil && s.loss(cur, next) {
+		return // injected loss; the hop never happens, so no work either
+	}
 	// Errors here mean the current holder died between scheduling and
 	// sending; the message is lost with it.
-	_ = s.vb.VSAToVSA(cur, next, func() {
+	if err := s.vb.VSAToVSA(cur, next, func() {
 		s.relay(next, to, onArrive)
-	})
+	}); err == nil && s.ledger != nil {
+		s.ledger.AddWork("transport/geocast", 1)
+	}
 }
 
 // nextHop picks the next region toward to: the static shortest-path hop if

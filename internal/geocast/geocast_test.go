@@ -150,6 +150,118 @@ func TestSendDroppedWhenDestDiesInFlight(t *testing.T) {
 	}
 }
 
+// setup4 is setup on a 4-neighbor (von Neumann) grid, where detours around
+// a dead region are strictly longer than the static shortest path.
+func setup4(t *testing.T, w, h int) (*sim.Kernel, *vsa.Layer, *Service, *metrics.Ledger, *geo.GridTiling) {
+	t.Helper()
+	k := sim.New(3)
+	tiling, err := geo.NewGridTiling4(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := vsa.NewLayer(k, tiling)
+	for u := 0; u < tiling.NumRegions(); u++ {
+		layer.RegisterVSA(geo.RegionID(u), nopVSA{})
+		if err := layer.AddClient(vsa.ClientID(u), geo.RegionID(u), nopClient{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layer.StartAllAlive()
+	ledger := metrics.NewLedger()
+	vb := vbcast.New(k, layer, delta, lagE, ledger)
+	return k, layer, New(k, layer, geo.NewGraph(tiling), vb, ledger), ledger, tiling
+}
+
+// Killing a VSA on the static shortest path makes the message detour; the
+// ledger must charge the detour's actual length, not the static distance
+// computed at send time.
+func TestSendChargesDetourLength(t *testing.T) {
+	k, layer, svc, ledger, g := setup4(t, 3, 3)
+	center := g.RegionAt(1, 1)
+	if err := layer.MoveClient(vsa.ClientID(center), g.RegionAt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	from, to := g.RegionAt(0, 1), g.RegionAt(2, 1)
+	if got := svc.Graph().Distance(from, to); got != 2 {
+		t.Fatalf("static distance = %d, want 2 (through the center)", got)
+	}
+	arrivedAt := sim.Time(-1)
+	if err := svc.Send(from, to, func() { arrivedAt = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrivedAt != 4*unit {
+		t.Fatalf("arrived at %v, want %v (4-hop detour)", arrivedAt, 4*unit)
+	}
+	if got := ledger.Work("transport/geocast"); got != 4 {
+		t.Errorf("geocast work = %d, want 4 (the detour's length)", got)
+	}
+	if got := ledger.Messages("transport/geocast"); got != 1 {
+		t.Errorf("geocast messages = %d, want 1", got)
+	}
+}
+
+// When no live route exists the message is silently dropped (no panic) and
+// the ledger charges only the hops the message actually traveled.
+func TestSendNoLiveRouteDropsWithConsistentLedger(t *testing.T) {
+	// Drop at the source: line r0-r1-r2 with the middle dead — zero hops
+	// traveled, zero hop-work, still one message.
+	k, layer, svc, ledger := setup(t, 3, 1)
+	if err := layer.MoveClient(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	arrived := false
+	if err := svc.Send(0, 2, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("message crossed a dead cut vertex")
+	}
+	if got := ledger.Work("transport/geocast"); got != 0 {
+		t.Errorf("work for source-dropped message = %d, want 0", got)
+	}
+	if got := ledger.Messages("transport/geocast"); got != 1 {
+		t.Errorf("messages = %d, want 1", got)
+	}
+
+	// Drop mid-route: line r0-r1-r2-r3, r2 dies while the message is on its
+	// first hop — one hop traveled before the drop, so hop-work is 1.
+	k2, layer2, svc2, ledger2 := setup(t, 4, 1)
+	if err := svc2.Send(0, 3, func() { t.Error("dropped message arrived") }); err != nil {
+		t.Fatal(err)
+	}
+	k2.RunFor(unit / 2)
+	if err := layer2.MoveClient(2, 1); err != nil { // r2's VSA dies
+		t.Fatal(err)
+	}
+	k2.Run()
+	if got := ledger2.Work("transport/geocast"); got != 1 {
+		t.Errorf("work for mid-route drop = %d, want 1 (one hop traveled)", got)
+	}
+	if got := ledger2.Messages("transport/geocast"); got != 1 {
+		t.Errorf("messages = %d, want 1", got)
+	}
+}
+
+// Injected per-hop loss drops the message at the lossy hop and charges no
+// work for the hop that never happened.
+func TestSendInjectedLoss(t *testing.T) {
+	k, _, svc, ledger := setup(t, 4, 1)
+	svc.SetLoss(func(cur, next geo.RegionID) bool { return cur == 1 })
+	arrived := false
+	if err := svc.Send(0, 3, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("message survived injected loss")
+	}
+	if got := ledger.Work("transport/geocast"); got != 1 {
+		t.Errorf("work = %d, want 1 (only the pre-loss hop)", got)
+	}
+}
+
 func TestSendManyIndependentMessages(t *testing.T) {
 	k, _, svc, _ := setup(t, 4, 4)
 	arrivals := 0

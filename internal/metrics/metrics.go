@@ -37,6 +37,14 @@ func (l *Ledger) RecordMessage(kind string, hops int) {
 	l.hopWork[kind] += int64(hops)
 }
 
+// AddWork charges hop-work under kind without counting a message. Transports
+// that learn a message's true travel distance incrementally (geocast charges
+// each hop as it is taken) record the message once and add work as it
+// accrues.
+func (l *Ledger) AddWork(kind string, hops int) {
+	l.hopWork[kind] += int64(hops)
+}
+
 // Messages returns the number of messages recorded under kind.
 func (l *Ledger) Messages(kind string) int64 { return l.msgCount[kind] }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -45,6 +46,64 @@ func TestTracerRingRotation(t *testing.T) {
 	}
 	if tr.Total() != 7 {
 		t.Errorf("Total = %d, want 7", tr.Total())
+	}
+}
+
+// At exactly capacity the ring must hold every event in order with no
+// rotation yet — the boundary between the append regime and the overwrite
+// regime of Emitf.
+func TestTracerExactCapacityBoundary(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 3; i++ {
+		tr.Emitf(time.Duration(i), "k", "%d", i)
+	}
+	events := tr.Events()
+	want := []string{"0", "1", "2"}
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	for i := range want {
+		if events[i].Detail != want[i] {
+			t.Fatalf("at exact capacity events = %+v, want details %v", events, want)
+		}
+	}
+	if tr.Total() != 3 {
+		t.Errorf("Total = %d, want 3", tr.Total())
+	}
+
+	// The very next emission is the first overwrite: the oldest event
+	// rotates out and emission order is preserved across the seam.
+	tr.Emitf(3, "k", "3")
+	events = tr.Events()
+	want = []string{"1", "2", "3"}
+	for i := range want {
+		if events[i].Detail != want[i] {
+			t.Fatalf("after first rotation events = %+v, want details %v", events, want)
+		}
+	}
+}
+
+// Events() must report emission order after arbitrary wraparound, including
+// a full extra lap (start index back at 0) and mid-lap positions.
+func TestTracerEventsOrderAfterWraparound(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 11} {
+		tr := New(3)
+		for i := 0; i < n; i++ {
+			tr.Emitf(time.Duration(i), "k", "%d", i)
+		}
+		events := tr.Events()
+		if len(events) != 3 {
+			t.Fatalf("n=%d: retained %d, want 3", n, len(events))
+		}
+		for i, e := range events {
+			want := strconv.Itoa(n - 3 + i)
+			if e.Detail != want {
+				t.Fatalf("n=%d: events = %+v, want the last 3 in emission order", n, events)
+			}
+		}
+		if tr.Total() != uint64(n) {
+			t.Errorf("n=%d: Total = %d", n, tr.Total())
+		}
 	}
 }
 

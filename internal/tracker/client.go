@@ -40,16 +40,15 @@ func (c *Client) EvaderHere() bool { return c.evaderHere[DefaultObject] }
 func (c *Client) ObjectHere(obj ObjectID) bool { return c.evaderHere[obj] }
 
 // GPSUpdate implements vsa.ClientHandler: the client learns its region on
-// entry, relocation, and restart. Relocation and restart clear detection
-// state (a restarted client starts from its initial state, §II-C.1).
+// entry, relocation, and restart. Every GPS input resets detection state —
+// relocation because the old region's detection is void, restart because a
+// restarted client starts from its initial state (§II-C.1). The layer may
+// restart a client in place, so the region alone cannot distinguish a
+// restart from a no-op update; resetting unconditionally is the faithful
+// semantics (and the re-detection below rebuilds true detections at once).
 func (c *Client) GPSUpdate(u geo.RegionID) {
-	if c.region != u {
-		c.evaderHere = nil
-	}
 	c.region = u
-	if c.evaderHere == nil {
-		c.evaderHere = make(map[ObjectID]bool)
-	}
+	c.evaderHere = make(map[ObjectID]bool)
 	// With AttachObject wired, a client arriving where an object already
 	// sits detects it immediately (see Network.AttachEvader).
 	for obj, at := range c.net.evaderAt {

@@ -156,3 +156,35 @@ func TestDetectorClientFailureAndRestart(t *testing.T) {
 		t.Fatal("find failed after detector client restart")
 	}
 }
+
+// A client restarted in place starts from its initial state (§II-C.1): a
+// detector that crash-stops, misses the evader's departure, and restarts in
+// the same region must NOT resurrect its stale detection — otherwise its
+// heartbeat refreshes keep a phantom lease alive at the old leaf and finds
+// can answer a region the evader already left.
+func TestRestartInPlaceClearsStaleDetection(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 8, start: 9, heartbeat: 8 * unit, tRestart: unit})
+	f.k.RunFor(100 * unit)
+
+	detector := vsa.ClientID(9) // the stationary client of the evader's region
+	if !f.net.Client(detector).EvaderHere() {
+		t.Fatal("detector has not detected the co-located evader; test setup broken")
+	}
+	oldRegion := f.ev.Region()
+	f.layer.FailClient(detector)
+	// The evader departs while the detector is down: the left input is lost.
+	if err := f.ev.MoveTo(f.tiling.RegionAt(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(20 * unit)
+	if err := f.layer.RestartClient(detector, oldRegion); err != nil {
+		t.Fatal(err)
+	}
+	if f.net.Client(detector).EvaderHere() {
+		t.Fatal("restarted client kept its pre-crash detection state")
+	}
+	// With the stale detection cleared, leases at the old leaf expire and
+	// the structure converges on the evader's true region.
+	f.k.RunFor(400 * unit)
+	f.assertPathReachesEvader(t)
+}

@@ -6,9 +6,20 @@
 //
 // Substitution note: on the paper's testbed, δ is the maximum delay of the
 // physical nodes' radio broadcast and e the worst-case lag of the VSA
-// emulation. Here both are simulation parameters; the service delivers at
-// exactly δ (client origin) or δ+e (VSA origin), the worst case the
-// analysis assumes.
+// emulation. Here both are simulation parameters; by default the service
+// delivers at exactly δ (client origin) or δ+e (VSA origin), the worst case
+// the analysis assumes. A DelayModel (internal/chaos) may instead sample
+// per-message delays anywhere in [0,δ] (plus output lag in [0,e]), subject
+// to the TOBcast ordering constraint below.
+//
+// Ordering note: the paper models local broadcast as TOBcast — messages are
+// delivered in send-time order. Independent per-message jitter could violate
+// that (a later send overtaking an earlier one), which is a schedule the
+// analysis excludes, not an adversarial one it quantifies over. The service
+// therefore clamps sampled arrival times to be non-decreasing per
+// destination region; the clamped delay provably stays within the [0,δ]
+// (resp. [0,δ+e]) envelope because the earlier message's arrival is itself
+// within its own envelope, which ends no later than this send's.
 package vbcast
 
 import (
@@ -20,6 +31,18 @@ import (
 	"vinestalk/internal/vsa"
 )
 
+// DelayModel supplies per-message delays for adversarial schedules. Both
+// methods must be deterministic functions of the model's own state (seeded
+// RNG streams) so the simulation stays reproducible.
+type DelayModel interface {
+	// BroadcastDelay returns this message's physical broadcast delay; it
+	// must lie in [0, delta].
+	BroadcastDelay(from, to geo.RegionID, delta sim.Time) sim.Time
+	// EmulationLag returns the sending VSA's output lag for this message;
+	// it must lie in [0, e].
+	EmulationLag(u geo.RegionID, e sim.Time) sim.Time
+}
+
 // Service is the local broadcast service. All sends are asynchronous:
 // delivery happens via the VSA layer after the configured delay, and is
 // dropped if the destination has failed (or restarted) in the meantime.
@@ -29,14 +52,45 @@ type Service struct {
 	delta  sim.Time
 	e      sim.Time
 	ledger *metrics.Ledger
+	model  DelayModel
+	// lastArrival tracks, per delivery channel (destination region ×
+	// message class), the latest arrival time already scheduled there;
+	// sampled arrivals are clamped to it so delivery respects TOBcast send
+	// order (see package comment). Clamping within one channel is always
+	// in-envelope because every message of a channel shares the same delay
+	// bound.
+	lastArrival map[channel]sim.Time
 }
+
+// channel identifies one TOBcast ordering domain: messages of the same
+// class bound for the same region must arrive in send order.
+type channel struct {
+	class  uint8
+	region geo.RegionID
+}
+
+const (
+	chanClient    uint8 = iota // client → VSA subautomaton
+	chanVSAClient              // VSA → clients of a region
+	chanHop                    // VSA → VSA relay (geocast)
+)
 
 // New creates the service. delta is the physical broadcast delay δ and e
 // the VSA emulation output lag; ledger may be nil to disable transport
 // accounting.
 func New(k *sim.Kernel, layer *vsa.Layer, delta, e sim.Time, ledger *metrics.Ledger) *Service {
-	return &Service{k: k, layer: layer, delta: delta, e: e, ledger: ledger}
+	return &Service{
+		k: k, layer: layer, delta: delta, e: e, ledger: ledger,
+		lastArrival: make(map[channel]sim.Time),
+	}
 }
+
+// SetDelayModel installs a per-message delay model (nil restores the exact
+// worst-case schedule). With a model installed every delivery time is
+// sampled from the model and clamped to the TOBcast ordering constraint;
+// without one the service is byte-for-byte the worst-case schedule, with no
+// sampling and no clamp bookkeeping.
+func (s *Service) SetDelayModel(m DelayModel) { s.model = m }
 
 // Delta returns δ.
 func (s *Service) Delta() sim.Time { return s.delta }
@@ -58,7 +112,7 @@ func (s *Service) ClientToVSA(from vsa.ClientID, target geo.RegionID, level int,
 	}
 	s.record("transport/client", hopCount(src, target))
 	inc := s.layer.Incarnation(target)
-	s.k.Schedule(s.delta, func() {
+	s.k.At(s.deliverAt(chanClient, target, s.broadcastDelay(src, target)), func() {
 		if s.layer.Incarnation(target) != inc {
 			return // VSA failed or restarted while the message was in flight
 		}
@@ -69,33 +123,44 @@ func (s *Service) ClientToVSA(from vsa.ClientID, target geo.RegionID, level int,
 
 // VSAToClients broadcasts msg from region from's VSA to every alive client
 // in the target regions (each must be from itself or a neighbor), delivered
-// after δ+e. Clients that die in flight miss the message.
+// after δ+e. Clients that die in flight miss the message. It is one
+// broadcast: the ledger charges one message whose hop-work is the sum of
+// the per-target hop counts (the self region is 0 hops, each neighbor 1),
+// so message count and hop-work stay distinct quantities.
 func (s *Service) VSAToClients(from geo.RegionID, targets []geo.RegionID, msg any) error {
 	if !s.layer.Alive(from) {
 		return fmt.Errorf("vbcast: VSA %v not alive", from)
 	}
+	work := 0
 	for _, tgt := range targets {
 		if tgt != from && !geo.AreNeighbors(s.layer.Tiling(), from, tgt) {
 			return fmt.Errorf("vbcast: region %v not within broadcast range of %v", tgt, from)
 		}
+		work += hopCount(from, tgt)
 	}
-	s.record("transport/vsa-client", len(targets))
-	tgts := append([]geo.RegionID(nil), targets...)
-	s.k.Schedule(s.delta+s.e, func() {
-		for _, tgt := range tgts {
+	s.record("transport/vsa-client", work)
+	lag := s.emulationLag(from)
+	for _, tgt := range targets {
+		tgt := tgt
+		at := s.deliverAt(chanVSAClient, tgt, sim.Add(lag, s.broadcastDelay(from, tgt)))
+		s.k.At(at, func() {
 			for _, id := range s.layer.ClientsIn(tgt) {
 				s.layer.DeliverToClient(id, msg)
 			}
-		}
-	})
+		})
+	}
 	return nil
 }
 
 // VSAToVSA relays msg one hop between neighboring regions' VSAs (or
 // self-delivers when from == to), arriving after δ+e. The callback runs at
 // arrival instead of a direct subautomaton delivery, letting higher layers
-// (geocast) continue routing. Delivery is dropped if either endpoint's VSA
-// fails in flight.
+// (geocast) continue routing. Delivery is dropped only if the destination
+// VSA fails or restarts while the message is in flight. The sender's
+// emulation must merely survive the send itself: a VSA output is a physical
+// broadcast performed by whichever node emulates the VSA at send time, and
+// once that broadcast is in flight it is independent of the sender's fate —
+// the sending VSA failing afterward does not retract it.
 func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
 	if !s.layer.Alive(from) {
 		return fmt.Errorf("vbcast: VSA %v not alive", from)
@@ -105,7 +170,8 @@ func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
 	}
 	s.record("transport/hop", hopCount(from, to))
 	inc := s.layer.Incarnation(to)
-	s.k.Schedule(s.delta+s.e, func() {
+	at := s.deliverAt(chanHop, to, sim.Add(s.emulationLag(from), s.broadcastDelay(from, to)))
+	s.k.At(at, func() {
 		if s.layer.Incarnation(to) != inc || !s.layer.Alive(to) {
 			return
 		}
@@ -118,6 +184,55 @@ func (s *Service) record(kind string, hops int) {
 	if s.ledger != nil {
 		s.ledger.RecordMessage(kind, hops)
 	}
+}
+
+// broadcastDelay returns this message's physical broadcast delay: exactly δ
+// without a model, otherwise the model's sample clamped into [0,δ].
+func (s *Service) broadcastDelay(from, to geo.RegionID) sim.Time {
+	if s.model == nil {
+		return s.delta
+	}
+	d := s.model.BroadcastDelay(from, to, s.delta)
+	if d < 0 {
+		d = 0
+	}
+	if d > s.delta {
+		d = s.delta
+	}
+	return d
+}
+
+// emulationLag returns the sending VSA's output lag: exactly e without a
+// model, otherwise the model's sample clamped into [0,e].
+func (s *Service) emulationLag(u geo.RegionID) sim.Time {
+	if s.model == nil {
+		return s.e
+	}
+	d := s.model.EmulationLag(u, s.e)
+	if d < 0 {
+		d = 0
+	}
+	if d > s.e {
+		d = s.e
+	}
+	return d
+}
+
+// deliverAt converts a sampled delay into an absolute arrival time,
+// enforcing non-decreasing arrivals per channel when a model is installed
+// (the default exact schedule is already send-ordered per channel because
+// its delay is constant).
+func (s *Service) deliverAt(class uint8, to geo.RegionID, delay sim.Time) sim.Time {
+	at := sim.Add(s.k.Now(), delay)
+	if s.model == nil {
+		return at
+	}
+	key := channel{class: class, region: to}
+	if last := s.lastArrival[key]; at < last {
+		at = last
+	}
+	s.lastArrival[key] = at
+	return at
 }
 
 func hopCount(from, to geo.RegionID) int {

@@ -191,3 +191,120 @@ func TestAccessors(t *testing.T) {
 		t.Errorf("Delta/E = %v/%v", svc.Delta(), svc.E())
 	}
 }
+
+// A VSA→clients broadcast is one message; its hop-work is the sum of
+// per-target hop counts (self 0, each neighbor 1), not the target count.
+func TestVSAToClientsWorkAccounting(t *testing.T) {
+	_, _, svc, _, _ := setup(t)
+	ledger := metrics.NewLedger()
+	svc.ledger = ledger
+	if err := svc.VSAToClients(4, []geo.RegionID{4, 1, 3}, "found"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.Messages("transport/vsa-client"); got != 1 {
+		t.Errorf("messages = %d, want 1 (a broadcast is one message)", got)
+	}
+	if got := ledger.Work("transport/vsa-client"); got != 2 {
+		t.Errorf("hop-work = %d, want 2 (self=0 + two neighbors)", got)
+	}
+}
+
+// Once a VSA→VSA message is in flight it is independent of the sender: the
+// sending VSA failing mid-flight must not retract the delivery (only the
+// destination's fate matters).
+func TestVSAToVSASenderDiesMidFlight(t *testing.T) {
+	k, layer, svc, _, _ := setup(t)
+	arrived := false
+	if err := svc.VSAToVSA(0, 1, func() { arrived = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(delta / 2)
+	if err := layer.MoveClient(0, 1); err != nil { // r0's VSA dies
+		t.Fatal(err)
+	}
+	if layer.Alive(0) {
+		t.Fatal("sender VSA still alive; test setup broken")
+	}
+	k.Run()
+	if !arrived {
+		t.Fatal("in-flight relay retracted by sender failure")
+	}
+}
+
+// scriptModel replays a fixed delay sequence; lag is the constant
+// emulation lag it reports.
+type scriptModel struct {
+	delays []sim.Time
+	i      int
+	lag    sim.Time
+}
+
+func (m *scriptModel) BroadcastDelay(_, _ geo.RegionID, _ sim.Time) sim.Time {
+	d := m.delays[m.i%len(m.delays)]
+	m.i++
+	return d
+}
+
+func (m *scriptModel) EmulationLag(geo.RegionID, sim.Time) sim.Time { return m.lag }
+
+// With a delay model installed, client→VSA messages arrive at the sampled
+// delay rather than exactly δ, and samples beyond the envelope are clamped
+// into [0,δ].
+func TestDelayModelSampledAndClamped(t *testing.T) {
+	k, _, svc, vsas, _ := setup(t)
+	svc.SetDelayModel(&scriptModel{delays: []sim.Time{3 * time.Millisecond, 99 * delta}})
+	if err := svc.ClientToVSA(4, 4, 0, "early"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(3 * time.Millisecond)
+	if len(vsas[4].msgs) != 1 {
+		t.Fatalf("sampled delivery = %v, want arrival at 3ms", vsas[4].msgs)
+	}
+	if err := svc.ClientToVSA(4, 4, 0, "late"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got := k.Now(); got != 3*time.Millisecond+delta {
+		t.Errorf("out-of-envelope sample delivered at %v, want clamp to δ (%v)", got, 3*time.Millisecond+delta)
+	}
+	if len(vsas[4].msgs) != 2 {
+		t.Fatalf("deliveries = %v", vsas[4].msgs)
+	}
+}
+
+// The TOBcast ordering constraint: two messages sent back-to-back to the
+// same region must be delivered in send order even when the second samples
+// a shorter delay — its arrival is clamped to the first's.
+func TestDelayModelPreservesSendOrder(t *testing.T) {
+	k, _, svc, vsas, _ := setup(t)
+	svc.SetDelayModel(&scriptModel{delays: []sim.Time{9 * time.Millisecond, 1 * time.Millisecond}})
+	if err := svc.ClientToVSA(4, 4, 0, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ClientToVSA(4, 4, 0, "second"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(9*time.Millisecond - time.Microsecond)
+	if len(vsas[4].msgs) != 0 {
+		t.Fatalf("premature delivery %v: second message overtook the first", vsas[4].msgs)
+	}
+	k.Run()
+	if len(vsas[4].msgs) != 2 || vsas[4].msgs[0] != "first" || vsas[4].msgs[1] != "second" {
+		t.Fatalf("delivery order = %v, want [first second]", vsas[4].msgs)
+	}
+}
+
+// With no model installed the worst-case schedule is untouched: VSA→VSA
+// still arrives at exactly δ+e (regression guard for the model plumbing).
+func TestNilModelIsExactWorstCase(t *testing.T) {
+	k, _, svc, _, _ := setup(t)
+	svc.SetDelayModel(nil)
+	var arrivedAt sim.Time = -1
+	if err := svc.VSAToVSA(0, 1, func() { arrivedAt = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrivedAt != delta+lagE {
+		t.Fatalf("arrived at %v, want %v", arrivedAt, delta+lagE)
+	}
+}
