@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short race vet lint bench experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -12,6 +12,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck when it is installed (CI installs it; locally it is
+# optional — the toolchain stays stdlib-only).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -47,6 +56,11 @@ chaos:
 # Write the tables as CSV into ./results.
 experiments-csv:
 	$(GO) run ./cmd/experiments -csv results
+
+# Write machine-readable results (tables, shape checks, ledger exports
+# with drop-cause counters and latency histograms) into ./results.
+experiments-json:
+	$(GO) run ./cmd/experiments -json results
 
 # Short exploratory fuzz sessions over the spec and the hierarchy builder.
 fuzz:

@@ -8,10 +8,14 @@
 //
 //	vinestalk [-side 16] [-base 2] [-steps 20] [-finds 5] [-seed 1]
 //	          [-mobility walk|waypoint|momentum|pingpong] [-check] [-v]
-//	          [-realtime 0]
+//	          [-spans] [-realtime 0]
 //
-// With -realtime N > 0, the scenario is replayed paced against the wall
-// clock at N× virtual speed after the measured run.
+// With -spans, every find is followed by its trace span: the correlated
+// protocol events of that one operation (client send, per-hop receives up
+// the search phase and down the trace phase, the found output) with
+// elapsed/delta timing per hop. With -realtime N > 0, the scenario is
+// replayed paced against the wall clock at N× virtual speed after the
+// measured run.
 package main
 
 import (
@@ -37,10 +41,11 @@ func main() {
 		mobility = flag.String("mobility", "walk", "evader mobility: walk, waypoint, momentum, pingpong")
 		check    = flag.Bool("check", true, "verify Theorem 4.8 after every move")
 		verbose  = flag.Bool("v", false, "stream protocol-level events (sends, deliveries, founds)")
+		spans    = flag.Bool("spans", false, "print each find's correlated trace span with per-hop timing")
 		realtime = flag.Float64("realtime", 0, "if > 0, pace the run against the wall clock at this speedup")
 	)
 	flag.Parse()
-	if err := run(*side, *base, *steps, *finds, *seed, *mobility, *check, *verbose, *realtime); err != nil {
+	if err := run(*side, *base, *steps, *finds, *seed, *mobility, *check, *verbose, *spans, *realtime); err != nil {
 		fmt.Fprintln(os.Stderr, "vinestalk:", err)
 		os.Exit(1)
 	}
@@ -64,12 +69,21 @@ func pickModel(name string, g *geo.GridTiling) (evader.Model, error) {
 	}
 }
 
-func run(side, base, steps, finds int, seed int64, mobility string, check, verbose bool, realtime float64) error {
+func run(side, base, steps, finds int, seed int64, mobility string, check, verbose, spans bool, realtime float64) error {
 	var tr *trace.Tracer
-	if verbose {
-		tr = trace.New(1)
-		tr.Attach(func(e trace.Event) { fmt.Println("    |", e) })
+	if verbose || spans {
+		// Span extraction needs the ring to retain a whole find's events;
+		// pure -v streaming needs no retention at all.
+		capacity := 1
+		if spans {
+			capacity = 8192
+		}
+		tr = trace.New(capacity)
+		if verbose {
+			tr.Attach(func(e trace.Event) { fmt.Println("    |", e) })
+		}
 	}
+	var lastFind tracker.FindID
 	svc, err := core.New(core.Config{
 		Width:           side,
 		Base:            base,
@@ -78,6 +92,7 @@ func run(side, base, steps, finds int, seed int64, mobility string, check, verbo
 		Start:           geo.RegionID(side*side/2 + side/2),
 		Tracer:          tr,
 		OnFound: func(r tracker.FindResult) {
+			lastFind = r.ID
 			fmt.Printf("    found: find %d (from %v) reached the evader at %v\n", r.ID, r.Origin, r.FoundAt)
 		},
 	})
@@ -123,6 +138,10 @@ func run(side, base, steps, finds int, seed int64, mobility string, check, verbo
 				return err
 			}
 			fmt.Printf("    find from %v: msgs=%d work=%d latency=%v\n", observer, m, w, lat)
+			if spans {
+				fmt.Printf("    span of find %d:\n", lastFind)
+				trace.FormatSpan(os.Stdout, tr.Span(trace.OpFind(int64(lastFind))))
+			}
 		}
 	}
 	fmt.Printf("\ntotals: %d messages, %d hop-work, virtual time %v\n",

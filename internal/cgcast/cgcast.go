@@ -180,10 +180,11 @@ func (s *Service) ClusterToClusterFrom(srcRegion geo.RegionID, from, to hier.Clu
 	del := Delivery{Kind: kind, Payload: payload, From: from, FromRegion: srcRegion}
 	level := s.h.Level(to)
 	var firstErr error
+	protoKind := "proto/" + kind
 	for _, dstRegion := range targets {
 		dstRegion := dstRegion
 		s.record(kind, s.h.Graph().Distance(srcRegion, dstRegion))
-		err := s.gc.Send(srcRegion, dstRegion, func() {
+		err := s.gc.SendTracked(srcRegion, dstRegion, func() {
 			// The message is now held in dstRegion's VSA memory until the
 			// scheduled time; it dies with the VSA.
 			inc := s.layer.Incarnation(dstRegion)
@@ -193,10 +194,23 @@ func (s *Service) ClusterToClusterFrom(srcRegion geo.RegionID, from, to hier.Clu
 			}
 			s.k.Schedule(hold, func() {
 				if s.layer.Incarnation(dstRegion) != inc {
+					// The holding VSA failed or restarted before the
+					// scheduled delivery time; the held message dies with
+					// its memory.
+					s.recordDrop(protoKind, metrics.DropVSAReset)
 					return
 				}
-				s.layer.DeliverToVSA(dstRegion, level, del)
+				if !s.layer.DeliverToVSA(dstRegion, level, del) {
+					s.recordDrop(protoKind, metrics.DropDeadVSA)
+					return
+				}
+				s.recordDelivery(protoKind)
 			})
+		}, func(cause metrics.DropCause) {
+			// The protocol message died in the geocast substrate; attribute
+			// it at the proto level too so each per-kind send resolves to a
+			// delivery or a named drop.
+			s.recordDrop(protoKind, cause)
 		})
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -241,5 +255,17 @@ func (s *Service) record(kind string, hops int) {
 			hops = 0
 		}
 		s.ledger.RecordMessage("proto/"+kind, hops)
+	}
+}
+
+func (s *Service) recordDelivery(kind string) {
+	if s.ledger != nil {
+		s.ledger.RecordDelivery(kind)
+	}
+}
+
+func (s *Service) recordDrop(kind string, cause metrics.DropCause) {
+	if s.ledger != nil {
+		s.ledger.RecordDrop(kind, cause)
 	}
 }

@@ -192,6 +192,9 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	netOpts := []tracker.Option{tracker.WithFoundCallback(func(r tracker.FindResult) {
 		s.founds = append(s.founds, r)
 		s.foundAt[r.ID] = s.kernel.Now()
+		if t0, ok := s.net.FindIssued(r.ID); ok {
+			s.ledger.RecordLatency("find", time.Duration(s.kernel.Now()-t0))
+		}
 		if cfg.OnFound != nil {
 			cfg.OnFound(r)
 		}
@@ -337,7 +340,9 @@ func (s *Service) MoveStats(to geo.RegionID) (msgs, work int64, elapsed sim.Time
 		return 0, 0, 0, err
 	}
 	diff := s.ledger.Snapshot().Sub(before)
-	return protoMessages(diff), protoWork(diff), s.kernel.Now() - start, nil
+	elapsed = s.kernel.Now() - start
+	s.ledger.RecordLatency("move", time.Duration(elapsed))
+	return protoMessages(diff), protoWork(diff), elapsed, nil
 }
 
 // FindStats reports the cost of one atomic find issued at region u: the

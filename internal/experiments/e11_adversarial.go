@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"vinestalk/internal/chaos"
 	"vinestalk/internal/core"
 	"vinestalk/internal/evader"
 	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
 	"vinestalk/internal/sim"
 	"vinestalk/internal/tracker"
 )
@@ -68,7 +71,16 @@ func E11Adversarial(env Env) (*Result, error) {
 		violations, checks, finds, found int
 		work                             int64
 		latSum                           sim.Time
+		sent, delivered, dropped         int64 // point-to-point transport kinds
+		causes                           map[metrics.DropCause]int64
+		ledger                           *metrics.Export
 	}
+
+	// Conservation is claimed for the point-to-point transports: every send
+	// resolves to exactly one delivery or one named drop once the event
+	// queue drains. VSA-to-clients fan-out ("transport/vsa-client") counts
+	// per-attempt and is excluded.
+	ppKinds := []string{"transport/client", "transport/hop", "transport/geocast"}
 
 	// run drives one service (perturbed when cc != nil, the fault-free twin
 	// otherwise) through the identical walk and find schedule.
@@ -180,7 +192,20 @@ func E11Adversarial(env Env) (*Result, error) {
 			}
 		}
 		out.violations = ck.Count()
-		out.work = protoWork(svc.Ledger().Snapshot().Sub(before))
+		final := svc.Ledger().Snapshot()
+		out.work = protoWork(final.Sub(before))
+		// Whole-run transport accounting (not the diff: a message in flight
+		// at the before-snapshot would skew sent vs delivered).
+		out.causes = make(map[metrics.DropCause]int64)
+		for _, kind := range ppKinds {
+			out.sent += final.MsgCount[kind]
+			out.delivered += final.Delivered[kind]
+			for c, v := range final.Drops[kind] {
+				out.causes[c] += v
+				out.dropped += v
+			}
+		}
+		out.ledger = svc.Ledger().Export()
 		return out, nil
 	}
 
@@ -208,11 +233,12 @@ func E11Adversarial(env Env) (*Result, error) {
 		Title: "adversarial schedules: seeds × fault intensities",
 		Claim: "sampled delays, churn, and crash windows are executions the theorems quantify over: zero lookAhead-spec violations (Thms 4.8, 5.1)",
 		Columns: []string{"intensity", "seeds", "spec checks", "finds completed",
-			"violations", "work inflation", "latency inflation"},
+			"violations", "work inflation", "latency inflation", "dropped"},
 	}}
 	totalViolations, totalChecks := 0, 0
 	for i, in := range intensities {
 		var agg cell
+		causes := make(map[metrics.DropCause]int64)
 		var workRatio, latRatio float64
 		ratios := 0
 		for s := 0; s < seeds; s++ {
@@ -221,6 +247,13 @@ func E11Adversarial(env Env) (*Result, error) {
 			agg.perturbed.checks += c.perturbed.checks
 			agg.perturbed.finds += c.perturbed.finds
 			agg.perturbed.found += c.perturbed.found
+			agg.perturbed.sent += c.perturbed.sent
+			agg.perturbed.delivered += c.perturbed.delivered
+			agg.perturbed.dropped += c.perturbed.dropped
+			for cause, v := range c.perturbed.causes {
+				causes[cause] += v
+			}
+			res.addLedger(fmt.Sprintf("%s/seed%d", in.name, s+1), c.perturbed.ledger)
 			if c.baseline.work > 0 && c.baseline.latSum > 0 {
 				workRatio += float64(c.perturbed.work) / float64(c.baseline.work)
 				latRatio += float64(c.perturbed.latSum) / float64(c.baseline.latSum)
@@ -235,12 +268,39 @@ func E11Adversarial(env Env) (*Result, error) {
 		totalChecks += agg.perturbed.checks
 		res.Table.AddRow(in.name, seeds, agg.perturbed.checks,
 			fmt.Sprintf("%d/%d", agg.perturbed.found, agg.perturbed.finds),
-			agg.perturbed.violations, workRatio, latRatio)
+			agg.perturbed.violations, workRatio, latRatio, agg.perturbed.dropped)
 		res.check(in.name+": all finds complete", agg.perturbed.found == agg.perturbed.finds,
 			"%d/%d", agg.perturbed.found, agg.perturbed.finds)
 		if !in.crash {
 			res.check(in.name+": spec checked", agg.perturbed.checks > 0,
 				"%d quiescent checks", agg.perturbed.checks)
+		}
+		lost := agg.perturbed.sent - agg.perturbed.delivered
+		if !in.crash {
+			// These regimes end fully drained, so transport accounting must
+			// conserve exactly: every lost message carries a named cause.
+			res.check(in.name+": 100% of losses attributed", lost == agg.perturbed.dropped,
+				"sent-delivered = %d, named drops = %d", lost, agg.perturbed.dropped)
+		} else {
+			// Heartbeats keep the crash regime's queue busy forever, so
+			// messages still in flight at cutoff are neither delivered nor
+			// dropped; attribution may only undershoot the loss, never
+			// exceed it, and the injected faults must actually bite.
+			res.check(in.name+": attributed drops within losses",
+				agg.perturbed.dropped > 0 && agg.perturbed.dropped <= lost,
+				"sent-delivered = %d, named drops = %d", lost, agg.perturbed.dropped)
+		}
+		if len(causes) > 0 {
+			parts := make([]string, 0, len(causes))
+			for c := range causes {
+				parts = append(parts, string(c))
+			}
+			sort.Strings(parts)
+			for j, c := range parts {
+				parts[j] = fmt.Sprintf("%s=%d", c, causes[metrics.DropCause(c)])
+			}
+			res.Table.Notes = append(res.Table.Notes,
+				fmt.Sprintf("%s drop causes: %s", in.name, strings.Join(parts, " ")))
 		}
 	}
 	res.check("zero lookAhead-spec violations", totalViolations == 0,

@@ -6,6 +6,7 @@ import (
 
 	"vinestalk/internal/core"
 	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
 	"vinestalk/internal/sim"
 )
 
@@ -23,7 +24,8 @@ func E1FindCost(env Env) (*Result, error) {
 		ID:      "E1",
 		Title:   "find cost vs distance d (grid hierarchy)",
 		Claim:   "work O(d), time O(d(δ+e)) — Theorem 5.2",
-		Columns: []string{"d", "finds", "msgs", "work", "latency", "work/d", "latency/d"},
+		Columns: []string{"d", "finds", "msgs", "work", "latency", "work/d", "latency/d",
+			"lat p50", "lat p99", "lat max"},
 	}}
 
 	var distances []int
@@ -41,6 +43,9 @@ func E1FindCost(env Env) (*Result, error) {
 		avgLat  time.Duration
 		workPer float64
 		latPer  float64
+		lat     metrics.LatencyStats // per-find latency distribution
+		maxWork int64                // worst single find's hop work
+		ledger  *metrics.Export
 	}
 	measured, err := cells(env, distances, func(d int) (point, error) {
 		svc, err := core.New(core.Config{
@@ -58,7 +63,7 @@ func E1FindCost(env Env) (*Result, error) {
 		g := svc.Tiling()
 		cx, cy := side/2, side/2
 		origins := originsAtDistance(g, cx, cy, d)
-		var msgs, work int64
+		var msgs, work, maxWork int64
 		var lat sim.Time
 		n := 0
 		for _, u := range origins {
@@ -68,6 +73,9 @@ func E1FindCost(env Env) (*Result, error) {
 			}
 			msgs += m
 			work += w
+			if w > maxWork {
+				maxWork = w
+			}
 			lat += l
 			n++
 		}
@@ -80,6 +88,11 @@ func E1FindCost(env Env) (*Result, error) {
 			d: d, n: n, avgMsgs: float64(msgs) / float64(n),
 			avgWork: avgWork, avgLat: avgLat,
 			workPer: avgWork / float64(d), latPer: float64(avgLat) / float64(d),
+			// The per-find latency samples land in the service ledger's
+			// "find" histogram; the whole distribution, not just the mean,
+			// is checked against the Theorem 5.2 bound below.
+			lat: svc.Ledger().Latency("find"), maxWork: maxWork,
+			ledger: svc.Ledger().Export(),
 		}, nil
 	})
 	if err != nil {
@@ -92,7 +105,9 @@ func E1FindCost(env Env) (*Result, error) {
 			continue
 		}
 		res.Table.AddRow(p.d, p.n, p.avgMsgs, p.avgWork,
-			p.avgLat, p.workPer, time.Duration(int64(p.avgLat)/int64(p.d)))
+			p.avgLat, p.workPer, time.Duration(int64(p.avgLat)/int64(p.d)),
+			p.lat.P50, p.lat.P99, p.lat.Max)
+		res.addLedger(fmt.Sprintf("d=%d", p.d), p.ledger)
 		points = append(points, p)
 	}
 
@@ -112,6 +127,25 @@ func E1FindCost(env Env) (*Result, error) {
 	res.check("monotone cost", points[len(points)-1].workPer*float64(points[len(points)-1].d) >
 		points[0].workPer*float64(points[0].d),
 		"far find work exceeds near find work")
+
+	// Distribution-wide Theorem 5.2 check: not just the per-distance means
+	// but the WORST sample of every batch must stay linear — max latency/d
+	// and max work/d within a constant factor across the sweep (again
+	// ignoring d=1 where constants dominate). A single stray find that blew
+	// the bound would previously hide inside the average.
+	minML, maxML := float64(points[1].lat.Max)/float64(points[1].d), float64(points[1].lat.Max)/float64(points[1].d)
+	minMW, maxMW := float64(points[1].maxWork)/float64(points[1].d), float64(points[1].maxWork)/float64(points[1].d)
+	for _, p := range points[1:] {
+		ml := float64(p.lat.Max) / float64(p.d)
+		mw := float64(p.maxWork) / float64(p.d)
+		minML, maxML = minFloat(minML, ml), maxFloat(maxML, ml)
+		minMW, maxMW = minFloat(minMW, mw), maxFloat(maxMW, mw)
+	}
+	res.check("worst-sample latency linear in d", maxML <= 8*minML,
+		"max-sample latency/d spread %v..%v",
+		time.Duration(minML).Round(time.Millisecond), time.Duration(maxML).Round(time.Millisecond))
+	res.check("worst-sample work linear in d", maxMW <= 8*minMW,
+		"max-sample work/d spread %.2f..%.2f", minMW, maxMW)
 	return res, nil
 }
 

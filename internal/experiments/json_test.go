@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vinestalk/internal/metrics"
+)
+
+// A saved result must round-trip through encoding/json: tables, check
+// outcomes, and the attached ledger exports (including histograms).
+func TestResultJSONRoundTrip(t *testing.T) {
+	led := metrics.NewLedger()
+	led.RecordMessage("proto/grow", 3)
+	led.RecordDelivery("transport/hop")
+	led.RecordDrop("transport/hop", metrics.DropIncarnation)
+	led.RecordLatency("find", 40*time.Millisecond)
+	led.RecordLatency("find", 85*time.Millisecond)
+
+	res := &Result{Table: Table{
+		ID:      "TX",
+		Title:   "round-trip fixture",
+		Claim:   "serialization is lossless",
+		Columns: []string{"k", "v"},
+		Notes:   []string{"a note"},
+	}}
+	res.Table.AddRow("a", 1)
+	res.check("always", true, "fixture check %d", 7)
+	res.addLedger("cell", led.Export())
+
+	dir := t.TempDir()
+	path, err := res.SaveJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "TX.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ResultJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, res.JSON()) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, res.JSON())
+	}
+	h := got.Ledgers["cell"].Latency["find"]
+	if h.Count() != 2 || h.QuantileDuration(1) != 85*time.Millisecond {
+		t.Fatalf("histogram survived badly: count=%d max=%v", h.Count(), h.QuantileDuration(1))
+	}
+}
+
+// RunAll with JSONDir writes one parseable file per experiment, and E11's
+// carries ledger exports with drop-cause counters.
+func TestRunAllWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := RunAll(&out, Options{Quick: true, Only: []string{"T1", "E11"}, JSONDir: dir})
+	if err != nil {
+		t.Fatalf("RunAll: %v\n%s", err, out.String())
+	}
+	for _, id := range []string{"T1", "E11"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ResultJSON
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s.json: %v", id, err)
+		}
+		if got.ID != id || len(got.Columns) == 0 || len(got.Rows) == 0 {
+			t.Errorf("%s.json incomplete: %+v", id, got)
+		}
+	}
+	var e11 ResultJSON
+	data, _ := os.ReadFile(filepath.Join(dir, "E11.json"))
+	if err := json.Unmarshal(data, &e11); err != nil {
+		t.Fatal(err)
+	}
+	if len(e11.Ledgers) == 0 {
+		t.Fatal("E11 export carries no ledgers")
+	}
+	drops := 0
+	for _, led := range e11.Ledgers {
+		for _, m := range led.Drops {
+			for range m {
+				drops++
+			}
+		}
+	}
+	if drops == 0 {
+		t.Error("no drop-cause counters in any E11 ledger export")
+	}
+}

@@ -14,9 +14,10 @@ import (
 
 // Options configures a RunAll invocation.
 type Options struct {
-	Quick    bool     // reduced grid sizes and repetition counts
-	Only     []string // experiment ids to run (all when empty)
-	CSVDir   string   // also write each table as <dir>/<ID>.csv when set
+	Quick     bool     // reduced grid sizes and repetition counts
+	Only      []string // experiment ids to run (all when empty)
+	CSVDir    string   // also write each table as <dir>/<ID>.csv when set
+	JSONDir   string   // also write each result (table + checks + ledgers) as <dir>/<ID>.json
 	Parallel  int      // sweep worker count; <= 0 means GOMAXPROCS
 	ChaosSeed int64    // offset added to fault-plan seeds (E11)
 }
@@ -28,9 +29,11 @@ type Options struct {
 // at any worker count. It returns an error if any experiment fails to run
 // or any shape check fails — the contract the CLI and CI rely on.
 func RunAll(w io.Writer, opts Options) error {
-	if opts.CSVDir != "" {
-		if err := os.MkdirAll(opts.CSVDir, 0o755); err != nil {
-			return err
+	for _, dir := range []string{opts.CSVDir, opts.JSONDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
 		}
 	}
 	selected, err := selectExperiments(opts.Only)
@@ -58,6 +61,13 @@ func RunAll(w io.Writer, opts Options) error {
 				path, err := res.SaveCSV(opts.CSVDir)
 				if err != nil {
 					return nil, fmt.Errorf("%s: write csv: %w", exp.ID, err)
+				}
+				fmt.Fprintln(&seg.out, "wrote", path)
+			}
+			if opts.JSONDir != "" {
+				path, err := res.SaveJSON(opts.JSONDir)
+				if err != nil {
+					return nil, fmt.Errorf("%s: write json: %w", exp.ID, err)
 				}
 				fmt.Fprintln(&seg.out, "wrote", path)
 			}

@@ -9,12 +9,15 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
+
+	"vinestalk/internal/metrics"
 )
 
 // Table is a rendered experiment table (the paper analogue of a results
@@ -79,15 +82,29 @@ func (t *Table) Render(w io.Writer) {
 
 // Check is one verified property of an experiment's outcome.
 type Check struct {
-	Name   string
-	Pass   bool
-	Detail string
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
 }
 
-// Result bundles an experiment's table with its shape checks.
+// Result bundles an experiment's table with its shape checks and,
+// optionally, exported ledger snapshots keyed by sweep cell (written by
+// the -json flag alongside the table).
 type Result struct {
-	Table  Table
-	Checks []Check
+	Table   Table
+	Checks  []Check
+	Ledgers map[string]*metrics.Export
+}
+
+// addLedger attaches a cell's exported ledger under a stable key.
+func (r *Result) addLedger(key string, e *metrics.Export) {
+	if e == nil {
+		return
+	}
+	if r.Ledgers == nil {
+		r.Ledgers = make(map[string]*metrics.Export)
+	}
+	r.Ledgers[key] = e
 }
 
 // check records a shape check.
@@ -175,6 +192,47 @@ func (r *Result) SaveCSV(dir string) (string, error) {
 	}
 	defer f.Close()
 	if err := r.Table.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ResultJSON is the machine-readable form of a Result written by the -json
+// flag; it round-trips through encoding/json.
+type ResultJSON struct {
+	ID      string                     `json:"id"`
+	Title   string                     `json:"title"`
+	Claim   string                     `json:"claim,omitempty"`
+	Columns []string                   `json:"columns"`
+	Rows    [][]string                 `json:"rows"`
+	Notes   []string                   `json:"notes,omitempty"`
+	Checks  []Check                    `json:"checks"`
+	Ledgers map[string]*metrics.Export `json:"ledgers,omitempty"`
+}
+
+// JSON returns the result in its machine-readable form.
+func (r *Result) JSON() ResultJSON {
+	return ResultJSON{
+		ID:      r.Table.ID,
+		Title:   r.Table.Title,
+		Claim:   r.Table.Claim,
+		Columns: r.Table.Columns,
+		Rows:    r.Table.Rows,
+		Notes:   r.Table.Notes,
+		Checks:  r.Checks,
+		Ledgers: r.Ledgers,
+	}
+}
+
+// SaveJSON writes the table, checks, and any exported ledgers to
+// dir/<ID>.json.
+func (r *Result) SaveJSON(dir string) (string, error) {
+	path := filepath.Join(dir, r.Table.ID+".json")
+	data, err := json.MarshalIndent(r.JSON(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -54,6 +54,15 @@ func (s *Service) SetLoss(fn func(cur, next geo.RegionID) bool) { s.loss = fn }
 // geocast would eventually retransmit; VINESTALK's heartbeat extension
 // recovers at the protocol layer instead).
 func (s *Service) Send(from, to geo.RegionID, onArrive func()) error {
+	return s.SendTracked(from, to, onArrive, nil)
+}
+
+// SendTracked is Send with a drop callback: if the routed message dies
+// anywhere along the route (no live route, injected loss, a relay VSA
+// failing, or the in-flight hop's destination restarting), onDrop runs at
+// the point of death with the cause. onDrop may be nil; either way every
+// drop is attributed in the ledger under "transport/geocast".
+func (s *Service) SendTracked(from, to geo.RegionID, onArrive func(), onDrop func(metrics.DropCause)) error {
 	if !s.layer.Tiling().Contains(from) || !s.layer.Tiling().Contains(to) {
 		return fmt.Errorf("geocast: route %v -> %v outside tiling", from, to)
 	}
@@ -67,29 +76,55 @@ func (s *Service) Send(from, to geo.RegionID, onArrive func()) error {
 		// the ledger reflects work done rather than the static distance.
 		s.ledger.RecordMessage("transport/geocast", 0)
 	}
-	s.relay(from, to, onArrive)
+	s.relay(from, to, onArrive, onDrop)
 	return nil
 }
 
 // relay advances the message one hop from cur toward to.
-func (s *Service) relay(cur, to geo.RegionID, onArrive func()) {
+func (s *Service) relay(cur, to geo.RegionID, onArrive func(), onDrop func(metrics.DropCause)) {
 	if cur == to {
+		if s.ledger != nil {
+			s.ledger.RecordDelivery("transport/geocast")
+		}
 		onArrive()
 		return
 	}
 	next := s.nextHop(cur, to)
 	if next == geo.NoRegion {
-		return // no live route; drop
+		s.drop(metrics.DropNoRoute, onDrop) // no live route
+		return
 	}
 	if s.loss != nil && s.loss(cur, next) {
-		return // injected loss; the hop never happens, so no work either
+		// Injected loss; the hop never happens, so no work either.
+		s.drop(metrics.DropLoss, onDrop)
+		return
 	}
 	// Errors here mean the current holder died between scheduling and
 	// sending; the message is lost with it.
-	if err := s.vb.VSAToVSA(cur, next, func() {
-		s.relay(next, to, onArrive)
-	}); err == nil && s.ledger != nil {
+	err := s.vb.VSAToVSATracked(cur, next, func() {
+		s.relay(next, to, onArrive, onDrop)
+	}, func(cause metrics.DropCause) {
+		// The hop died in flight (destination failed or restarted); the
+		// routed message dies with it. The hop itself is already attributed
+		// under "transport/hop"; this attributes the routed message.
+		s.drop(cause, onDrop)
+	})
+	if err != nil {
+		s.drop(metrics.DropSenderDead, onDrop)
+		return
+	}
+	if s.ledger != nil {
 		s.ledger.AddWork("transport/geocast", 1)
+	}
+}
+
+// drop attributes the death of a routed message.
+func (s *Service) drop(cause metrics.DropCause, onDrop func(metrics.DropCause)) {
+	if s.ledger != nil {
+		s.ledger.RecordDrop("transport/geocast", cause)
+	}
+	if onDrop != nil {
+		onDrop(cause)
 	}
 }
 

@@ -276,3 +276,86 @@ func TestSendManyIndependentMessages(t *testing.T) {
 		t.Fatalf("arrivals = %d, want %d", arrivals, g.NumRegions())
 	}
 }
+
+// Every geocast send must resolve to exactly one delivery or one attributed
+// drop, and SendTracked must surface the cause to the caller.
+func TestSendTrackedDropAttribution(t *testing.T) {
+	// No-route drop.
+	k, layer, svc, ledger := setup(t, 3, 1)
+	if err := layer.MoveClient(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var cause metrics.DropCause
+	if err := svc.SendTracked(0, 2, func() { t.Error("arrived") },
+		func(c metrics.DropCause) { cause = c }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if cause != metrics.DropNoRoute {
+		t.Errorf("cause = %q, want no-route", cause)
+	}
+	if got := ledger.Drops("transport/geocast", metrics.DropNoRoute); got != 1 {
+		t.Errorf("ledger no-route drops = %d, want 1", got)
+	}
+
+	// Loss drop.
+	k2, _, svc2, ledger2 := setup(t, 4, 1)
+	svc2.SetLoss(func(cur, next geo.RegionID) bool { return cur == 1 })
+	cause = ""
+	if err := svc2.SendTracked(0, 3, func() { t.Error("arrived") },
+		func(c metrics.DropCause) { cause = c }); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run()
+	if cause != metrics.DropLoss {
+		t.Errorf("cause = %q, want loss", cause)
+	}
+	if got := ledger2.Drops("transport/geocast", metrics.DropLoss); got != 1 {
+		t.Errorf("ledger loss drops = %d, want 1", got)
+	}
+}
+
+// Geocast conservation: across deliveries, dead routes, loss, and mid-route
+// deaths, sent == delivered + dropped once the queue drains.
+func TestSendConservation(t *testing.T) {
+	k, layer, svc, ledger := setup(t, 4, 4)
+	g := geo.MustGridTiling(4, 4)
+	delivered := 0
+	for u := 0; u < g.NumRegions(); u++ {
+		if err := svc.Send(geo.RegionID(u), g.RegionAt(3, 3), func() { delivered++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunFor(unit / 2)
+	// Two relay VSAs die with messages in flight.
+	if err := layer.MoveClient(5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.MoveClient(10, 9); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	sent := ledger.Messages("transport/geocast")
+	del := ledger.Delivered("transport/geocast")
+	var dropped int64
+	for _, n := range ledger.Snapshot().DropsByCause("transport/geocast") {
+		dropped += n
+	}
+	if int64(delivered) != del {
+		t.Errorf("callback deliveries %d != ledger deliveries %d", delivered, del)
+	}
+	if sent != del+dropped {
+		t.Errorf("sent %d != delivered %d + dropped %d", sent, del, dropped)
+	}
+	// Same conservation at the hop transport underneath.
+	hopSent := ledger.Messages("transport/hop")
+	hopDel := ledger.Delivered("transport/hop")
+	var hopDropped int64
+	for _, n := range ledger.Snapshot().DropsByCause("transport/hop") {
+		hopDropped += n
+	}
+	if hopSent != hopDel+hopDropped {
+		t.Errorf("hops: sent %d != delivered %d + dropped %d", hopSent, hopDel, hopDropped)
+	}
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histSubBits controls histogram bucket resolution: 2^histSubBits
+// sub-buckets per power of two, a log-linear layout (HDR-histogram style)
+// whose worst-case relative quantile error is 2^-histSubBits (~3%).
+const histSubBits = 5
+
+// histSubBuckets is the number of sub-buckets per octave.
+const histSubBuckets = 1 << histSubBits
+
+// Histogram is a log-bucketed distribution of non-negative int64 samples
+// (latencies in nanoseconds, hop-work counts, ...). It retains exact count,
+// min, max, and total alongside the bucket counts, so p0 and p100 are exact
+// and interior quantiles carry at most ~3% relative error. The zero value
+// is an empty histogram ready for use. Not safe for concurrent use.
+type Histogram struct {
+	count   int64
+	min     int64
+	max     int64
+	total   int64
+	buckets []int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histBucketOf maps a sample to its bucket index. Values below
+// histSubBuckets map to themselves (exact); larger values share
+// histSubBuckets buckets per power of two.
+func histBucketOf(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u) - 1 - histSubBits)
+	return int(uint64(exp)<<histSubBits + u>>exp)
+}
+
+// histBucketUpper returns the largest sample value mapping to bucket i.
+func histBucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	exp := uint(i>>histSubBits - 1)
+	m := int64(i) - int64(exp)<<histSubBits
+	return (m+1)<<exp - 1
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.total += v
+	i := histBucketOf(v)
+	if i >= len(h.buckets) {
+		grown := make([]int64, i+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Total returns the sum of all recorded samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the average sample, 0 when empty.
+func (h *Histogram) Mean() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.total / h.count
+}
+
+// Quantile returns the q-quantile of the recorded samples: the smallest
+// bucket upper bound whose cumulative count reaches ⌈q·count⌉, clamped into
+// [Min, Max] so Quantile(0) == Min and Quantile(1) == Max exactly. It
+// returns 0 on an empty histogram and is a deterministic function of the
+// recorded multiset.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			v := histBucketUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's samples into h (bucket-wise; associative and commutative,
+// so merging per-cell histograms in any grouping yields identical results).
+// A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.total += o.total
+	if len(o.buckets) > len(h.buckets) {
+		grown := make([]int64, len(o.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.buckets = append([]int64(nil), h.buckets...)
+	return &c
+}
+
+// histogramJSON is the stable wire form: exact summary fields, derived
+// percentiles for human readers, and the sparse non-zero buckets as
+// [index, count] pairs. Unmarshalling reconstructs the histogram from the
+// exact fields and buckets; the percentile fields are informational.
+type histogramJSON struct {
+	Count   int64      `json:"count"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Total   int64      `json:"total"`
+	P50     int64      `json:"p50"`
+	P90     int64      `json:"p90"`
+	P99     int64      `json:"p99"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable schema.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	doc := histogramJSON{
+		Count: h.count, Min: h.min, Max: h.max, Total: h.total,
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	for i, c := range h.buckets {
+		if c != 0 {
+			doc.Buckets = append(doc.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; a marshal/unmarshal round trip
+// reproduces the histogram exactly.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var doc histogramJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	*h = Histogram{count: doc.Count, min: doc.Min, max: doc.Max, total: doc.Total}
+	var top int64 = -1
+	for _, b := range doc.Buckets {
+		if b[0] < 0 {
+			return fmt.Errorf("metrics: negative histogram bucket index %d", b[0])
+		}
+		if b[0] > top {
+			top = b[0]
+		}
+	}
+	if top >= 0 {
+		h.buckets = make([]int64, top+1)
+		for _, b := range doc.Buckets {
+			h.buckets[b[0]] += b[1]
+		}
+	}
+	return nil
+}
+
+// QuantileDuration is Quantile for histograms holding nanosecond samples.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}

@@ -1,0 +1,355 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Total() != 0 {
+		t.Errorf("empty histogram = count %d min %d max %d total %d",
+			h.Count(), h.Min(), h.Max(), h.Total())
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Errorf("empty quantile/mean = %d/%d", h.Quantile(0.5), h.Mean())
+	}
+}
+
+func TestHistogramExactSummary(t *testing.T) {
+	h := NewHistogram()
+	samples := []int64{7, 0, 1 << 40, 12345, 7, 999}
+	var total int64
+	for _, v := range samples {
+		h.Add(v)
+		total += v
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(samples))
+	}
+	if h.Min() != 0 || h.Max() != 1<<40 || h.Total() != total {
+		t.Errorf("min/max/total = %d/%d/%d", h.Min(), h.Max(), h.Total())
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket upper bound must map back to its own bucket, and bucket
+	// indices must be monotone in the sample value. Index 1887 is the
+	// bucket of the largest int64 (exp 57, sub-bucket 63); larger indices
+	// correspond to no representable sample.
+	prev := -1
+	for i := 0; i < 1888; i++ {
+		u := histBucketUpper(i)
+		if got := histBucketOf(u); got != i {
+			t.Fatalf("histBucketOf(histBucketUpper(%d)) = %d", i, got)
+		}
+		if int(u) >= 0 && prev >= 0 && u <= histBucketUpper(prev) {
+			t.Fatalf("bucket upper bounds not increasing at %d", i)
+		}
+		prev = i
+	}
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, 1<<62 - 1} {
+		i := histBucketOf(v)
+		if u := histBucketUpper(i); u < v {
+			t.Errorf("value %d in bucket %d but upper bound %d < value", v, i, u)
+		}
+		if i > 0 {
+			if lo := histBucketUpper(i - 1); lo >= v {
+				t.Errorf("value %d in bucket %d but previous upper %d >= value", v, i, lo)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileP100IsMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(200)
+		var max, min int64
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1 << uint(1+rng.Intn(40)))
+			h.Add(v)
+			if i == 0 || v > max {
+				max = v
+			}
+			if i == 0 || v < min {
+				min = v
+			}
+		}
+		if got := h.Quantile(1); got != max {
+			t.Fatalf("trial %d: Quantile(1) = %d, want max %d", trial, got, max)
+		}
+		if got := h.Quantile(0); got != min {
+			t.Fatalf("trial %d: Quantile(0) = %d, want min %d", trial, got, min)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Interior quantiles must come within the bucket's relative width
+	// (2^-histSubBits ≈ 3.2%) of the exact order statistic.
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var samples []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		lo := float64(exact) * (1 - 2.0/histSubBuckets)
+		hi := float64(exact) * (1 + 2.0/histSubBuckets)
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("Quantile(%v) = %d, exact %d, outside ±2/%d band", q, got, exact, histSubBuckets)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Int63n(1 << 35))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(n int) *Histogram {
+		h := NewHistogram()
+		for i := 0; i < n; i++ {
+			h.Add(rng.Int63n(1 << uint(1+rng.Intn(45))))
+		}
+		return h
+	}
+	a, b, c := mk(100), mk(37), mk(250)
+
+	// (a+b)+c
+	x := a.Clone()
+	x.Merge(b)
+	x.Merge(c)
+	// a+(b+c)
+	bc := b.Clone()
+	bc.Merge(c)
+	y := a.Clone()
+	y.Merge(bc)
+	// (c+b)+a — commuted
+	z := c.Clone()
+	z.Merge(b)
+	z.Merge(a)
+
+	for _, o := range []*Histogram{y, z} {
+		if !reflect.DeepEqual(x, o) {
+			t.Fatalf("merge not associative/commutative:\n x=%+v\n o=%+v", x, o)
+		}
+	}
+	if x.Count() != a.Count()+b.Count()+c.Count() {
+		t.Errorf("merged count = %d", x.Count())
+	}
+	if x.Total() != a.Total()+b.Total()+c.Total() {
+		t.Errorf("merged total = %d", x.Total())
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	if h.Count() != 1 || h.Min() != 5 || h.Max() != 5 {
+		t.Errorf("merge with nil/empty changed histogram: %+v", h)
+	}
+	e := NewHistogram()
+	e.Merge(h)
+	if e.Count() != 1 || e.Min() != 5 || e.Max() != 5 {
+		t.Errorf("merge into empty lost data: %+v", e)
+	}
+}
+
+func TestHistogramDeterminism(t *testing.T) {
+	// Identical sample multisets in different insertion orders produce
+	// identical histograms and identical quantiles.
+	samples := []int64{9, 2, 2, 77, 1 << 33, 500, 0, 77, 12}
+	a := NewHistogram()
+	for _, v := range samples {
+		a.Add(v)
+	}
+	b := NewHistogram()
+	for i := len(samples) - 1; i >= 0; i-- {
+		b.Add(samples[i])
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("order-dependent histogram:\n a=%+v\n b=%+v", a, b)
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("quantile(%v) differs across insertion orders", q)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		for i := 0; i < rng.Intn(300); i++ {
+			h.Add(rng.Int63n(1 << uint(1+rng.Intn(50))))
+		}
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back.Count() != h.Count() || back.Min() != h.Min() ||
+			back.Max() != h.Max() || back.Total() != h.Total() {
+			t.Fatalf("round trip changed summary: %+v vs %+v", h, &back)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if back.Quantile(q) != h.Quantile(q) {
+				t.Fatalf("round trip changed Quantile(%v)", q)
+			}
+		}
+	}
+}
+
+func TestHistogramJSONRejectsBadBuckets(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"count":1,"buckets":[[-3,1]]}`), &h); err == nil {
+		t.Fatal("negative bucket index accepted")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-50)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative sample not clamped: %+v", h)
+	}
+}
+
+func TestLedgerDropAccounting(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("transport/hop", 1)
+	l.RecordMessage("transport/hop", 1)
+	l.RecordDelivery("transport/hop")
+	l.RecordDrop("transport/hop", DropDeadVSA)
+	l.RecordDrop("transport/hop", DropDeadVSA)
+	l.RecordDrop("transport/hop", DropLoss)
+	l.RecordDrop("transport/geocast", DropNoRoute)
+
+	if got := l.Delivered("transport/hop"); got != 1 {
+		t.Errorf("Delivered = %d, want 1", got)
+	}
+	if got := l.Drops("transport/hop", DropDeadVSA); got != 2 {
+		t.Errorf("Drops(dead-vsa) = %d, want 2", got)
+	}
+	snap := l.Snapshot()
+	if snap.TotalDrops() != 4 {
+		t.Errorf("TotalDrops = %d, want 4", snap.TotalDrops())
+	}
+	byCause := snap.DropsByCause("transport/hop")
+	if byCause[DropDeadVSA] != 2 || byCause[DropLoss] != 1 || len(byCause) != 2 {
+		t.Errorf("DropsByCause = %v", byCause)
+	}
+	all := snap.DropsByCause("")
+	if all[DropNoRoute] != 1 {
+		t.Errorf("DropsByCause(all) = %v", all)
+	}
+}
+
+func TestSnapshotSubDrops(t *testing.T) {
+	l := NewLedger()
+	l.RecordDrop("transport/hop", DropLoss)
+	l.RecordDelivery("transport/hop")
+	before := l.Snapshot()
+	l.RecordDrop("transport/hop", DropLoss)
+	l.RecordDrop("transport/hop", DropDeadVSA)
+	l.RecordDelivery("transport/hop")
+	l.RecordDelivery("transport/hop")
+	d := l.Snapshot().Sub(before)
+	if d.Drops["transport/hop"][DropLoss] != 1 || d.Drops["transport/hop"][DropDeadVSA] != 1 {
+		t.Errorf("drop diff = %v", d.Drops)
+	}
+	if d.Delivered["transport/hop"] != 2 {
+		t.Errorf("delivered diff = %v", d.Delivered)
+	}
+	if d.TotalDrops() != 2 {
+		t.Errorf("TotalDrops diff = %d", d.TotalDrops())
+	}
+}
+
+func TestLatencyStatsPercentiles(t *testing.T) {
+	l := NewLedger()
+	for i := 1; i <= 100; i++ {
+		l.RecordLatency("find", time.Duration(i)*time.Millisecond)
+	}
+	s := l.Latency("find")
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P99 < 90*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if h := l.LatencyHistogram("find"); h == nil || h.Count() != 100 {
+		t.Error("LatencyHistogram missing")
+	}
+	if l.LatencyHistogram("none") != nil {
+		t.Error("LatencyHistogram for absent name not nil")
+	}
+}
+
+func TestLedgerExportJSONRoundTrip(t *testing.T) {
+	l := NewLedger()
+	l.RecordMessage("transport/hop", 2)
+	l.RecordDelivery("transport/hop")
+	l.RecordDrop("transport/hop", DropLoss)
+	l.RecordLatency("find", 30*time.Millisecond)
+	l.RecordLatency("find", 90*time.Millisecond)
+
+	e := l.Export()
+	// The export must be immune to later recording.
+	l.RecordLatency("find", time.Second)
+	if e.Latency["find"].Count() != 2 {
+		t.Fatal("export aliases live histogram")
+	}
+
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Export
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.MsgCount["transport/hop"] != 1 || back.HopWork["transport/hop"] != 2 {
+		t.Errorf("round trip counts = %+v", back)
+	}
+	if back.Drops["transport/hop"]["loss"] != 1 || back.Delivered["transport/hop"] != 1 {
+		t.Errorf("round trip drops = %+v", back)
+	}
+	if back.Latency["find"].Count() != 2 || back.Latency["find"].Max() != int64(90*time.Millisecond) {
+		t.Errorf("round trip latency = %+v", back.Latency["find"])
+	}
+}

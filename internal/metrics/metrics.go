@@ -1,8 +1,11 @@
 // Package metrics accounts for the quantities the paper's theorems bound:
 // communication work (messages weighted by the hop distance they travel in
-// the region graph) and virtual-time latencies of operations. Experiment
-// drivers take snapshots of the ledger around an operation to attribute
-// work to it.
+// the region graph), virtual-time latencies of operations, and — because
+// the theorems quantify over executions with failures — where messages are
+// delivered or die. Experiment drivers take snapshots of the ledger around
+// an operation to attribute work to it; latency samples go into
+// log-bucketed histograms so full distributions (p50/p90/p99/max), not
+// just extremes, can be checked against the proved bounds.
 package metrics
 
 import (
@@ -12,21 +15,52 @@ import (
 	"time"
 )
 
-// Ledger accumulates message counts, hop-work, and latency samples, each
-// under a free-form kind/name. It is not safe for concurrent use; the
-// simulation is single-threaded.
+// DropCause names why a transport discarded a message instead of
+// delivering it. Chaos runs use these to attribute 100% of lost messages.
+type DropCause string
+
+const (
+	// DropIncarnation: the destination VSA's incarnation changed between
+	// send and arrival (TOBcast delivers to a process that no longer
+	// exists).
+	DropIncarnation DropCause = "incarnation"
+	// DropDeadVSA: the destination VSA was failed at arrival time
+	// (DeliverToVSA returned false).
+	DropDeadVSA DropCause = "dead-vsa"
+	// DropDeadClient: the destination client was failed or out of the
+	// region at arrival time (DeliverToClient returned false).
+	DropDeadClient DropCause = "dead-client"
+	// DropNoRoute: geocast found no live next hop toward the destination.
+	DropNoRoute DropCause = "no-route"
+	// DropLoss: a chaos loss predicate discarded the message in flight.
+	DropLoss DropCause = "loss"
+	// DropSenderDead: a relay hop could not be sent because the forwarding
+	// VSA was failed.
+	DropSenderDead DropCause = "sender-dead"
+	// DropVSAReset: a message held in VSA memory (cgcast delivery schedule)
+	// died when the holding VSA failed or reset.
+	DropVSAReset DropCause = "vsa-reset"
+)
+
+// Ledger accumulates message counts, hop-work, delivery/drop counters, and
+// latency histograms, each under a free-form kind/name. It is not safe for
+// concurrent use; the simulation is single-threaded.
 type Ledger struct {
-	msgCount map[string]int64
-	hopWork  map[string]int64
-	lat      map[string]*latSeries
+	msgCount  map[string]int64
+	hopWork   map[string]int64
+	delivered map[string]int64
+	drops     map[string]map[DropCause]int64
+	lat       map[string]*Histogram
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
 	return &Ledger{
-		msgCount: make(map[string]int64),
-		hopWork:  make(map[string]int64),
-		lat:      make(map[string]*latSeries),
+		msgCount:  make(map[string]int64),
+		hopWork:   make(map[string]int64),
+		delivered: make(map[string]int64),
+		drops:     make(map[string]map[DropCause]int64),
+		lat:       make(map[string]*Histogram),
 	}
 }
 
@@ -45,11 +79,38 @@ func (l *Ledger) AddWork(kind string, hops int) {
 	l.hopWork[kind] += int64(hops)
 }
 
+// RecordDelivery counts one message of the given kind reaching its
+// destination automaton. Together with RecordDrop it makes transport
+// accounting conserve: for point-to-point kinds,
+// sent == delivered + dropped once the queue drains.
+func (l *Ledger) RecordDelivery(kind string) {
+	l.delivered[kind]++
+}
+
+// RecordDrop counts one message of the given kind dying for the given
+// cause instead of being delivered.
+func (l *Ledger) RecordDrop(kind string, cause DropCause) {
+	m, ok := l.drops[kind]
+	if !ok {
+		m = make(map[DropCause]int64)
+		l.drops[kind] = m
+	}
+	m[cause]++
+}
+
 // Messages returns the number of messages recorded under kind.
 func (l *Ledger) Messages(kind string) int64 { return l.msgCount[kind] }
 
 // Work returns the hop-work recorded under kind.
 func (l *Ledger) Work(kind string) int64 { return l.hopWork[kind] }
+
+// Delivered returns the number of deliveries recorded under kind.
+func (l *Ledger) Delivered(kind string) int64 { return l.delivered[kind] }
+
+// Drops returns the number of drops recorded under kind for cause.
+func (l *Ledger) Drops(kind string, cause DropCause) int64 {
+	return l.drops[kind][cause]
+}
 
 // TotalMessages returns the message count across all kinds.
 func (l *Ledger) TotalMessages() int64 {
@@ -71,22 +132,27 @@ func (l *Ledger) TotalWork() int64 {
 
 // RecordLatency adds a latency sample under name.
 func (l *Ledger) RecordLatency(name string, d time.Duration) {
-	s, ok := l.lat[name]
+	h, ok := l.lat[name]
 	if !ok {
-		s = &latSeries{min: d, max: d}
-		l.lat[name] = s
+		h = NewHistogram()
+		l.lat[name] = h
 	}
-	s.add(d)
+	h.Add(int64(d))
 }
 
 // Latency returns the latency statistics recorded under name.
 func (l *Ledger) Latency(name string) LatencyStats {
-	s, ok := l.lat[name]
+	h, ok := l.lat[name]
 	if !ok {
 		return LatencyStats{}
 	}
-	return LatencyStats{Count: s.count, Min: s.min, Max: s.max, Total: s.total}
+	return statsFromHistogram(h)
 }
+
+// LatencyHistogram returns the underlying histogram recorded under name,
+// or nil when no samples exist. The returned histogram is live; callers
+// must not mutate it.
+func (l *Ledger) LatencyHistogram(name string) *Histogram { return l.lat[name] }
 
 // Kinds returns all message kinds seen so far, sorted.
 func (l *Ledger) Kinds() []string {
@@ -102,14 +168,26 @@ func (l *Ledger) Kinds() []string {
 // work to the interval between them.
 func (l *Ledger) Snapshot() Snapshot {
 	s := Snapshot{
-		MsgCount: make(map[string]int64, len(l.msgCount)),
-		HopWork:  make(map[string]int64, len(l.hopWork)),
+		MsgCount:  make(map[string]int64, len(l.msgCount)),
+		HopWork:   make(map[string]int64, len(l.hopWork)),
+		Delivered: make(map[string]int64, len(l.delivered)),
+		Drops:     make(map[string]map[DropCause]int64, len(l.drops)),
 	}
 	for k, v := range l.msgCount {
 		s.MsgCount[k] = v
 	}
 	for k, v := range l.hopWork {
 		s.HopWork[k] = v
+	}
+	for k, v := range l.delivered {
+		s.Delivered[k] = v
+	}
+	for k, m := range l.drops {
+		cm := make(map[DropCause]int64, len(m))
+		for c, v := range m {
+			cm[c] = v
+		}
+		s.Drops[k] = cm
 	}
 	return s
 }
@@ -118,23 +196,84 @@ func (l *Ledger) Snapshot() Snapshot {
 func (l *Ledger) Reset() {
 	l.msgCount = make(map[string]int64)
 	l.hopWork = make(map[string]int64)
-	l.lat = make(map[string]*latSeries)
+	l.delivered = make(map[string]int64)
+	l.drops = make(map[string]map[DropCause]int64)
+	l.lat = make(map[string]*Histogram)
 }
 
 // String renders a human-readable summary, one kind per line.
 func (l *Ledger) String() string {
 	var b strings.Builder
 	for _, k := range l.Kinds() {
-		fmt.Fprintf(&b, "%-14s msgs=%-8d work=%d\n", k, l.msgCount[k], l.hopWork[k])
+		fmt.Fprintf(&b, "%-14s msgs=%-8d work=%d", k, l.msgCount[k], l.hopWork[k])
+		if d := l.delivered[k]; d != 0 {
+			fmt.Fprintf(&b, " delivered=%d", d)
+		}
+		if m := l.drops[k]; len(m) > 0 {
+			causes := make([]string, 0, len(m))
+			for c := range m {
+				causes = append(causes, string(c))
+			}
+			sort.Strings(causes)
+			for _, c := range causes {
+				fmt.Fprintf(&b, " drop[%s]=%d", c, m[DropCause(c)])
+			}
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "%-14s msgs=%-8d work=%d", "TOTAL", l.TotalMessages(), l.TotalWork())
 	return b.String()
 }
 
+// Export returns the full ledger state in the machine-readable form used
+// by the -json experiment flag. Latency histograms are cloned, so the
+// export is immune to later recording.
+func (l *Ledger) Export() *Export {
+	e := &Export{
+		MsgCount:  map[string]int64{},
+		HopWork:   map[string]int64{},
+		Delivered: map[string]int64{},
+		Drops:     map[string]map[string]int64{},
+		Latency:   map[string]*Histogram{},
+	}
+	for k, v := range l.msgCount {
+		e.MsgCount[k] = v
+	}
+	for k, v := range l.hopWork {
+		e.HopWork[k] = v
+	}
+	for k, v := range l.delivered {
+		e.Delivered[k] = v
+	}
+	for k, m := range l.drops {
+		cm := make(map[string]int64, len(m))
+		for c, v := range m {
+			cm[string(c)] = v
+		}
+		e.Drops[k] = cm
+	}
+	for k, h := range l.lat {
+		e.Latency[k] = h.Clone()
+	}
+	return e
+}
+
+// Export is the JSON-stable ledger form written by -json. All maps are
+// keyed by kind; Drops is kind → cause → count.
+type Export struct {
+	MsgCount  map[string]int64            `json:"messages"`
+	HopWork   map[string]int64            `json:"work"`
+	Delivered map[string]int64            `json:"delivered"`
+	Drops     map[string]map[string]int64 `json:"drops"`
+	Latency   map[string]*Histogram       `json:"latency"`
+}
+
 // Snapshot is a point-in-time copy of the ledger's counters.
 type Snapshot struct {
-	MsgCount map[string]int64
-	HopWork  map[string]int64
+	MsgCount  map[string]int64
+	HopWork   map[string]int64
+	Delivered map[string]int64
+	Drops     map[string]map[DropCause]int64
 }
 
 // TotalMessages returns the message count across all kinds in the snapshot.
@@ -155,11 +294,39 @@ func (s Snapshot) TotalWork() int64 {
 	return n
 }
 
+// TotalDrops returns the drop count across all kinds and causes.
+func (s Snapshot) TotalDrops() int64 {
+	var n int64
+	for _, m := range s.Drops {
+		for _, v := range m {
+			n += v
+		}
+	}
+	return n
+}
+
+// DropsByCause sums drops for kind across causes; an empty kind sums every
+// kind.
+func (s Snapshot) DropsByCause(kind string) map[DropCause]int64 {
+	out := make(map[DropCause]int64)
+	for k, m := range s.Drops {
+		if kind != "" && k != kind {
+			continue
+		}
+		for c, v := range m {
+			out[c] += v
+		}
+	}
+	return out
+}
+
 // Sub returns the per-kind difference s - earlier.
 func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	d := Snapshot{
-		MsgCount: make(map[string]int64),
-		HopWork:  make(map[string]int64),
+		MsgCount:  make(map[string]int64),
+		HopWork:   make(map[string]int64),
+		Delivered: make(map[string]int64),
+		Drops:     make(map[string]map[DropCause]int64),
 	}
 	for k, v := range s.MsgCount {
 		if dv := v - earlier.MsgCount[k]; dv != 0 {
@@ -171,15 +338,36 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 			d.HopWork[k] = dv
 		}
 	}
+	for k, v := range s.Delivered {
+		if dv := v - earlier.Delivered[k]; dv != 0 {
+			d.Delivered[k] = dv
+		}
+	}
+	for k, m := range s.Drops {
+		for c, v := range m {
+			if dv := v - earlier.Drops[k][c]; dv != 0 {
+				cm, ok := d.Drops[k]
+				if !ok {
+					cm = make(map[DropCause]int64)
+					d.Drops[k] = cm
+				}
+				cm[c] = dv
+			}
+		}
+	}
 	return d
 }
 
-// LatencyStats summarizes latency samples under one name.
+// LatencyStats summarizes latency samples under one name, including the
+// distribution percentiles derived from the underlying histogram.
 type LatencyStats struct {
 	Count int64
 	Min   time.Duration
 	Max   time.Duration
 	Total time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
 }
 
 // Mean returns the average latency, or zero when no samples exist.
@@ -190,20 +378,14 @@ func (s LatencyStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
-type latSeries struct {
-	count int64
-	min   time.Duration
-	max   time.Duration
-	total time.Duration
-}
-
-func (s *latSeries) add(d time.Duration) {
-	s.count++
-	s.total += d
-	if d < s.min {
-		s.min = d
-	}
-	if d > s.max {
-		s.max = d
+func statsFromHistogram(h *Histogram) LatencyStats {
+	return LatencyStats{
+		Count: h.Count(),
+		Min:   time.Duration(h.Min()),
+		Max:   time.Duration(h.Max()),
+		Total: time.Duration(h.Total()),
+		P50:   h.QuantileDuration(0.50),
+		P90:   h.QuantileDuration(0.90),
+		P99:   h.QuantileDuration(0.99),
 	}
 }

@@ -52,6 +52,7 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	k        *Kernel
 	index    int // heap index, -1 when not queued
 	canceled bool
 }
@@ -59,9 +60,17 @@ type Event struct {
 // When returns the virtual time at which the event fires.
 func (e *Event) When() Time { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
+// Cancel prevents the event from firing and removes it from the kernel's
+// queue immediately, so repeatedly scheduled-then-cancelled events (timer
+// resets) do not accumulate as tombstones until their — possibly far-future
+// or parked-at-∞ — firing times. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&e.k.queue, e.index)
+	}
+}
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the simulated world is sequential, which is what makes
@@ -103,7 +112,7 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	e := &Event{at: t, seq: k.seq, fn: fn, k: k, index: -1}
 	heap.Push(&k.queue, e)
 	return e
 }

@@ -1,35 +1,134 @@
 // Package trace provides protocol-level observability for narrated runs
-// and debugging: a bounded ring of structured events that components emit
+// and debugging: a bounded ring of typed events that components emit
 // (message sends and deliveries, timer firings, found outputs, VSA
-// lifecycle) plus an optional live sink for CLI streaming. Tracing is off
-// unless a Tracer is attached, and costs nothing when off.
+// lifecycle) plus an optional live sink for CLI streaming.
+//
+// Tracing is off unless a Tracer is attached, and costs nothing when off:
+// every *Tracer method is nil-receiver-safe, so call sites need no guards,
+// and events carry typed fields (object, clusters, level, operation id)
+// that are only formatted into text when an event is actually printed — an
+// un-traced fast path never runs fmt.Sprintf.
+//
+// Events may carry an operation id built with OpFind or OpMove, letting
+// one find or move operation be correlated across components
+// (client → leaf → up-phase → down-phase → found); Span extracts an
+// operation's events and FormatSpan renders its hop/latency breakdown.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"vinestalk/internal/sim"
 )
 
-// Event is one traced occurrence.
+// Operation ids pack an operation class into the top bits and the
+// class-local sequence number into the low bits. Id 0 means "no operation".
+const (
+	opClassShift        = 60
+	opSeqMask    uint64 = 1<<opClassShift - 1
+
+	opClassFind uint64 = 1
+	opClassMove uint64 = 2
+)
+
+// OpFind returns the operation id correlating all events of one find
+// operation.
+func OpFind(id int64) uint64 { return opClassFind<<opClassShift | uint64(id)&opSeqMask }
+
+// OpMove returns the operation id correlating all events of one move
+// epoch (the grow/shrink cascade triggered by an object region change).
+func OpMove(seq uint64) uint64 { return opClassMove<<opClassShift | seq&opSeqMask }
+
+// OpString renders an operation id ("find#12", "move#3"); empty for 0.
+func OpString(op uint64) string {
+	seq := op & opSeqMask
+	switch op >> opClassShift {
+	case opClassFind:
+		return fmt.Sprintf("find#%d", seq)
+	case opClassMove:
+		return fmt.Sprintf("move#%d", seq)
+	case 0:
+		if op == 0 {
+			return ""
+		}
+	}
+	return fmt.Sprintf("op#%d", op)
+}
+
+// Event is one traced occurrence. Only At and Kind are always meaningful;
+// the typed fields use -1 (or 0 for Op) when not applicable, and Detail
+// carries any free-form text. Emitters fill typed fields instead of
+// formatting strings so that emitting is cheap; String renders lazily.
 type Event struct {
 	// At is the virtual time of the event.
 	At sim.Time
-	// Kind groups events ("send", "recv", "timer", "found", ...).
+	// Kind groups events ("send", "recv", "timer", "found", "reset", ...).
 	Kind string
-	// Detail is the human-readable description.
+	// Op correlates the event to one find/move operation (OpFind/OpMove);
+	// 0 when uncorrelated.
+	Op uint64
+	// Obj is the tracked object concerned, -1 when none.
+	Obj int32
+	// From is the source cluster id, -1 for clients or when not applicable.
+	From int32
+	// To is the destination cluster id, -1 when not applicable.
+	To int32
+	// Region is a region involved in the event (a find's origin, a found
+	// output's answer region), -1 when not applicable.
+	Region int32
+	// Level is the hierarchy level concerned, -1 when not applicable.
+	Level int16
+	// Msg is the protocol message kind ("grow", "find", ...), if any.
+	Msg string
+	// Detail is optional free-form text.
 	Detail string
 }
 
 // String renders the event as one log line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12v  %-7s %s", e.At, e.Kind, e.Detail)
+	return fmt.Sprintf("%12v  %s", e.At, e.Body())
+}
+
+// Body renders everything but the timestamp (FormatSpan prints its own
+// time columns).
+func (e Event) Body() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s", e.Kind)
+	if s := OpString(e.Op); s != "" {
+		fmt.Fprintf(&b, " [%s]", s)
+	}
+	if e.Obj >= 0 {
+		fmt.Fprintf(&b, " obj %d:", e.Obj)
+	}
+	if e.Msg != "" {
+		fmt.Fprintf(&b, " %s", e.Msg)
+	}
+	switch {
+	case e.From >= 0 && e.To >= 0:
+		fmt.Fprintf(&b, " c%d -> c%d", e.From, e.To)
+	case e.From >= 0:
+		fmt.Fprintf(&b, " c%d", e.From)
+	case e.To >= 0:
+		fmt.Fprintf(&b, " -> c%d", e.To)
+	}
+	if e.Level >= 0 {
+		fmt.Fprintf(&b, " (level %d)", e.Level)
+	}
+	if e.Region >= 0 {
+		fmt.Fprintf(&b, " at r%d", e.Region)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
 }
 
 // Tracer collects events into a bounded ring (oldest dropped first) and
 // optionally streams them to a live sink. It is not safe for concurrent
-// use; the simulation is single-threaded.
+// use; the simulation is single-threaded. All methods are safe on a nil
+// receiver: a nil *Tracer is a disabled tracer.
 type Tracer struct {
 	capacity int
 	events   []Event
@@ -46,12 +145,25 @@ func New(capacity int) *Tracer {
 	return &Tracer{capacity: capacity}
 }
 
-// Attach installs a live sink invoked for every event as it is emitted.
-func (t *Tracer) Attach(sink func(Event)) { t.sink = sink }
+// Enabled reports whether events are being collected. Call sites that must
+// do real work to build an event (payload unwrapping, map lookups) can
+// check it; plain typed emits don't need to.
+func (t *Tracer) Enabled() bool { return t != nil }
 
-// Emitf records an event.
-func (t *Tracer) Emitf(at sim.Time, kind, format string, args ...any) {
-	e := Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+// Attach installs a live sink invoked for every event as it is emitted.
+// No-op on a nil tracer.
+func (t *Tracer) Attach(sink func(Event)) {
+	if t == nil {
+		return
+	}
+	t.sink = sink
+}
+
+// Emit records a typed event. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
 	if len(t.events) < t.capacity {
 		t.events = append(t.events, e)
 	} else {
@@ -64,21 +176,73 @@ func (t *Tracer) Emitf(at sim.Time, kind, format string, args ...any) {
 	}
 }
 
-// Events returns the retained events in emission order (a copy).
+// Emitf records a free-form event (the typed fields are unset). Prefer
+// Emit with typed fields on hot paths: Emitf formats eagerly.
+func (t *Tracer) Emitf(at sim.Time, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{
+		At: at, Kind: kind, Detail: fmt.Sprintf(format, args...),
+		Obj: -1, From: -1, To: -1, Region: -1, Level: -1,
+	})
+}
+
+// Events returns the retained events in emission order (a copy). Nil-safe.
 func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
 	out := make([]Event, 0, len(t.events))
 	out = append(out, t.events[t.start:]...)
 	out = append(out, t.events[:t.start]...)
 	return out
 }
 
-// Total returns the number of events emitted over the tracer's lifetime
-// (including any that have rotated out of the ring).
-func (t *Tracer) Total() uint64 { return t.total }
+// Span returns the retained events belonging to one operation, in
+// emission order. Nil-safe.
+func (t *Tracer) Span(op uint64) []Event {
+	if t == nil || op == 0 {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
-// Dump writes the retained events to w, one line each.
+// Total returns the number of events emitted over the tracer's lifetime
+// (including any that have rotated out of the ring). Nil-safe.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dump writes the retained events to w, one line each. Nil-safe.
 func (t *Tracer) Dump(w io.Writer) {
 	for _, e := range t.Events() {
 		fmt.Fprintln(w, e.String())
 	}
+}
+
+// FormatSpan renders one operation's events as a hop/latency breakdown:
+// per event, the elapsed time since the operation started and the delta
+// from the previous event, then the span total.
+func FormatSpan(w io.Writer, events []Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	start := events[0].At
+	prev := start
+	for _, e := range events {
+		fmt.Fprintf(w, "%12v  +%-12v %s\n", e.At-start, e.At-prev, e.Body())
+		prev = e.At
+	}
+	fmt.Fprintf(w, "%12s  total %v over %d events\n", "", events[len(events)-1].At-start, len(events))
 }

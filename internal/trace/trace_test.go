@@ -139,3 +139,113 @@ func TestTracerDumpAndString(t *testing.T) {
 		t.Errorf("Dump = %q", out)
 	}
 }
+
+// A nil *Tracer is a disabled tracer: every method must be callable
+// without guards at call sites.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(Event{At: time.Second, Kind: "send"})
+	tr.Emitf(time.Second, "send", "x %d", 1)
+	tr.Attach(func(Event) { t.Error("sink invoked on nil tracer") })
+	if got := tr.Events(); got != nil {
+		t.Errorf("Events = %v, want nil", got)
+	}
+	if got := tr.Span(OpFind(1)); got != nil {
+		t.Errorf("Span = %v, want nil", got)
+	}
+	if tr.Total() != 0 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+	var b strings.Builder
+	tr.Dump(&b)
+	if b.Len() != 0 {
+		t.Errorf("Dump wrote %q", b.String())
+	}
+}
+
+func TestOpIDsDistinctAndRendered(t *testing.T) {
+	if OpFind(3) == OpMove(3) {
+		t.Error("find and move ops collide")
+	}
+	if OpFind(3) == OpFind(4) {
+		t.Error("distinct find ids collide")
+	}
+	if got := OpString(OpFind(12)); got != "find#12" {
+		t.Errorf("OpString(OpFind(12)) = %q", got)
+	}
+	if got := OpString(OpMove(7)); got != "move#7" {
+		t.Errorf("OpString(OpMove(7)) = %q", got)
+	}
+	if got := OpString(0); got != "" {
+		t.Errorf("OpString(0) = %q, want empty", got)
+	}
+}
+
+func TestSpanFiltersByOp(t *testing.T) {
+	tr := New(16)
+	op := OpFind(5)
+	tr.Emit(Event{At: 1, Kind: "find", Op: op, Obj: 0, From: -1, To: 2, Region: 4, Level: -1})
+	tr.Emit(Event{At: 2, Kind: "send", Op: OpMove(1), Obj: 0, From: 1, To: 2, Region: -1, Level: 0})
+	tr.Emit(Event{At: 3, Kind: "recv", Op: op, Obj: 0, From: 2, To: 3, Region: -1, Level: 1, Msg: "find"})
+	tr.Emit(Event{At: 4, Kind: "found", Op: op, Obj: 0, From: -1, To: -1, Region: 8, Level: -1})
+
+	span := tr.Span(op)
+	if len(span) != 3 {
+		t.Fatalf("span has %d events, want 3: %v", len(span), span)
+	}
+	for i, e := range span {
+		if e.Op != op {
+			t.Errorf("span[%d].Op = %d", i, e.Op)
+		}
+	}
+	if span[0].Kind != "find" || span[2].Kind != "found" {
+		t.Errorf("span order = %v", span)
+	}
+	if got := tr.Span(0); got != nil {
+		t.Errorf("Span(0) = %v, want nil", got)
+	}
+}
+
+func TestTypedEventRendering(t *testing.T) {
+	e := Event{
+		At: 15 * time.Millisecond, Kind: "send", Op: OpFind(2), Obj: 0,
+		Msg: "find", From: 3, To: 7, Region: -1, Level: 1,
+	}
+	s := e.String()
+	for _, want := range []string{"send", "find#2", "obj 0", "find", "c3 -> c7", "(level 1)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	found := Event{At: time.Second, Kind: "found", Obj: 1, From: -1, To: -1, Region: 9, Level: -1}
+	if s := found.String(); !strings.Contains(s, "at r9") {
+		t.Errorf("found String() = %q, missing region", s)
+	}
+}
+
+func TestFormatSpanBreakdown(t *testing.T) {
+	op := OpFind(1)
+	events := []Event{
+		{At: 10 * time.Millisecond, Kind: "find", Op: op, Obj: -1, From: -1, To: 0, Region: -1, Level: -1},
+		{At: 25 * time.Millisecond, Kind: "recv", Op: op, Obj: -1, From: -1, To: 0, Region: -1, Level: 0, Msg: "find"},
+		{At: 55 * time.Millisecond, Kind: "found", Op: op, Obj: -1, From: -1, To: -1, Region: 3, Level: -1},
+	}
+	var b strings.Builder
+	FormatSpan(&b, events)
+	out := b.String()
+	if !strings.Contains(out, "+15ms") || !strings.Contains(out, "+30ms") {
+		t.Errorf("FormatSpan missing deltas:\n%s", out)
+	}
+	if !strings.Contains(out, "total 45ms over 3 events") {
+		t.Errorf("FormatSpan missing total:\n%s", out)
+	}
+
+	b.Reset()
+	FormatSpan(&b, nil)
+	if !strings.Contains(b.String(), "no events") {
+		t.Errorf("empty FormatSpan = %q", b.String())
+	}
+}

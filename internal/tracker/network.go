@@ -75,6 +75,7 @@ type Network struct {
 	evaderAt map[ObjectID]func() geo.RegionID
 	findObj  map[FindID]ObjectID
 	tr       *trace.Tracer
+	moveSeq  uint64 // move-epoch counter for trace op correlation
 
 	maxQueryLevel int   // highest level that ran a findquery since the last reset
 	growRecv      []int // grow receipts per level (Theorem 4.9 amortization)
@@ -234,21 +235,28 @@ func (d *dispatcher) Receive(level int, msg any) {
 		return
 	}
 	pr.net.noteDelivered(del, pr.id)
-	if tr := pr.net.tr; tr != nil {
-		obj := ObjectID(-1)
+	if n := pr.net; n.tr.Enabled() {
+		obj := int32(-1)
+		var op uint64
 		if env, ok := del.Payload.(envelope); ok {
-			obj = env.Obj
+			obj = int32(env.Obj)
+			op = n.opFor(del.Kind, env.Body)
 		}
-		tr.Emitf(pr.net.k.Now(), "recv", "obj %d: %s at %v (level %d) from %v", obj, del.Kind, pr.id, level, del.From)
+		n.tr.Emit(trace.Event{
+			At: n.k.Now(), Kind: "recv", Op: op, Obj: obj, Msg: del.Kind,
+			From: int32(del.From), To: int32(pr.id), Region: -1, Level: int16(level),
+		})
 	}
 	pr.receive(del)
 }
 
 func (d *dispatcher) Reset() {
 	for _, pr := range d.byLevel {
-		if tr := pr.net.tr; tr != nil {
-			tr.Emitf(pr.net.k.Now(), "reset", "process %v (level %d) lost its state", pr.id, pr.level)
-		}
+		pr.net.tr.Emit(trace.Event{
+			At: pr.net.k.Now(), Kind: "reset", Obj: -1,
+			From: int32(pr.id), To: -1, Region: -1, Level: int16(pr.level),
+			Detail: "lost state",
+		})
 		pr.reset()
 	}
 }
@@ -299,9 +307,11 @@ func (n *Network) sendFromProcess(pr *Process, obj ObjectID, to hier.ClusterID, 
 		n.inflight[key] -= copies
 		return
 	}
-	if n.tr != nil {
-		n.tr.Emitf(n.k.Now(), "send", "obj %d: %s %v -> %v", obj, kind, pr.id, to)
-	}
+	n.tr.Emit(trace.Event{
+		At: n.k.Now(), Kind: "send", Op: n.opFor(kind, body), Obj: int32(obj),
+		Msg: kind, From: int32(pr.id), To: int32(to), Region: -1,
+		Level: int16(n.h.Level(pr.id)),
+	})
 }
 
 // sendFromClient transmits a client message to a level-0 cluster.
@@ -312,7 +322,33 @@ func (n *Network) sendFromClient(obj ObjectID, id vsa.ClientID, to hier.ClusterI
 		n.inflight[key]--
 		return err
 	}
+	if n.tr.Enabled() {
+		region := int32(-1)
+		if c, ok := n.clients[id]; ok {
+			region = int32(c.region)
+		}
+		n.tr.Emit(trace.Event{
+			At: n.k.Now(), Kind: "send", Op: n.opFor(kind, body), Obj: int32(obj),
+			Msg: kind, From: -1, To: int32(to), Region: region, Level: -1,
+		})
+	}
 	return nil
+}
+
+// opFor derives the trace operation id a protocol message belongs to:
+// find-family messages carrying payloads correlate to their find id, and
+// grow/shrink-family messages correlate to the current move epoch (the
+// cascade triggered by the object's most recent region change).
+func (n *Network) opFor(kind string, body any) uint64 {
+	switch kind {
+	case KindFind, KindFound:
+		if ps, ok := body.([]FindPayload); ok && len(ps) > 0 {
+			return trace.OpFind(int64(ps[0].ID))
+		}
+	case KindGrow, KindGrowNbr, KindGrowPar, KindShrink, KindShrinkUpd:
+		return trace.OpMove(n.moveSeq)
+	}
+	return 0
 }
 
 // noteDelivered removes a delivered message from the in-transit registry.
@@ -399,6 +435,11 @@ func (n *Network) HandleEvaderEvent(u geo.RegionID, entered bool) {
 }
 
 func (n *Network) handleObjectEvent(obj ObjectID, u geo.RegionID, entered bool) {
+	if entered {
+		// A new move epoch: the grow/shrink cascade this region change
+		// triggers is correlated under OpMove(moveSeq).
+		n.moveSeq++
+	}
 	for _, id := range n.cg.Layer().ClientsIn(u) {
 		if c, ok := n.clients[id]; ok {
 			if entered {
@@ -453,9 +494,10 @@ func (n *Network) reportFound(obj ObjectID, p FindPayload, at geo.RegionID) {
 		return
 	}
 	n.done[p.ID] = true
-	if n.tr != nil {
-		n.tr.Emitf(n.k.Now(), "found", "obj %d: find %d (from %v) answered at %v", obj, p.ID, p.Origin, at)
-	}
+	n.tr.Emit(trace.Event{
+		At: n.k.Now(), Kind: "found", Op: trace.OpFind(int64(p.ID)),
+		Obj: int32(obj), From: -1, To: -1, Region: int32(at), Level: -1,
+	})
 	if n.onFound != nil {
 		n.onFound(FindResult{ID: p.ID, Object: obj, Origin: p.Origin, FoundAt: at})
 	}

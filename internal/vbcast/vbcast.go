@@ -58,8 +58,18 @@ type Service struct {
 	// sampled arrivals are clamped to it so delivery respects TOBcast send
 	// order (see package comment). Clamping within one channel is always
 	// in-envelope because every message of a channel shares the same delay
-	// bound.
-	lastArrival map[channel]sim.Time
+	// bound. Each entry remembers the destination's incarnation at the time
+	// it was written: TOBcast order is a per-process guarantee, so a clamp
+	// from a dead incarnation must not delay the restarted VSA's fresh
+	// channel (messages to the old incarnation are dropped anyway).
+	lastArrival map[channel]arrival
+}
+
+// arrival is one channel's clamp state: the latest scheduled arrival and
+// the destination incarnation it was scheduled under.
+type arrival struct {
+	at  sim.Time
+	inc uint64
 }
 
 // channel identifies one TOBcast ordering domain: messages of the same
@@ -81,7 +91,7 @@ const (
 func New(k *sim.Kernel, layer *vsa.Layer, delta, e sim.Time, ledger *metrics.Ledger) *Service {
 	return &Service{
 		k: k, layer: layer, delta: delta, e: e, ledger: ledger,
-		lastArrival: make(map[channel]sim.Time),
+		lastArrival: make(map[channel]arrival),
 	}
 }
 
@@ -114,9 +124,15 @@ func (s *Service) ClientToVSA(from vsa.ClientID, target geo.RegionID, level int,
 	inc := s.layer.Incarnation(target)
 	s.k.At(s.deliverAt(chanClient, target, s.broadcastDelay(src, target)), func() {
 		if s.layer.Incarnation(target) != inc {
-			return // VSA failed or restarted while the message was in flight
+			// VSA failed or restarted while the message was in flight.
+			s.recordDrop("transport/client", metrics.DropIncarnation)
+			return
 		}
-		s.layer.DeliverToVSA(target, level, msg)
+		if !s.layer.DeliverToVSA(target, level, msg) {
+			s.recordDrop("transport/client", metrics.DropDeadVSA)
+			return
+		}
+		s.recordDelivery("transport/client")
 	})
 	return nil
 }
@@ -145,7 +161,14 @@ func (s *Service) VSAToClients(from geo.RegionID, targets []geo.RegionID, msg an
 		at := s.deliverAt(chanVSAClient, tgt, sim.Add(lag, s.broadcastDelay(from, tgt)))
 		s.k.At(at, func() {
 			for _, id := range s.layer.ClientsIn(tgt) {
-				s.layer.DeliverToClient(id, msg)
+				// ClientsIn lists only alive occupants, but a handler run by
+				// an earlier delivery in this same loop may fail a client;
+				// count each per-client attempt so chaos runs can see them.
+				if s.layer.DeliverToClient(id, msg) {
+					s.recordDelivery("transport/vsa-client")
+				} else {
+					s.recordDrop("transport/vsa-client", metrics.DropDeadClient)
+				}
 			}
 		})
 	}
@@ -162,6 +185,15 @@ func (s *Service) VSAToClients(from geo.RegionID, targets []geo.RegionID, msg an
 // once that broadcast is in flight it is independent of the sender's fate —
 // the sending VSA failing afterward does not retract it.
 func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
+	return s.VSAToVSATracked(from, to, onArrive, nil)
+}
+
+// VSAToVSATracked is VSAToVSA with a drop callback: when the in-flight
+// message dies (destination failed or restarted), onDrop runs at the
+// would-be arrival time with the cause. Higher layers (geocast) use it to
+// attribute the death of the routed message they were carrying; onDrop may
+// be nil. The hop itself is always accounted here under "transport/hop".
+func (s *Service) VSAToVSATracked(from, to geo.RegionID, onArrive func(), onDrop func(metrics.DropCause)) error {
 	if !s.layer.Alive(from) {
 		return fmt.Errorf("vbcast: VSA %v not alive", from)
 	}
@@ -173,8 +205,17 @@ func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
 	at := s.deliverAt(chanHop, to, sim.Add(s.emulationLag(from), s.broadcastDelay(from, to)))
 	s.k.At(at, func() {
 		if s.layer.Incarnation(to) != inc || !s.layer.Alive(to) {
+			cause := metrics.DropDeadVSA
+			if s.layer.Incarnation(to) != inc {
+				cause = metrics.DropIncarnation
+			}
+			s.recordDrop("transport/hop", cause)
+			if onDrop != nil {
+				onDrop(cause)
+			}
 			return
 		}
+		s.recordDelivery("transport/hop")
 		onArrive()
 	})
 	return nil
@@ -183,6 +224,18 @@ func (s *Service) VSAToVSA(from, to geo.RegionID, onArrive func()) error {
 func (s *Service) record(kind string, hops int) {
 	if s.ledger != nil {
 		s.ledger.RecordMessage(kind, hops)
+	}
+}
+
+func (s *Service) recordDelivery(kind string) {
+	if s.ledger != nil {
+		s.ledger.RecordDelivery(kind)
+	}
+}
+
+func (s *Service) recordDrop(kind string, cause metrics.DropCause) {
+	if s.ledger != nil {
+		s.ledger.RecordDrop(kind, cause)
 	}
 }
 
@@ -221,17 +274,21 @@ func (s *Service) emulationLag(u geo.RegionID) sim.Time {
 // deliverAt converts a sampled delay into an absolute arrival time,
 // enforcing non-decreasing arrivals per channel when a model is installed
 // (the default exact schedule is already send-ordered per channel because
-// its delay is constant).
+// its delay is constant). The clamp only binds within one incarnation of
+// the destination: TOBcast orders deliveries to a process, and a restart
+// is a new process, so a clamp recorded under an older incarnation is
+// stale and is discarded rather than over-delaying the fresh channel.
 func (s *Service) deliverAt(class uint8, to geo.RegionID, delay sim.Time) sim.Time {
 	at := sim.Add(s.k.Now(), delay)
 	if s.model == nil {
 		return at
 	}
 	key := channel{class: class, region: to}
-	if last := s.lastArrival[key]; at < last {
-		at = last
+	inc := s.layer.Incarnation(to)
+	if last, ok := s.lastArrival[key]; ok && last.inc == inc && at < last.at {
+		at = last.at
 	}
-	s.lastArrival[key] = at
+	s.lastArrival[key] = arrival{at: at, inc: inc}
 	return at
 }
 

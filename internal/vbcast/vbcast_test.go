@@ -294,6 +294,160 @@ func TestDelayModelPreservesSendOrder(t *testing.T) {
 	}
 }
 
+// Regression for the stale-clamp bug: a TOBcast clamp entry recorded under
+// a dead incarnation must not delay the restarted VSA's fresh channel.
+// TOBcast order is a per-process guarantee and a restart is a new process,
+// so only the sampled delay — which must itself lie in the [0,δ] envelope —
+// governs the new message's arrival.
+func TestDelayModelClampResetOnIncarnationChange(t *testing.T) {
+	k, layer, svc, vsas, _ := setup(t)
+	svc.SetDelayModel(&scriptModel{delays: []sim.Time{delta, 1 * time.Millisecond}})
+
+	// Message to r1's original incarnation, arriving at the full δ.
+	if err := svc.ClientToVSA(0, 1, 0, "old"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(2 * time.Millisecond)
+
+	// r1's VSA fails (its only client leaves) and restarts (the client
+	// returns; t_restart is 0 in this fixture).
+	if err := layer.MoveClient(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.MoveClient(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(1 * time.Millisecond)
+	if !layer.Alive(1) {
+		t.Fatal("r1 VSA did not restart; fixture broken")
+	}
+
+	// Fresh message to the restarted VSA sampling a 1ms delay. The stale
+	// clamp (arrival δ = 10ms) must not apply: delivery happens at the
+	// sampled time, and the observed delay stays within its own envelope.
+	sendAt := k.Now()
+	if err := svc.ClientToVSA(0, 1, 0, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh message must arrive at its own sampled 1ms delay — well
+	// inside the [0,δ] envelope — not at the stale clamp's 10ms arrival.
+	k.RunUntil(sendAt + 1*time.Millisecond - time.Microsecond)
+	if len(vsas[1].msgs) != 0 {
+		t.Fatalf("delivery before the sampled delay: %v", vsas[1].msgs)
+	}
+	k.RunUntil(sendAt + 1*time.Millisecond)
+	if len(vsas[1].msgs) != 1 || vsas[1].msgs[0] != "fresh" {
+		t.Fatalf("restarted VSA received %v at sampled delay, want [fresh] "+
+			"(stale clamp over-delayed the fresh channel)", vsas[1].msgs)
+	}
+	// Drain the old message's would-be arrival: it must be dropped and its
+	// death attributed to the incarnation change.
+	k.Run()
+	if len(vsas[1].msgs) != 1 {
+		t.Fatalf("old incarnation's message delivered: %v", vsas[1].msgs)
+	}
+	if got := svc.ledger.Drops("transport/client", metrics.DropIncarnation); got != 1 {
+		t.Errorf("incarnation drops = %d, want 1", got)
+	}
+}
+
+// Within one incarnation the clamp still binds (send order preserved) and
+// the clamped delay still lies in its envelope — the incarnation reset must
+// not weaken TOBcast for live channels.
+func TestDelayModelClampStillBindsWithinIncarnation(t *testing.T) {
+	k, _, svc, vsas, _ := setup(t)
+	svc.SetDelayModel(&scriptModel{delays: []sim.Time{8 * time.Millisecond, 1 * time.Millisecond}})
+	if err := svc.ClientToVSA(0, 1, 0, "first"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(2 * time.Millisecond)
+	sendAt := k.Now()
+	if err := svc.ClientToVSA(0, 1, 0, "second"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(vsas[1].msgs) != 2 || vsas[1].msgs[1] != "second" {
+		t.Fatalf("deliveries = %v, want [first second]", vsas[1].msgs)
+	}
+	// Second message clamped from sendAt+1ms up to the first's arrival
+	// (8ms); its own envelope [sendAt, sendAt+δ] = [2ms, 12ms] contains it.
+	gotDelay := k.Now() - sendAt
+	if gotDelay != 6*time.Millisecond {
+		t.Errorf("clamped delay = %v, want 6ms (arrival held to the first message's)", gotDelay)
+	}
+	if gotDelay > delta {
+		t.Errorf("clamped delay %v exceeds the δ envelope", gotDelay)
+	}
+}
+
+// Transport conservation: every client→VSA and VSA→VSA send ends as exactly
+// one delivery or one attributed drop once the queue drains.
+func TestDropAccountingConserves(t *testing.T) {
+	k, layer, svc, _, _ := setup(t)
+	led := svc.ledger
+
+	if err := svc.ClientToVSA(0, 1, 0, "a"); err != nil { // delivered
+		t.Fatal(err)
+	}
+	if err := svc.ClientToVSA(0, 0, 0, "b"); err != nil { // delivered
+		t.Fatal(err)
+	}
+	if err := svc.VSAToVSA(3, 4, func() {}); err != nil { // delivered
+		t.Fatal(err)
+	}
+	if err := svc.VSAToVSA(3, 6, func() {}); err != nil { // dest dies in flight
+		t.Fatal(err)
+	}
+	k.RunFor(delta / 2)
+	if err := layer.MoveClient(6, 7); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	for _, kind := range []string{"transport/client", "transport/hop"} {
+		sent := led.Messages(kind)
+		delivered := led.Delivered(kind)
+		var dropped int64
+		for c, n := range led.Snapshot().DropsByCause(kind) {
+			if n < 0 {
+				t.Errorf("%s: negative drop count for %s", kind, c)
+			}
+			dropped += n
+		}
+		if sent != delivered+dropped {
+			t.Errorf("%s: sent %d != delivered %d + dropped %d", kind, sent, delivered, dropped)
+		}
+	}
+	// The mid-flight death bumps the destination's incarnation, so that is
+	// the attributed cause.
+	if got := led.Drops("transport/hop", metrics.DropIncarnation); got != 1 {
+		t.Errorf("incarnation hop drops = %d, want 1", got)
+	}
+}
+
+// VSAToVSATracked reports the cause of an in-flight death to the caller at
+// the would-be arrival time.
+func TestVSAToVSATrackedOnDrop(t *testing.T) {
+	k, layer, svc, _, _ := setup(t)
+	var cause metrics.DropCause
+	arrived := false
+	err := svc.VSAToVSATracked(0, 1, func() { arrived = true }, func(c metrics.DropCause) { cause = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(delta / 2)
+	if err := layer.MoveClient(1, 2); err != nil { // r1 VSA dies
+		t.Fatal(err)
+	}
+	k.Run()
+	if arrived {
+		t.Fatal("message arrived at failed VSA")
+	}
+	if cause != metrics.DropIncarnation {
+		t.Errorf("drop cause = %q, want incarnation", cause)
+	}
+}
+
 // With no model installed the worst-case schedule is untouched: VSA→VSA
 // still arrives at exactly δ+e (regression guard for the model plumbing).
 func TestNilModelIsExactWorstCase(t *testing.T) {
