@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet lint bench experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short race vet lint bench bench-full bench-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -32,9 +32,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# One benchmark target per experiment table plus micro-benches.
+# Hot-path micro-benchmarks (event kernel, failover routing), recorded as
+# BENCH_4.json — suite wall-clock, ns/op, allocs/op, and the cached-vs-
+# uncached failover speedup (the run fails below 2x). Future PRs extend the
+# trajectory by re-running this after touching a hot path.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_4.json
+
+# Full benchmark sweep: one target per experiment table plus micro-benches.
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI gate: each micro-benchmark once (wiring check — single-iteration
+# timings are too noisy for the 2x speedup gate, which `make bench`
+# enforces) plus the zero-allocation regression tests pinning the
+# steady-state claims.
+bench-smoke:
+	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -out BENCH_4.json
+	$(GO) test -run 'ZeroAlloc' -v ./internal/sim ./internal/geocast
 
 # Regenerate every paper claim (EXPERIMENTS.md tables).
 experiments:

@@ -1,0 +1,143 @@
+// Command bench runs the hot-path micro-benchmarks (event-kernel
+// schedule/cancel/churn and geocast failover routing) and records the
+// results machine-readably, so successive PRs leave a performance
+// trajectory instead of anecdotes.
+//
+// It shells out to `go test -bench` on the packages that own the
+// benchmarks, parses the standard benchmark output, computes the
+// cached-vs-uncached failover speedup, and writes a JSON report
+// (default BENCH_4.json):
+//
+//	{
+//	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
+//	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op"}, …],
+//	  "failover_speedup": …        // uncached ns/op ÷ cached ns/op
+//	}
+//
+// The run fails (non-zero exit) if the failover speedup falls below
+// -min-speedup (default 2): the epoch cache earning less than 2x over the
+// per-hop BFS is a performance regression, not a tuning matter.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// benchPackages own the micro-benchmarks; benchPattern selects exactly the
+// hot-path ones (the experiment-table benchmarks live in the repo root and
+// are not part of this report).
+var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast"}
+
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover)$"
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the BENCH_4.json document.
+type report struct {
+	GoVersion         string   `json:"go_version"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	Benchtime         string   `json:"benchtime"`
+	SuiteWallClockSec float64  `json:"suite_wall_clock_sec"`
+	Benchmarks        []result `json:"benchmarks"`
+	FailoverSpeedup   float64  `json:"failover_speedup"`
+}
+
+// benchLine matches standard `go test -bench -benchmem` output, e.g.
+// "BenchmarkGeocastFailover/cached-8  1000000  23.3 ns/op  0 B/op  0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
+	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
+	flag.Parse()
+
+	args := append([]string{"test", "-run", "^$", "-bench", benchPattern,
+		"-benchmem", "-benchtime", *benchtime}, benchPackages...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		os.Stdout.Write(buf.Bytes())
+		fmt.Fprintln(os.Stderr, "bench: go test failed:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	os.Stdout.Write(buf.Bytes())
+
+	rep := report{
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Benchtime:         *benchtime,
+		SuiteWallClockSec: wall.Seconds(),
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		m := benchLine.FindSubmatch(bytes.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := result{Name: string(m[1])}
+		r.Iters, _ = strconv.ParseInt(string(m[2]), 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(string(m[3]), 64)
+		if len(m[4]) > 0 {
+			r.BytesPerOp, _ = strconv.ParseInt(string(m[4]), 10, 64)
+		}
+		if len(m[5]) > 0 {
+			r.AllocsPerOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed; output format changed?")
+		os.Exit(1)
+	}
+
+	var cached, uncached float64
+	for _, r := range rep.Benchmarks {
+		switch r.Name {
+		case "BenchmarkGeocastFailover/cached":
+			cached = r.NsPerOp
+		case "BenchmarkGeocastFailover/uncached":
+			uncached = r.NsPerOp
+		}
+	}
+	if cached > 0 && uncached > 0 {
+		rep.FailoverSpeedup = uncached / cached
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx)\n", *out, wall.Seconds(), rep.FailoverSpeedup)
+
+	if rep.FailoverSpeedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "bench: failover speedup %.2fx below required %.2fx\n",
+			rep.FailoverSpeedup, *minSpeedup)
+		os.Exit(1)
+	}
+}

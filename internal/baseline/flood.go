@@ -46,7 +46,7 @@ func (f *Flood) Find(origin geo.RegionID, done func(geo.RegionID)) {
 }
 
 func (f *Flood) round(origin geo.RegionID, radius int, done func(geo.RegionID)) {
-	covered := f.g.RegionsWithin(origin, radius)
+	covered := f.g.RegionsWithinCached(origin, radius)
 	// One broadcast per covered region (the flood relays hop by hop), each
 	// traveling one hop.
 	for range covered {

@@ -104,6 +104,30 @@ func TestRunAllByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// Determinism guard for the zero-alloc kernel and the epoch-cached
+// failover routing: the experiments that stress them hardest — E1/E2
+// (event-kernel hot loops regenerating the theorem tables) and E7/E11 (the
+// crash regimes, where every hop of every message may take the failover
+// path) — must render byte-identically at any worker count. The rendered
+// tables embed every measured quantity, so any perturbation from the event
+// arena, the 4-ary heap, or a stale route-cache entry would surface as a
+// byte difference here.
+func TestKernelAndRouteCacheExperimentsByteIdentical(t *testing.T) {
+	only := []string{"E1", "E2", "E7", "E11"}
+	run := func(workers int) string {
+		var b strings.Builder
+		if err := RunAll(&b, Options{Quick: true, Only: only, Parallel: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+	sequential := run(1)
+	if got := run(8); got != sequential {
+		t.Errorf("E1/E2/E7/E11 output at 8 workers differs from sequential run:\n--- parallel 1\n%s\n--- parallel 8\n%s",
+			sequential, got)
+	}
+}
+
 // BenchmarkQuickSuiteSpeedup measures wall-clock of the full quick suite
 // at increasing worker counts; on multi-core hardware the 4+-worker runs
 // should complete at least ~2x faster than sequential.

@@ -16,6 +16,16 @@ type Graph struct {
 	n    int
 	dist [][]int32    // dist[u] is nil until computed
 	next [][]RegionID // next[u][v] = first hop from u toward v
+
+	diameter      int // memoized Diameter; valid when diameterKnown
+	diameterKnown bool
+	within        map[withinKey][]RegionID // memoized RegionsWithinCached results
+}
+
+// withinKey identifies one memoized ball: all regions within d hops of u.
+type withinKey struct {
+	u RegionID
+	d int
 }
 
 // NewGraph builds a Graph over tiling t.
@@ -115,8 +125,13 @@ func (g *Graph) Precompute() {
 }
 
 // Diameter returns the network diameter D: the maximum hop distance between
-// any two regions (paper §II-A).
+// any two regions (paper §II-A). The tiling is immutable, so the all-pairs
+// maximum is computed once and memoized — callers (one per sweep cell)
+// used to pay the full n² scan on every call.
 func (g *Graph) Diameter() int {
+	if g.diameterKnown {
+		return g.diameter
+	}
 	max := 0
 	for u := 0; u < g.n; u++ {
 		g.bfs(RegionID(u))
@@ -126,6 +141,8 @@ func (g *Graph) Diameter() int {
 			}
 		}
 	}
+	g.diameter = max
+	g.diameterKnown = true
 	return max
 }
 
@@ -139,5 +156,23 @@ func (g *Graph) RegionsWithin(u RegionID, d int) []RegionID {
 			out = append(out, RegionID(v))
 		}
 	}
+	return out
+}
+
+// RegionsWithinCached is RegionsWithin with the result memoized per (u, d).
+// Broadcast target lists are rebuilt from the same few balls over and over
+// (flood rounds, vbcast neighborhoods); the tiling is immutable, so the
+// ball never changes. The returned slice is shared across calls and must
+// not be modified by the caller.
+func (g *Graph) RegionsWithinCached(u RegionID, d int) []RegionID {
+	key := withinKey{u: u, d: d}
+	if out, ok := g.within[key]; ok {
+		return out
+	}
+	out := g.RegionsWithin(u, d)
+	if g.within == nil {
+		g.within = make(map[withinKey][]RegionID)
+	}
+	g.within[key] = out
 	return out
 }

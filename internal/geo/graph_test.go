@@ -163,3 +163,47 @@ func TestNeighborsAtDistanceOne(t *testing.T) {
 		}
 	}
 }
+
+// Diameter is memoized (it used to recompute the all-pairs maximum on every
+// call, once per sweep cell): repeated calls must agree with the first, and
+// a fresh graph over the same tiling must agree with both.
+func TestGraphDiameterMemoized(t *testing.T) {
+	g := MustGridTiling(9, 5)
+	gr := NewGraph(g)
+	first := gr.Diameter()
+	if first != 8 {
+		t.Fatalf("Diameter = %d, want 8", first)
+	}
+	for i := 0; i < 3; i++ {
+		if got := gr.Diameter(); got != first {
+			t.Fatalf("memoized Diameter call %d = %d, want %d", i, got, first)
+		}
+	}
+	if fresh := NewGraph(g).Diameter(); fresh != first {
+		t.Fatalf("fresh graph Diameter = %d, memoized = %d", fresh, first)
+	}
+}
+
+// RegionsWithinCached must return exactly what RegionsWithin computes, and
+// serve repeat queries from the memo (same backing slice).
+func TestGraphRegionsWithinCached(t *testing.T) {
+	g := MustGridTiling(7, 7)
+	gr := NewGraph(g)
+	center := g.RegionAt(3, 3)
+	for d := 0; d <= 4; d++ {
+		want := gr.RegionsWithin(center, d)
+		got := gr.RegionsWithinCached(center, d)
+		if len(got) != len(want) {
+			t.Fatalf("d=%d: cached returned %d regions, want %d", d, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("d=%d: cached[%d] = %v, want %v", d, i, got[i], want[i])
+			}
+		}
+		again := gr.RegionsWithinCached(center, d)
+		if len(again) > 0 && &again[0] != &got[0] {
+			t.Errorf("d=%d: repeat query did not reuse the memoized slice", d)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package geocast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vinestalk/internal/chaos"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/geocast"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+type chaosNopClient struct{}
+
+func (chaosNopClient) GPSUpdate(geo.RegionID) {}
+func (chaosNopClient) Receive(any)            {}
+
+type chaosNopVSA struct{}
+
+func (chaosNopVSA) Receive(int, any) {}
+func (chaosNopVSA) Reset()           {}
+
+// refAliveNextHop is the pre-cache reference implementation: a fresh
+// map-based BFS over the alive subgraph, exempting the endpoints. The
+// epoch-cached implementation must agree with it at every point of any
+// fail/restart history.
+func refAliveNextHop(layer *vsa.Layer, cur, to geo.RegionID) geo.RegionID {
+	t := layer.Tiling()
+	prev := make(map[geo.RegionID]geo.RegionID, 64)
+	prev[cur] = cur
+	queue := []geo.RegionID{cur}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if _, seen := prev[v]; seen {
+				continue
+			}
+			if v != to && !layer.Alive(v) {
+				continue
+			}
+			prev[v] = u
+			if v == to {
+				for prev[v] != cur {
+					v = prev[v]
+				}
+				return v
+			}
+			queue = append(queue, v)
+		}
+	}
+	return geo.NoRegion
+}
+
+// TestEpochCacheMatchesFreshBFSUnderChaos drives the VSA layer through
+// randomized fail/restart sequences (scripted crash windows plus churning
+// clients from seeded internal/chaos plans) and checks, after every kernel
+// step, that the epoch-cached aliveNextHop equals a fresh BFS for random
+// region pairs. This is the cache's entire correctness claim: the aliveness
+// epoch names the alive set exactly, so a cache hit can never serve a hop
+// computed under a different alive set.
+func TestEpochCacheMatchesFreshBFSUnderChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const w, h = 8, 8
+			k := sim.New(seed)
+			tiling := geo.MustGridTiling(w, h)
+			layer := vsa.NewLayer(k, tiling, vsa.WithTRestart(20*time.Millisecond))
+			for u := 0; u < tiling.NumRegions(); u++ {
+				layer.RegisterVSA(geo.RegionID(u), chaosNopVSA{})
+				if err := layer.AddClient(vsa.ClientID(u), geo.RegionID(u), chaosNopClient{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			layer.StartAllAlive()
+			svc := geocast.New(k, layer, geo.NewGraph(tiling), nil, nil)
+
+			plan, err := chaos.NewPlan(chaos.Config{
+				Seed:         seed,
+				CrashWindows: 6,
+				CrashLen:     150 * time.Millisecond,
+				ChurnClients: 8,
+				ChurnPeriod:  10 * time.Millisecond,
+				Horizon:      time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addClient := func(id vsa.ClientID, u geo.RegionID) error {
+				return layer.AddClient(id, u, chaosNopClient{})
+			}
+			if err := plan.Install(k, layer, addClient, 1000); err != nil {
+				t.Fatal(err)
+			}
+
+			// The probe RNG is independent of the simulation: it only picks
+			// which pairs to cross-check.
+			probe := rand.New(rand.NewSource(seed * 101))
+			n := tiling.NumRegions()
+			steps, checks := 0, 0
+			for k.Step() && steps < 4000 {
+				steps++
+				for i := 0; i < 4; i++ {
+					cur := geo.RegionID(probe.Intn(n))
+					to := geo.RegionID(probe.Intn(n))
+					if cur == to {
+						continue
+					}
+					want := refAliveNextHop(layer, cur, to)
+					if got := svc.AliveNextHopForTest(cur, to); got != want {
+						t.Fatalf("step %d (t=%v, epoch %d): aliveNextHop(%v,%v) = %v, fresh BFS = %v",
+							steps, k.Now(), layer.AliveEpoch(), cur, to, got, want)
+					}
+					// A second lookup must hit the cache and still agree.
+					if got := svc.AliveNextHopForTest(cur, to); got != want {
+						t.Fatalf("step %d: cache hit for (%v,%v) = %v diverged from %v",
+							steps, cur, to, got, want)
+					}
+					checks++
+				}
+			}
+			if checks < 1000 {
+				t.Fatalf("only %d cross-checks ran (%d steps); fault plan too quiet", checks, steps)
+			}
+		})
+	}
+}

@@ -1,0 +1,11 @@
+package geocast
+
+import "vinestalk/internal/geo"
+
+// AliveNextHopForTest exposes the epoch-cached failover lookup to external
+// test packages. The chaos-driven property test must live outside package
+// geocast: importing internal/chaos here would close an import cycle
+// (chaos → tracker → cgcast → geocast).
+func (s *Service) AliveNextHopForTest(cur, to geo.RegionID) geo.RegionID {
+	return s.aliveNextHop(cur, to)
+}

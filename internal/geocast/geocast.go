@@ -27,11 +27,39 @@ type Service struct {
 	vb     *vbcast.Service
 	ledger *metrics.Ledger
 	loss   func(cur, next geo.RegionID) bool
+
+	// Failover-routing cache. When the static next hop toward a
+	// destination is dead, the detour hop is a pure function of
+	// (cur, to, alive set); the VSA layer's AliveEpoch counter names the
+	// alive set, so each (cur, to) pair caches its detour hop together with
+	// the epoch it was computed under and stays valid until any VSA fails
+	// or restarts. Crash-regime runs (E7/E11) route every hop of every
+	// message through here, and between consecutive fault events the
+	// answers repeat exactly.
+	n     int             // regions in the tiling
+	cache []failoverEntry // n×n, indexed cur*n+to; nil until first failover
+	// BFS scratch, reused across searches so a cache miss allocates
+	// nothing: seen stamps instead of a visited map (seenGen names the
+	// current search), parent indices instead of a predecessor map, and a
+	// reusable FIFO.
+	prev    []int32
+	seen    []uint32
+	seenGen uint32
+	fifo    []int32
+}
+
+// failoverEntry is one cached detour decision: the alive-subgraph next hop
+// from cur toward to, valid while the layer's aliveness epoch equals epoch.
+// The zero value never matches a real epoch (epochs start at 1).
+type failoverEntry struct {
+	epoch uint64
+	next  geo.RegionID
 }
 
 // New creates the routing service over the given local-broadcast transport.
 func New(k *sim.Kernel, layer *vsa.Layer, graph *geo.Graph, vb *vbcast.Service, ledger *metrics.Ledger) *Service {
-	return &Service{k: k, layer: layer, graph: graph, vb: vb, ledger: ledger}
+	return &Service{k: k, layer: layer, graph: graph, vb: vb, ledger: ledger,
+		n: layer.Tiling().NumRegions()}
 }
 
 // Graph exposes the shortest-path graph (shared with the hierarchy).
@@ -138,34 +166,66 @@ func (s *Service) nextHop(cur, to geo.RegionID) geo.RegionID {
 	return s.aliveNextHop(cur, to)
 }
 
-// aliveNextHop runs a BFS from cur to to over regions with alive VSAs
-// (the endpoints are exempt from the aliveness requirement: cur holds the
-// message, and liveness of to is checked at arrival).
+// aliveNextHop returns the first hop of a shortest path from cur to to over
+// regions with alive VSAs (the endpoints are exempt from the aliveness
+// requirement: cur holds the message, and liveness of to is checked at
+// arrival). Results are cached per (cur, to) under the VSA layer's
+// aliveness epoch, so within one epoch each pair runs its BFS at most once.
 func (s *Service) aliveNextHop(cur, to geo.RegionID) geo.RegionID {
+	if s.cache == nil {
+		s.cache = make([]failoverEntry, s.n*s.n)
+	}
+	e := &s.cache[int(cur)*s.n+int(to)]
+	if ep := s.layer.AliveEpoch(); e.epoch != ep {
+		e.next = s.aliveNextHopUncached(cur, to)
+		e.epoch = ep
+	}
+	return e.next
+}
+
+// aliveNextHopUncached is the BFS behind aliveNextHop, over the reusable
+// scratch buffers (no per-search allocation). Neighbors are explored in the
+// tiling's order and the FIFO preserves insertion order, so the hop found
+// is identical to the original map-based search — routing, and therefore
+// every experiment table, is unchanged by the caching.
+func (s *Service) aliveNextHopUncached(cur, to geo.RegionID) geo.RegionID {
 	t := s.layer.Tiling()
-	prev := make(map[geo.RegionID]geo.RegionID, 64)
-	prev[cur] = cur
-	queue := []geo.RegionID{cur}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	if s.seen == nil {
+		s.prev = make([]int32, s.n)
+		s.seen = make([]uint32, s.n)
+		s.fifo = make([]int32, 0, s.n)
+	}
+	s.seenGen++
+	if s.seenGen == 0 { // stamp wrapped: invalidate all stale stamps
+		clear(s.seen)
+		s.seenGen = 1
+	}
+	gen := s.seenGen
+	s.seen[cur] = gen
+	s.prev[cur] = int32(cur)
+	q := append(s.fifo[:0], int32(cur))
+	for head := 0; head < len(q); head++ {
+		u := geo.RegionID(q[head])
 		for _, v := range t.Neighbors(u) {
-			if _, seen := prev[v]; seen {
+			if s.seen[v] == gen {
 				continue
 			}
 			if v != to && !s.layer.Alive(v) {
 				continue
 			}
-			prev[v] = u
+			s.seen[v] = gen
+			s.prev[v] = int32(u)
 			if v == to {
 				// Walk back to the first hop.
-				for prev[v] != cur {
-					v = prev[v]
+				for geo.RegionID(s.prev[v]) != cur {
+					v = geo.RegionID(s.prev[v])
 				}
+				s.fifo = q
 				return v
 			}
-			queue = append(queue, v)
+			q = append(q, int32(v))
 		}
 	}
+	s.fifo = q
 	return geo.NoRegion
 }

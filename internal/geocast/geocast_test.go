@@ -27,7 +27,7 @@ type nopVSA struct{}
 func (nopVSA) Receive(int, any) {}
 func (nopVSA) Reset()           {}
 
-func setup(t *testing.T, w, h int) (*sim.Kernel, *vsa.Layer, *Service, *metrics.Ledger) {
+func setup(t testing.TB, w, h int) (*sim.Kernel, *vsa.Layer, *Service, *metrics.Ledger) {
 	t.Helper()
 	k := sim.New(3)
 	tiling := geo.MustGridTiling(w, h)

@@ -72,7 +72,7 @@ func TestCancelParkedEvent(t *testing.T) {
 func TestCancelMiddleOfHeapPreservesOrder(t *testing.T) {
 	k := New(1)
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = k.Schedule(time.Duration(i+1)*time.Second, func() {

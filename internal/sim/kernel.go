@@ -8,10 +8,17 @@
 // local steps take zero virtual time (as §II-C.1 assumes), and all message
 // delays are imposed by the communication services layered on top. Every
 // run is reproducible from its seed.
+//
+// Performance: the queue is a hand-rolled 4-ary min-heap of indices into an
+// index-stable event arena with a free-list, so Schedule, Cancel, and Step
+// are allocation-free in steady state (every experiment is millions of
+// schedule/cancel/fire cycles). Ordering is exactly (at, seq) — simultaneous
+// events fire in scheduling order — so the heap layout is an implementation
+// detail that cannot perturb results: pop order, and therefore every
+// simulated table, is byte-identical to the old container/heap kernel.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 	"math/rand"
@@ -46,41 +53,66 @@ func Add(t, d Time) Time {
 // simulated protocol.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
-// Event is a scheduled callback. Events are created by Kernel.Schedule and
-// Kernel.At and may be cancelled before they fire.
+// Event is a handle to a scheduled callback, created by Kernel.Schedule and
+// Kernel.At. It is a value (no allocation per scheduled event): internally
+// it names an arena slot plus the generation the slot had when the event
+// was scheduled, so a handle held past its event's firing or cancellation
+// becomes harmlessly stale — Cancel on it is a no-op even if the slot has
+// been recycled for a different event. The zero Event is inert.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	k        *Kernel
-	index    int // heap index, -1 when not queued
-	canceled bool
+	k   *Kernel
+	at  Time
+	idx int32
+	gen uint32
 }
 
-// When returns the virtual time at which the event fires.
-func (e *Event) When() Time { return e.at }
+// When returns the virtual time at which the event fires (or would have).
+func (e Event) When() Time { return e.at }
 
 // Cancel prevents the event from firing and removes it from the kernel's
 // queue immediately, so repeatedly scheduled-then-cancelled events (timer
 // resets) do not accumulate as tombstones until their — possibly far-future
 // or parked-at-∞ — firing times. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	e.canceled = true
-	if e.index >= 0 {
-		heap.Remove(&e.k.queue, e.index)
+// already-cancelled event is a no-op, as is cancelling the zero Event.
+func (e Event) Cancel() {
+	k := e.k
+	if k == nil {
+		return
 	}
+	s := &k.arena[e.idx]
+	if s.gen != e.gen {
+		return // already fired or cancelled; the slot may be someone else's
+	}
+	if s.at != Forever {
+		k.runnable--
+	}
+	k.heapRemove(int(s.pos))
+	k.release(e.idx)
+}
+
+// slot is one arena entry. A slot is queued (pos >= 0) from At until the
+// event fires or is cancelled, at which point the slot is released to the
+// free-list and its generation bumped, invalidating outstanding handles.
+type slot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32 // position in Kernel.queue, -1 when free
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the simulated world is sequential, which is what makes
 // runs reproducible.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	rng    *rand.Rand
-	nsteps uint64
+	now      Time
+	seq      uint64
+	arena    []slot  // index-stable event storage
+	free     []int32 // released arena slots available for reuse
+	queue    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	runnable int     // queued events with a finite firing time
+	rng      *rand.Rand
+	nsteps   uint64
 }
 
 // New returns a kernel at time zero with a deterministic random source
@@ -101,41 +133,66 @@ func (k *Kernel) Steps() uint64 { return k.nsteps }
 // Schedule queues fn to run delay after the current time. A negative delay
 // is treated as zero. Scheduling at Forever parks the event permanently
 // (it can still be cancelled); it never fires.
-func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+func (k *Kernel) Schedule(delay Time, fn func()) Event {
 	return k.At(Add(k.now, delay), fn)
 }
 
 // At queues fn to run at absolute virtual time t. Times in the past are
 // clamped to now (the event runs after already-queued events for now).
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn, k: k, index: -1}
-	heap.Push(&k.queue, e)
-	return e
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, slot{})
+		idx = int32(len(k.arena) - 1)
+	}
+	s := &k.arena[idx]
+	s.at, s.seq, s.fn = t, k.seq, fn
+	k.heapPush(idx)
+	if t != Forever {
+		k.runnable++
+	}
+	return Event{k: k, at: t, idx: idx, gen: s.gen}
+}
+
+// release returns a fired or cancelled slot to the free-list, dropping its
+// callback (so captured state is not retained) and bumping its generation
+// (so stale handles cannot touch the recycled slot).
+func (k *Kernel) release(idx int32) {
+	s := &k.arena[idx]
+	s.fn = nil
+	s.pos = -1
+	s.gen++
+	k.free = append(k.free, idx)
 }
 
 // Step runs the earliest pending event, advancing the clock to its time.
 // It returns false if no runnable event remains.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.at == Forever {
-			// Parked events never fire; nothing runnable remains at or
-			// before any finite time.
-			return false
-		}
-		k.now = e.at
-		k.nsteps++
-		e.fn()
-		return true
+	if len(k.queue) == 0 {
+		return false
 	}
-	return false
+	idx := k.queue[0]
+	s := &k.arena[idx]
+	if s.at == Forever {
+		// Parked events never fire; nothing runnable remains at or before
+		// any finite time.
+		return false
+	}
+	fn := s.fn
+	k.now = s.at
+	k.runnable--
+	k.popMin()
+	k.release(idx)
+	k.nsteps++
+	fn()
+	return true
 }
 
 // Run processes events until the queue drains (or only parked events
@@ -157,7 +214,7 @@ func (k *Kernel) RunLimited(max int) (int, error) {
 			return n, nil
 		}
 	}
-	if k.peekRunnable() != nil {
+	if k.runnable > 0 {
 		return max, ErrEventLimit
 	}
 	return max, nil
@@ -168,8 +225,8 @@ func (k *Kernel) RunLimited(max int) (int, error) {
 func (k *Kernel) RunUntil(t Time) int {
 	n := 0
 	for {
-		e := k.peekRunnable()
-		if e == nil || e.at > t {
+		at, ok := k.peekRunnable()
+		if !ok || at > t {
 			break
 		}
 		k.Step()
@@ -185,73 +242,134 @@ func (k *Kernel) RunUntil(t Time) int {
 func (k *Kernel) RunFor(d Time) int { return k.RunUntil(Add(k.now, d)) }
 
 // Pending returns the number of queued, non-cancelled, non-parked events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.queue {
-		if !e.canceled && e.at != Forever {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained incrementally on schedule/fire/cancel, so this is
+// O(1) — it used to scan the whole queue, which made idle-checking loops
+// quadratic.
+func (k *Kernel) Pending() int { return k.runnable }
 
 // NextEventTime returns the firing time of the earliest runnable event, or
 // Forever if none is queued.
 func (k *Kernel) NextEventTime() Time {
-	if e := k.peekRunnable(); e != nil {
-		return e.at
+	if at, ok := k.peekRunnable(); ok {
+		return at
 	}
 	return Forever
 }
 
-func (k *Kernel) peekRunnable() *Event {
-	for k.queue.Len() > 0 {
-		e := k.queue[0]
-		if e.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		if e.at == Forever {
-			return nil
-		}
-		return e
+// peekRunnable returns the firing time of the earliest runnable event.
+// Cancelled events are removed from the queue eagerly, so the heap minimum
+// is runnable unless it is parked at Forever.
+func (k *Kernel) peekRunnable() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
 	}
-	return nil
-}
-
-// eventHeap orders events by (time, seq): simultaneous events fire in
-// scheduling order, which keeps runs deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if at := k.arena[k.queue[0]].at; at != Forever {
+		return at, true
 	}
-	return h[i].seq < h[j].seq
+	return 0, false
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// --- 4-ary min-heap over arena indices, ordered by (at, seq) ---
+//
+// A 4-ary layout halves the tree depth of a binary heap and keeps the
+// children of a node in one cache line of the index slice, which measurably
+// helps the schedule/cancel churn of timer-heavy protocols. The comparison
+// is the total order (at, seq) — seq is unique per event — so pop order is
+// independent of heap shape and byte-identical to any other stable queue.
+
+func (k *Kernel) less(a, b int32) bool {
+	sa, sb := &k.arena[a], &k.arena[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// heapPush appends idx and restores the heap property.
+func (k *Kernel) heapPush(idx int32) {
+	k.queue = append(k.queue, idx)
+	k.arena[idx].pos = int32(len(k.queue) - 1)
+	k.siftUp(len(k.queue) - 1)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// popMin removes and returns the minimum element's arena index.
+func (k *Kernel) popMin() int32 {
+	idx := k.queue[0]
+	n := len(k.queue) - 1
+	last := k.queue[n]
+	k.queue = k.queue[:n]
+	if n > 0 {
+		k.queue[0] = last
+		k.arena[last].pos = 0
+		k.siftDown(0)
+	}
+	return idx
+}
+
+// heapRemove removes the element at queue position pos.
+func (k *Kernel) heapRemove(pos int) {
+	n := len(k.queue) - 1
+	last := k.queue[n]
+	k.queue = k.queue[:n]
+	if pos == n {
+		return
+	}
+	k.queue[pos] = last
+	k.arena[last].pos = int32(pos)
+	if k.siftUp(pos) == pos {
+		k.siftDown(pos)
+	}
+}
+
+// siftUp moves the element at pos toward the root until its parent is not
+// greater; it returns the element's final position.
+func (k *Kernel) siftUp(pos int) int {
+	q := k.queue
+	idx := q[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !k.less(idx, q[parent]) {
+			break
+		}
+		q[pos] = q[parent]
+		k.arena[q[pos]].pos = int32(pos)
+		pos = parent
+	}
+	q[pos] = idx
+	k.arena[idx].pos = int32(pos)
+	return pos
+}
+
+// siftDown moves the element at pos toward the leaves until no child is
+// smaller.
+func (k *Kernel) siftDown(pos int) {
+	q := k.queue
+	n := len(q)
+	idx := q[pos]
+	for {
+		first := 4*pos + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if k.less(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !k.less(q[best], idx) {
+			break
+		}
+		q[pos] = q[best]
+		k.arena[q[pos]].pos = int32(pos)
+		pos = best
+	}
+	q[pos] = idx
+	k.arena[idx].pos = int32(pos)
 }
 
 // RunRealtime processes events while pacing virtual time against the wall
@@ -272,12 +390,12 @@ func (k *Kernel) RunRealtime(speedup float64, stop <-chan struct{}) int {
 			return n
 		default:
 		}
-		e := k.peekRunnable()
-		if e == nil {
+		at, ok := k.peekRunnable()
+		if !ok {
 			return n
 		}
 		// Wait until the wall clock catches up with the event's time.
-		due := time.Duration(float64(e.at-virtualStart) / speedup)
+		due := time.Duration(float64(at-virtualStart) / speedup)
 		if sleep := due - time.Since(start); sleep > 0 {
 			timer := time.NewTimer(sleep)
 			select {

@@ -9,34 +9,37 @@ package sim
 type Timer struct {
 	k        *Kernel
 	fn       func()
+	fire     func() // pre-bound expiry thunk, shared by every arming
 	deadline Time
-	ev       *Event
+	ev       Event
 }
 
 // NewTimer creates an unarmed timer (deadline ∞) that invokes fn when it
-// expires.
+// expires. The expiry thunk is allocated once here, so arming and re-arming
+// the timer afterwards is allocation-free — timer resets are the kernel's
+// hottest churn pattern.
 func NewTimer(k *Kernel, fn func()) *Timer {
-	return &Timer{k: k, fn: fn, deadline: Forever}
+	t := &Timer{k: k, fn: fn, deadline: Forever}
+	t.fire = func() {
+		// A newer Set would have cancelled this event; reaching here means
+		// the deadline is current.
+		t.deadline = Forever
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Set arms the timer to fire at absolute virtual time t, superseding any
 // earlier deadline. Setting t = Forever is equivalent to Clear.
 func (t *Timer) Set(at Time) {
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel() // no-op when unarmed or already fired
+	t.ev = Event{}
 	t.deadline = at
 	if at == Forever {
 		return
 	}
-	t.ev = t.k.At(at, func() {
-		// A newer Set would have cancelled this event; reaching here means
-		// the deadline is current.
-		t.deadline = Forever
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.k.At(at, t.fire)
 }
 
 // SetAfter arms the timer to fire delay after the current time. A delay of

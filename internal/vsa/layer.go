@@ -75,7 +75,18 @@ type Layer struct {
 	regions  []*region
 	tRestart sim.Time
 	always   bool // every VSA permanently alive (paper's §IV-C assumption)
+	// epoch counts alive-set changes: it is bumped every time any region's
+	// VSA fails or (re)starts. Routing layers key caches of "next hop over
+	// the alive subgraph" on it — within one epoch the alive set is frozen,
+	// so any such cache entry stays valid exactly until the epoch moves.
+	// It starts at 1 so a zero-valued cache entry can never look fresh.
+	epoch uint64
 }
+
+// AliveEpoch returns the current aliveness epoch: a counter bumped on every
+// VSA failure and restart. Two calls returning the same value bracket a
+// window in which no VSA's liveness changed.
+func (l *Layer) AliveEpoch() uint64 { return l.epoch }
 
 // Option configures the layer.
 type Option interface{ apply(*Layer) }
@@ -105,6 +116,7 @@ func NewLayer(k *sim.Kernel, t geo.Tiling, opts ...Option) *Layer {
 		clients:  make(map[ClientID]*client),
 		regions:  make([]*region, t.NumRegions()),
 		tRestart: 0,
+		epoch:    1,
 	}
 	for _, o := range opts {
 		o.apply(l)
@@ -294,6 +306,7 @@ func (l *Layer) leaveRegion(id ClientID, u geo.RegionID) {
 	if r.alive {
 		r.alive = false
 		r.incarnation++
+		l.epoch++
 		if r.handler != nil {
 			r.handler.Reset()
 		}
@@ -307,6 +320,7 @@ func (l *Layer) completeRestart(u geo.RegionID) {
 	}
 	r.alive = true
 	r.incarnation++
+	l.epoch++
 	if r.handler != nil {
 		r.handler.Reset()
 	}
@@ -321,6 +335,7 @@ func (l *Layer) StartAllAlive() {
 		if len(r.occupants) > 0 && !r.alive {
 			r.restart.Clear()
 			r.alive = true
+			l.epoch++
 			// No handler Reset: handlers are freshly constructed at boot
 			// and already in their initial state.
 		}

@@ -252,3 +252,53 @@ func TestClientRegionUnknown(t *testing.T) {
 		t.Error("Alive(NoRegion) should be false")
 	}
 }
+
+// The aliveness epoch must move on exactly the transitions that change the
+// alive set — VSA failure, t_restart completion, and StartAllAlive — and on
+// nothing else, because routing layers treat "same epoch" as "same alive
+// set" when serving cached failover hops.
+func TestAliveEpochBumpsOnEveryAliveSetChange(t *testing.T) {
+	k, l := newTestLayer(t, WithTRestart(10*time.Millisecond))
+	// Epoch 0 is reserved so zero-valued cache entries never look fresh.
+	if got := l.AliveEpoch(); got != 1 {
+		t.Fatalf("initial AliveEpoch = %d, want 1", got)
+	}
+
+	// Client placement alone does not change the alive set (the VSA starts
+	// only after t_restart or StartAllAlive).
+	if err := l.AddClient(1, 4, &recClient{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.AliveEpoch(); got != 1 {
+		t.Fatalf("AliveEpoch after AddClient = %d, want 1", got)
+	}
+	l.StartAllAlive()
+	afterBoot := l.AliveEpoch()
+	if afterBoot <= 1 {
+		t.Fatalf("AliveEpoch after StartAllAlive = %d, want > 1", afterBoot)
+	}
+
+	// Moving a client within the alive set (here: emptying r4 kills its
+	// VSA) bumps; the later restart bumps again.
+	if err := l.MoveClient(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	afterFail := l.AliveEpoch()
+	if afterFail <= afterBoot {
+		t.Fatalf("AliveEpoch after VSA failure = %d, want > %d", afterFail, afterBoot)
+	}
+	// r5 was clientless before the move, so it has a pending restart; let it
+	// complete.
+	k.RunFor(20 * time.Millisecond)
+	afterRestart := l.AliveEpoch()
+	if afterRestart <= afterFail {
+		t.Fatalf("AliveEpoch after restart = %d, want > %d", afterRestart, afterFail)
+	}
+
+	// Quiescence: running further without lifecycle events must not move
+	// the epoch.
+	k.RunFor(time.Second)
+	if got := l.AliveEpoch(); got != afterRestart {
+		t.Fatalf("AliveEpoch moved to %d during quiescence, want %d", got, afterRestart)
+	}
+}
