@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet lint bench bench-full bench-smoke experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -27,6 +27,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full suite in random test order — catches tests that lean on state left
+# behind by an earlier test in the same package.
+shuffle:
+	$(GO) test -shuffle=on ./...
 
 # Full suite under the race detector — the sweep engine's correctness bar.
 race:

@@ -12,6 +12,7 @@ import (
 
 	"vinestalk/internal/cgcast"
 	"vinestalk/internal/chaos"
+	"vinestalk/internal/emul"
 	"vinestalk/internal/evader"
 	"vinestalk/internal/geo"
 	"vinestalk/internal/geocast"
@@ -72,6 +73,29 @@ type Config struct {
 	// sampled message delays, scripted VSA crash windows, churn clients,
 	// and permitted message loss (see internal/chaos).
 	Chaos *chaos.Config
+	// Emulation, if set, hosts the Tracker automaton on the replicated
+	// mobile-node emulator (internal/emul) instead of executing it directly
+	// on the oracle VSA layer. NodesPerRegion emulating nodes are deployed
+	// per region and booted; node churn is then driven through
+	// Service.Emulator(). Pair it with AlwaysAliveVSAs — region liveness is
+	// the emulator's authority in this mode.
+	Emulation *EmulationConfig
+}
+
+// EmulationConfig parameterizes the replicated VSA emulation substrate.
+type EmulationConfig struct {
+	// Delta is the intra-region broadcast delay of the emulation protocol.
+	// Zero runs the emulation in lockstep with the oracle's timing: inputs
+	// commit at the same virtual instant the oracle would execute them, so
+	// tracker outputs match the oracle exactly while the full replication
+	// machinery (leader sequencing, checkpoints, handoff) still runs.
+	Delta sim.Time
+	// TRestart is the §II-C.2 restart delay after a region empties of
+	// emulating nodes (default 50ms).
+	TRestart sim.Time
+	// NodesPerRegion is the initial emulating-node population per region
+	// (default 3). Node j of region u gets id u*NodesPerRegion + j.
+	NodesPerRegion int
 }
 
 func (c *Config) fillDefaults() error {
@@ -92,6 +116,17 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Emulation != nil {
+		if c.Emulation.TRestart == 0 {
+			c.Emulation.TRestart = 50 * time.Millisecond
+		}
+		if c.Emulation.NodesPerRegion == 0 {
+			c.Emulation.NodesPerRegion = 3
+		}
+		if c.Emulation.NodesPerRegion < 0 {
+			return errors.New("core: Emulation.NodesPerRegion must be positive")
+		}
 	}
 	return nil
 }
@@ -214,6 +249,9 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	if cfg.Tracer != nil {
 		netOpts = append(netOpts, tracker.WithTracer(cfg.Tracer))
 	}
+	if cfg.Emulation != nil {
+		netOpts = append(netOpts, tracker.WithEmulation(cfg.Emulation.Delta, cfg.Emulation.TRestart))
+	}
 	net, err := tracker.New(cg, s.geom, netOpts...)
 	if err != nil {
 		return nil, err
@@ -223,6 +261,18 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.layer.StartAllAlive()
+	if cfg.Emulation != nil {
+		em := net.Emulator()
+		npr := cfg.Emulation.NodesPerRegion
+		for u := 0; u < tiling.NumRegions(); u++ {
+			for j := 0; j < npr; j++ {
+				if err := em.AddNode(emul.NodeID(u*npr+j), geo.RegionID(u)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		em.Boot()
+	}
 
 	ev, err := evader.New(tiling, cfg.Start, net.Sink())
 	if err != nil {
@@ -268,6 +318,10 @@ func (s *Service) Ledger() *metrics.Ledger { return s.ledger }
 
 // Network returns the tracker network.
 func (s *Service) Network() *tracker.Network { return s.net }
+
+// Emulator returns the replicated mobile-node emulator hosting the
+// tracker, or nil when the service runs on the oracle host.
+func (s *Service) Emulator() *emul.Emulator { return s.net.Emulator() }
 
 // Evader returns the mobile object.
 func (s *Service) Evader() *evader.Evader { return s.ev }

@@ -109,6 +109,16 @@ type Emulator struct {
 	nodes   map[NodeID]*node
 	regions []*regionState
 	inputID uint64
+
+	sink   func(u geo.RegionID, out Output)
+	events func(ev RegionEvent)
+}
+
+// fireEvent invokes the region-events hook, if any.
+func (e *Emulator) fireEvent(ev RegionEvent) {
+	if e.events != nil {
+		e.events(ev)
+	}
 }
 
 type regionState struct {
@@ -123,10 +133,66 @@ type regionState struct {
 // NoNode is the sentinel leader value for a failed VSA.
 const NoNode NodeID = -1
 
+// RegionEventKind classifies the lifecycle transitions of one region's
+// emulated VSA.
+type RegionEventKind int
+
+const (
+	// LeaderChanged: the leader left or failed and a replica-holding
+	// follower promoted itself; the machine continues without state loss.
+	LeaderChanged RegionEventKind = iota
+	// RegionFailed: no node (or no replica holder) remains — the VSA is
+	// down and its state lost (§II-C.2 failure).
+	RegionFailed
+	// RegionRestarted: after t_restart with nodes present, the VSA is back
+	// up from the program's initial state.
+	RegionRestarted
+)
+
+// String returns a compact textual form.
+func (k RegionEventKind) String() string {
+	switch k {
+	case LeaderChanged:
+		return "leader-changed"
+	case RegionFailed:
+		return "region-failed"
+	case RegionRestarted:
+		return "region-restarted"
+	}
+	return fmt.Sprintf("RegionEventKind(%d)", int(k))
+}
+
+// RegionEvent reports one VSA lifecycle transition.
+type RegionEvent struct {
+	U      geo.RegionID
+	Kind   RegionEventKind
+	Leader NodeID // the new leader; NoNode on failure
+}
+
+// Option configures an Emulator.
+type Option func(*Emulator)
+
+// WithOutputSink registers a callback invoked for every output the leader
+// commits, at commit time, in emission order. This is how a hosted program
+// acts on the world: sends, timer arming and other external effects are
+// returned from Step as Outputs (keeping Step pure) and executed by the
+// sink exactly once — follower replicas re-execute Step but their outputs
+// are discarded.
+func WithOutputSink(fn func(u geo.RegionID, out Output)) Option {
+	return func(e *Emulator) { e.sink = fn }
+}
+
+// WithRegionEvents registers a callback for VSA lifecycle transitions
+// (leader handoff, failure, restart). Hosts use it to reconcile external
+// state — dropping timers for a failed region, tracing handoffs.
+func WithRegionEvents(fn func(ev RegionEvent)) Option {
+	return func(e *Emulator) { e.events = fn }
+}
+
 // New creates an emulator for tiling t running prog at every region.
 // delta is the intra-region broadcast delay (the dominant term of the
 // emulation lag e) and tRestart the §II-C.2 restart delay.
-func New(k *sim.Kernel, t geo.Tiling, prog Program, delta, tRestart sim.Time) *Emulator {
+func New(k *sim.Kernel, t geo.Tiling, prog Program, delta, tRestart sim.Time, opts ...Option) *Emulator {
 	e := &Emulator{
 		k:        k,
 		tiling:   t,
@@ -141,6 +207,9 @@ func New(k *sim.Kernel, t geo.Tiling, prog Program, delta, tRestart sim.Time) *E
 		u := geo.RegionID(u)
 		rs.restart = sim.NewTimer(k, func() { e.completeRestart(u) })
 		e.regions[int(u)] = rs
+	}
+	for _, o := range opts {
+		o(e)
 	}
 	return e
 }
@@ -243,7 +312,12 @@ func (e *Emulator) Submit(u geo.RegionID, msg any) error {
 			}
 			n.buffered[in.ID] = in
 		}
-		e.k.Schedule(e.delta, func() { e.leaderExecute(u) })
+		// Commit only up to this input's sequence point: later inputs wait
+		// for their own commit rounds, so each input's lag is exactly
+		// 2·delta and cross-region interleaving matches a direct execution
+		// when delta is 0. (Promote/restart sweep with no bound instead:
+		// a recovering leader catches up on everything it has buffered.)
+		e.k.Schedule(e.delta, func() { e.leaderExecuteUpTo(u, in.ID) })
 	})
 	return nil
 }
@@ -327,8 +401,12 @@ func (e *Emulator) leave(n *node) {
 	if len(members) == 0 {
 		// Region clientless: VSA fails, state lost.
 		rs.restart.Clear()
+		wasAlive := rs.alive
 		rs.alive = false
 		rs.leader = NoNode
+		if wasAlive {
+			e.fireEvent(RegionEvent{U: u, Kind: RegionFailed, Leader: NoNode})
+		}
 		return
 	}
 	if rs.alive && rs.leader == n.id {
@@ -343,6 +421,7 @@ func (e *Emulator) promote(u geo.RegionID) {
 	for _, cand := range e.membersOf(u) {
 		if cand.hasReplica {
 			rs.leader = cand.id
+			e.fireEvent(RegionEvent{U: u, Kind: LeaderChanged, Leader: cand.id})
 			e.leaderExecute(u)
 			return
 		}
@@ -352,6 +431,7 @@ func (e *Emulator) promote(u geo.RegionID) {
 	rs.alive = false
 	rs.leader = NoNode
 	rs.restart.Clear()
+	e.fireEvent(RegionEvent{U: u, Kind: RegionFailed, Leader: NoNode})
 	if len(e.membersOf(u)) > 0 {
 		rs.restart.SetAfter(e.tRestart)
 	}
@@ -376,6 +456,7 @@ func (e *Emulator) completeRestart(u geo.RegionID) {
 		// incarnation and are dropped.
 		n.buffered = make(map[uint64]Input)
 	}
+	e.fireEvent(RegionEvent{U: u, Kind: RegionRestarted, Leader: rs.leader})
 	e.leaderExecute(u)
 }
 
@@ -405,6 +486,12 @@ func (e *Emulator) Boot() {
 // at the replicas; replica divergence windows are covered by the
 // checkpoint join protocol).
 func (e *Emulator) leaderExecute(u geo.RegionID) {
+	e.leaderExecuteUpTo(u, ^uint64(0))
+}
+
+// leaderExecuteUpTo is leaderExecute bounded to inputs with id <= maxID —
+// the per-input commit round of the normal (failure-free) path.
+func (e *Emulator) leaderExecuteUpTo(u geo.RegionID, maxID uint64) {
 	rs := e.regions[int(u)]
 	if !rs.alive || rs.leader == NoNode {
 		return
@@ -416,6 +503,9 @@ func (e *Emulator) leaderExecute(u geo.RegionID) {
 	// Deterministic order: ascending input id.
 	var todo []Input
 	for id, in := range leader.buffered {
+		if id > maxID {
+			continue
+		}
 		if _, done := leader.committed[id]; !done {
 			todo = append(todo, in)
 		}
@@ -427,6 +517,9 @@ func (e *Emulator) leaderExecute(u geo.RegionID) {
 		seq := rs.nextCommit
 		for _, out := range outs {
 			rs.trace.Outputs = append(rs.trace.Outputs, TracedOutput{Msg: out.Msg, At: e.k.Now()})
+			if e.sink != nil {
+				e.sink(u, out)
+			}
 		}
 		// Commit: every present replica applies the same input.
 		for _, n := range e.membersOf(u) {

@@ -160,6 +160,7 @@ func All() []Experiment {
 		{ID: "E9", Name: "VSA emulation fidelity (refs [7],[6])", Run: E9Emulation},
 		{ID: "E10", Name: "value of the virtual-node layer under client mobility (§I)", Run: E10WhyVSA},
 		{ID: "E11", Name: "adversarial schedules: jitter, churn, crashes (§VI, Thm 4.8)", Run: E11Adversarial},
+		{ID: "E12", Name: "full stack on the replicated VSA emulation (§II-C, Thm 5.1)", Run: E12FullStack},
 		{ID: "A1", Name: "ablation: hierarchy base r", Run: A1BaseSweep},
 		{ID: "A2", Name: "ablation: clusterhead placement", Run: A2HeadPlacement},
 		{ID: "A3", Name: "ablation: timer slack above condition (1)", Run: A3ScheduleSlack},

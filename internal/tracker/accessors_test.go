@@ -70,13 +70,12 @@ func TestNetworkAndClientAccessors(t *testing.T) {
 	f.net.HandleEvaderEvent(f.ev.Region(), true)
 	f.settle()
 
-	// A process dispatcher ignores payloads that are not envelopes and
-	// levels it does not host.
+	// The automaton ignores payloads that are not deliveries and levels a
+	// region does not host.
 	pr := f.net.Process(f.h.Cluster(0, 0))
 	before, _, _, _ := pr.Pointers()
-	d := &dispatcher{byLevel: map[int]*Process{0: pr}}
-	d.Receive(0, "not a delivery")
-	d.Receive(99, "nothing at this level")
+	f.net.Automaton().Deliver(pr.Region(), 0, "not a delivery")
+	f.net.Automaton().Deliver(pr.Region(), 99, "nothing at this level")
 	after, _, _, _ := pr.Pointers()
 	if before != after {
 		t.Error("garbage delivery mutated process state")

@@ -1,0 +1,210 @@
+package tracker
+
+import (
+	"sort"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+// Automaton is the pure Tracker machine: every cluster process of Fig. 2,
+// grouped by the region that hosts it, with all mutable state confined to
+// the per-region objState vectors and all external actions (sends, found
+// broadcasts, accounting notes, timer arming) routed through a vsa.Host.
+// It holds no *Network pointer, no sim.Timers, and no scheduled closures,
+// so the same machine runs on the oracle VSA layer (oracleHost) and on the
+// replicated mobile-node emulator (emulHost) unchanged.
+type Automaton struct {
+	h         *hier.Hierarchy
+	geom      hier.Geometry
+	sched     Schedule
+	unit      sim.Time
+	hb        *HeartbeatConfig
+	noLateral bool
+	maxLevel  int
+
+	host vsa.Host
+
+	procs   []*Process
+	backups []*Process // per cluster, nil without replication or alt head
+	regions map[geo.RegionID]*dispatcher
+}
+
+var _ vsa.Automaton = (*Automaton)(nil)
+
+// dispatcher groups the Tracker subautomata hosted at one region: one
+// process per hierarchy level the region heads (plus backup replicas at
+// alternate head regions under the §VII quorum extension). levels is kept
+// sorted for deterministic iteration (reset, encode).
+type dispatcher struct {
+	byLevel map[int]*Process
+	levels  []int
+}
+
+func (d *dispatcher) add(level int, pr *Process) {
+	d.byLevel[level] = pr
+	d.levels = append(d.levels, level)
+	sort.Ints(d.levels)
+}
+
+// newAutomaton builds every cluster process and the per-region dispatch
+// tables from the network's validated configuration. The host is attached
+// by the caller before any input flows.
+func newAutomaton(n *Network) *Automaton {
+	h := n.h
+	a := &Automaton{
+		h:         h,
+		geom:      n.geom,
+		sched:     n.sched,
+		unit:      n.cg.Unit(),
+		hb:        n.hb,
+		noLateral: n.noLateral,
+		maxLevel:  h.MaxLevel(),
+		regions:   make(map[geo.RegionID]*dispatcher),
+	}
+	disp := func(u geo.RegionID) *dispatcher {
+		d, ok := a.regions[u]
+		if !ok {
+			d = &dispatcher{byLevel: make(map[int]*Process)}
+			a.regions[u] = d
+		}
+		return d
+	}
+	a.procs = make([]*Process, h.NumClusters())
+	a.backups = make([]*Process, h.NumClusters())
+	for c := 0; c < h.NumClusters(); c++ {
+		id := hier.ClusterID(c)
+		pr := newProcess(a, id, h.Head(id))
+		a.procs[c] = pr
+		disp(pr.region).add(pr.level, pr)
+		if n.replicated {
+			if alt := h.AltHead(id); alt != geo.NoRegion {
+				bk := newProcess(a, id, alt)
+				bk.backup = true
+				a.backups[c] = bk
+				disp(alt).add(bk.level, bk)
+			}
+		}
+	}
+	// Every region gets a dispatcher (possibly empty) so hosts can treat
+	// the region set uniformly.
+	for u := 0; u < h.Tiling().NumRegions(); u++ {
+		disp(geo.RegionID(u))
+	}
+	return a
+}
+
+// processAt returns the process hosted at (u, level), or nil.
+func (a *Automaton) processAt(u geo.RegionID, level int) *Process {
+	d, ok := a.regions[u]
+	if !ok {
+		return nil
+	}
+	return d.byLevel[level]
+}
+
+// Deliver implements vsa.Automaton: route a C-gcast delivery to the
+// addressed level's process, emitting the delivery-accounting effect first
+// (the host's substrate decrements the in-transit registry and traces the
+// receipt when the effect executes).
+func (a *Automaton) Deliver(u geo.RegionID, level int, msg any) {
+	del, ok := msg.(cgcast.Delivery)
+	if !ok {
+		return
+	}
+	pr := a.processAt(u, level)
+	if pr == nil {
+		return
+	}
+	a.host.Emit(u, recvNoteEffect{To: pr.id, Level: level, Del: del})
+	pr.receive(del)
+}
+
+// TimerFire implements vsa.Automaton: a host wakeup for one recorded
+// deadline. The fire is valid only if the slot still records exactly the
+// deadline the wakeup was armed for — a re-armed, cleared, or failure-reset
+// slot silently ignores it (stale wakeups are expected across emulator
+// restarts and leader handoffs).
+func (a *Automaton) TimerFire(u geo.RegionID, id vsa.TimerID, at sim.Time) {
+	level, obj, kind := unpackTimerID(id)
+	pr := a.processAt(u, level)
+	if pr == nil {
+		return
+	}
+	st, ok := pr.objs[obj]
+	if !ok {
+		return
+	}
+	slot := st.slot(kind)
+	if slot == nil || slot.at != at {
+		return
+	}
+	// Like sim.Timer, the deadline reads as ∞ inside the handler (the
+	// handler may re-arm it).
+	slot.at = sim.Forever
+	switch kind {
+	case timerGrowShrink:
+		st.onTimer()
+	case timerNbrTimeout:
+		st.onNbrTimeout()
+	case timerLease:
+		st.onLeaseExpired()
+	case timerNbrLease:
+		st.onNbrLeaseExpired()
+	}
+}
+
+// ResetRegion implements vsa.Automaton: every process hosted at u returns
+// to its initial state and its armed timers are cleared through the host
+// (§II-C.2 failure/restart).
+func (a *Automaton) ResetRegion(u geo.RegionID) {
+	d, ok := a.regions[u]
+	if !ok {
+		return
+	}
+	for _, level := range d.levels {
+		d.byLevel[level].reset()
+	}
+}
+
+// dropRegionState discards region u's machine state without touching host
+// timers — used by hosts that manage their timer tables directly (the
+// emulator clears its whole per-region table on failure).
+func (a *Automaton) dropRegionState(u geo.RegionID) {
+	d, ok := a.regions[u]
+	if !ok {
+		return
+	}
+	for _, level := range d.levels {
+		d.byLevel[level].objs = make(map[ObjectID]*objState)
+	}
+}
+
+// --- timer identity ---
+
+// timerKind distinguishes the four Fig. 2 / §VII timer variables of one
+// object's state vector.
+type timerKind uint8
+
+const (
+	timerGrowShrink timerKind = iota // the single grow/shrink timer
+	timerNbrTimeout                  // the find neighbor-query timeout
+	timerLease                       // §VII path lease
+	timerNbrLease                    // §VII secondary-pointer lease
+	numTimerKinds
+)
+
+// packTimerID packs (level, object, kind) into an opaque vsa.TimerID.
+// Within one region a level hosts at most one process (dispatcher keying),
+// so the triple uniquely names a timer slot region-wide: bits [40,64) hold
+// the level, [8,40) the object id, [0,8) the kind.
+func packTimerID(level int, obj ObjectID, kind timerKind) vsa.TimerID {
+	return vsa.TimerID(uint64(level)<<40 | uint64(uint32(obj))<<8 | uint64(kind))
+}
+
+func unpackTimerID(id vsa.TimerID) (level int, obj ObjectID, kind timerKind) {
+	return int(id >> 40), ObjectID(uint32(id >> 8)), timerKind(id & 0xff)
+}

@@ -1,0 +1,268 @@
+package tracker
+
+import (
+	"fmt"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/emul"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/vsa"
+)
+
+// emulHost runs the Tracker automaton on the replicated mobile-node
+// emulator: it is simultaneously the automaton's vsa.Host and the
+// emulator's emul.Program.
+//
+// Data path inward: a C-gcast delivery reaches emulRegionHandler.Receive,
+// which submits it as an emulator input. The input is broadcast within the
+// region, sequenced by the leader, and executed via Step — which decodes
+// the region's replicated state into the shared Automaton instance,
+// dispatches the input, and re-encodes.
+//
+// Data path outward: effects and timer (re)arms the automaton emits during
+// a Step are collected as the Step's outputs (keeping Step a pure state
+// transformer). The emulator invokes the output sink exactly once per
+// output — for the leader's execution, at commit time — and only then does
+// the host act on the world: protocol sends go out, host wakeup timers are
+// armed. Follower replicas re-execute Step to advance their state copies;
+// their outputs are discarded by the emulator.
+//
+// Timer wakeups are advisory: a fired host timer submits an input carrying
+// the armed deadline, and Automaton.TimerFire ignores it unless the slot
+// still records exactly that deadline — so stale wakeups across leader
+// handoffs, checkpoint adoptions, and region restarts are harmless.
+type emulHost struct {
+	net *Network
+	aut *Automaton
+	k   *sim.Kernel
+	em  *emul.Emulator
+
+	timers  map[oracleTimerKey]*sim.Timer
+	armedAt map[oracleTimerKey]sim.Time
+
+	// collecting, while non-nil, redirects host calls into the current
+	// Step's output list instead of executing them. Steps never nest (the
+	// emulator commits inputs sequentially), but the pointer is
+	// saved/restored around each Step regardless.
+	collecting *[]emul.Output
+}
+
+// emulDeliver is the emulator input carrying one C-gcast delivery.
+type emulDeliver struct {
+	U     geo.RegionID
+	Level int
+	Msg   any
+}
+
+// emulTimerFire is the emulator input carrying one host timer wakeup. At
+// is the deadline the wakeup was armed for; the automaton validates it
+// against the slot's recorded deadline.
+type emulTimerFire struct {
+	U  geo.RegionID
+	ID vsa.TimerID
+	At sim.Time
+}
+
+// timerArmOut and timerClearOut are Step outputs mirroring the automaton's
+// timer-slot writes; the sink applies them to the host's wakeup service at
+// commit time.
+type timerArmOut struct {
+	U  geo.RegionID
+	ID vsa.TimerID
+	At sim.Time
+}
+
+type timerClearOut struct {
+	U  geo.RegionID
+	ID vsa.TimerID
+}
+
+func newEmulHost(n *Network, a *Automaton, delta, tRestart sim.Time) *emulHost {
+	h := &emulHost{
+		net:     n,
+		aut:     a,
+		k:       n.k,
+		timers:  make(map[oracleTimerKey]*sim.Timer),
+		armedAt: make(map[oracleTimerKey]sim.Time),
+	}
+	h.em = emul.New(n.k, n.h.Tiling(), h, delta, tRestart,
+		emul.WithOutputSink(h.applyOutput),
+		emul.WithRegionEvents(h.onRegionEvent),
+	)
+	return h
+}
+
+var (
+	_ vsa.Host     = (*emulHost)(nil)
+	_ emul.Program = (*emulHost)(nil)
+)
+
+// --- vsa.Host ---
+
+func (h *emulHost) Now() sim.Time { return h.k.Now() }
+
+func (h *emulHost) SetTimer(u geo.RegionID, id vsa.TimerID, at sim.Time) {
+	if h.collecting != nil {
+		*h.collecting = append(*h.collecting, emul.Output{Msg: timerArmOut{U: u, ID: id, At: at}})
+		return
+	}
+	h.armTimer(u, id, at)
+}
+
+func (h *emulHost) ClearTimer(u geo.RegionID, id vsa.TimerID) {
+	if h.collecting != nil {
+		*h.collecting = append(*h.collecting, emul.Output{Msg: timerClearOut{U: u, ID: id}})
+		return
+	}
+	h.disarmTimer(u, id)
+}
+
+func (h *emulHost) Emit(u geo.RegionID, effect any) {
+	if h.collecting != nil {
+		*h.collecting = append(*h.collecting, emul.Output{Msg: effect})
+		return
+	}
+	h.net.execEffect(effect)
+}
+
+// --- emul.Program ---
+
+func (h *emulHost) Init(u geo.RegionID) []byte {
+	return h.aut.encodeInitialRegion(u)
+}
+
+func (h *emulHost) Step(state []byte, in emul.Input) (next []byte, outputs []emul.Output) {
+	var outs []emul.Output
+	prev := h.collecting
+	h.collecting = &outs
+	defer func() { h.collecting = prev }()
+
+	var u geo.RegionID
+	switch m := in.Msg.(type) {
+	case emulDeliver:
+		u = m.U
+		if err := h.aut.DecodeRegion(u, state); err != nil {
+			return state, nil
+		}
+		h.aut.Deliver(u, m.Level, m.Msg)
+	case emulTimerFire:
+		u = m.U
+		if err := h.aut.DecodeRegion(u, state); err != nil {
+			return state, nil
+		}
+		h.aut.TimerFire(u, m.ID, m.At)
+	default:
+		return state, nil
+	}
+	return h.aut.EncodeRegion(u), outs
+}
+
+// --- emulator callbacks ---
+
+// applyOutput executes one committed leader output against the world.
+func (h *emulHost) applyOutput(u geo.RegionID, out emul.Output) {
+	switch m := out.Msg.(type) {
+	case timerArmOut:
+		h.armTimer(m.U, m.ID, m.At)
+	case timerClearOut:
+		h.disarmTimer(m.U, m.ID)
+	default:
+		h.net.execEffect(out.Msg)
+	}
+}
+
+// onRegionEvent reconciles host-side state with the emulated VSA's
+// lifecycle and makes the transition visible in the trace.
+func (h *emulHost) onRegionEvent(ev emul.RegionEvent) {
+	n := h.net
+	detail := ""
+	switch ev.Kind {
+	case emul.RegionFailed:
+		// The region's machine state died with its nodes: drop the shared
+		// instance's mirror and every pending host wakeup for the region.
+		h.dropRegionTimers(ev.U)
+		h.aut.dropRegionState(ev.U)
+		detail = "state lost with emulating nodes"
+	case emul.RegionRestarted:
+		// Replicas restart from the initial state; mirror that.
+		h.dropRegionTimers(ev.U)
+		h.aut.dropRegionState(ev.U)
+		detail = fmt.Sprintf("leader %v from initial state", ev.Leader)
+	case emul.LeaderChanged:
+		detail = fmt.Sprintf("leader %v took over", ev.Leader)
+	}
+	n.tr.Emit(trace.Event{
+		At: h.k.Now(), Kind: "emul", Obj: -1, Msg: ev.Kind.String(),
+		From: -1, To: -1, Region: int32(ev.U), Level: -1, Detail: detail,
+	})
+}
+
+// --- host timer table ---
+
+func (h *emulHost) armTimer(u geo.RegionID, id vsa.TimerID, at sim.Time) {
+	key := oracleTimerKey{u: u, id: id}
+	t, ok := h.timers[key]
+	if !ok {
+		t = sim.NewTimer(h.k, func() {
+			// Route the wakeup through the emulator as a regular input,
+			// carrying the deadline it was armed for.
+			armed := h.armedAt[key]
+			_ = h.em.Submit(u, emulTimerFire{U: u, ID: id, At: armed})
+		})
+		h.timers[key] = t
+	}
+	h.armedAt[key] = at
+	t.Set(at)
+}
+
+func (h *emulHost) disarmTimer(u geo.RegionID, id vsa.TimerID) {
+	key := oracleTimerKey{u: u, id: id}
+	if t, ok := h.timers[key]; ok {
+		t.Clear()
+	}
+	delete(h.armedAt, key)
+}
+
+func (h *emulHost) dropRegionTimers(u geo.RegionID) {
+	for key, t := range h.timers {
+		if key.u == u {
+			t.Clear()
+			delete(h.armedAt, key)
+		}
+	}
+}
+
+// emulRegionHandler bridges the abstract VSA layer to the emulator: a
+// delivery for region u becomes an emulator input. The layer is expected
+// to be built always-alive in emulation mode — region liveness (failure,
+// restart, leader identity) is the emulator's authority.
+type emulRegionHandler struct {
+	host *emulHost
+	u    geo.RegionID
+}
+
+var _ vsa.VSAHandler = emulRegionHandler{}
+
+func (rh emulRegionHandler) Receive(level int, msg any) {
+	h := rh.host
+	if !h.em.Alive(rh.u) {
+		// The emulated VSA is down: the message dies here, exactly like a
+		// delivery to a dead abstract VSA. Settle the in-transit accounting
+		// so the quiescence detector does not wait on a message that can
+		// never commit (a post-restart incarnation drops pre-failure
+		// inputs).
+		if del, ok := msg.(cgcast.Delivery); ok {
+			if pr := h.aut.processAt(rh.u, level); pr != nil {
+				h.net.noteDelivered(del, pr.id)
+			}
+		}
+		return
+	}
+	_ = h.em.Submit(rh.u, emulDeliver{U: rh.u, Level: level, Msg: msg})
+}
+
+// Reset is a no-op: in emulation mode the abstract layer is always alive
+// and all failure dynamics come from emulating-node churn.
+func (rh emulRegionHandler) Reset() {}

@@ -1,0 +1,198 @@
+package tracker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/sim"
+)
+
+// Region-state codec for the emulation host: the complete Fig. 2 state of
+// every process a region hosts, in a canonical byte form. Canonical means
+// two replicas that processed the same input sequence encode byte-identical
+// values — levels ascend, objects ascend, pending finds keep arrival order
+// (part of the machine state), and timer deadlines are the recorded
+// absolute times.
+//
+// Layout (big-endian):
+//
+//	u16 version | u16 numLevels
+//	per level:  u16 level | u32 numObjs
+//	per object: i32 obj | i32 c | i32 p | i32 nbrptup | i32 nbrptdown
+//	            i64 timer | i64 nbrTimeout | i64 lease | i64 nbrLease
+//	            u32 numPending | per pending: i64 findID | i32 origin
+
+const regionStateVersion = 1
+
+// EncodeRegion implements vsa.Automaton.
+func (a *Automaton) EncodeRegion(u geo.RegionID) []byte {
+	d, ok := a.regions[u]
+	if !ok {
+		return nil
+	}
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, regionStateVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.levels)))
+	for _, level := range d.levels {
+		pr := d.byLevel[level]
+		buf = binary.BigEndian.AppendUint16(buf, uint16(level))
+		objs := make([]ObjectID, 0, len(pr.objs))
+		for obj := range pr.objs {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(objs)))
+		for _, obj := range objs {
+			st := pr.objs[obj]
+			buf = binary.BigEndian.AppendUint32(buf, uint32(obj))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(st.c))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(st.p))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(st.nbrptup))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(st.nbrptdown))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(st.timer.at))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(st.nbrTimeout.at))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(st.lease.at))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(st.nbrLease.at))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.pending)))
+			for _, p := range st.pending {
+				buf = binary.BigEndian.AppendUint64(buf, uint64(p.ID))
+				buf = binary.BigEndian.AppendUint32(buf, uint32(p.Origin))
+			}
+		}
+	}
+	return buf
+}
+
+// encodeInitialRegion returns the canonical encoding of region u in its
+// initial state (the emul.Program.Init value).
+func (a *Automaton) encodeInitialRegion(u geo.RegionID) []byte {
+	d, ok := a.regions[u]
+	if !ok {
+		return nil
+	}
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, regionStateVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.levels)))
+	for _, level := range d.levels {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(level))
+		buf = binary.BigEndian.AppendUint32(buf, 0)
+	}
+	return buf
+}
+
+// decoder is a bounds-checked big-endian cursor.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *decoder) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *decoder) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *decoder) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *decoder) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("tracker: truncated region state at offset %d", r.off)
+	}
+}
+
+// DecodeRegion implements vsa.Automaton: it replaces region u's machine
+// state with a previously encoded value. Host timers are deliberately not
+// touched — the decoded deadlines are authoritative and host wakeups are
+// validated against them, so a replica adopting a checkpoint needs no
+// timer reconciliation.
+func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
+	d, ok := a.regions[u]
+	if !ok {
+		if len(state) == 0 {
+			return nil
+		}
+		return fmt.Errorf("tracker: region %v hosts no processes", u)
+	}
+	r := &decoder{buf: state}
+	if v := r.u16(); r.err == nil && v != regionStateVersion {
+		return fmt.Errorf("tracker: region state version %d, want %d", v, regionStateVersion)
+	}
+	numLevels := int(r.u16())
+	if r.err == nil && numLevels != len(d.levels) {
+		return fmt.Errorf("tracker: region %v state has %d levels, host has %d", u, numLevels, len(d.levels))
+	}
+	type decodedProc struct {
+		pr   *Process
+		objs map[ObjectID]*objState
+	}
+	decoded := make([]decodedProc, 0, numLevels)
+	for i := 0; i < numLevels && r.err == nil; i++ {
+		level := int(r.u16())
+		pr := d.byLevel[level]
+		if pr == nil {
+			return fmt.Errorf("tracker: region %v state names level %d, which it does not host", u, level)
+		}
+		objs := make(map[ObjectID]*objState)
+		numObjs := int(r.u32())
+		for j := 0; j < numObjs && r.err == nil; j++ {
+			obj := ObjectID(r.u32())
+			st := &objState{
+				pr:        pr,
+				obj:       obj,
+				c:         hier.ClusterID(r.u32()),
+				p:         hier.ClusterID(r.u32()),
+				nbrptup:   hier.ClusterID(r.u32()),
+				nbrptdown: hier.ClusterID(r.u32()),
+			}
+			st.timer = timerSlot{st: st, kind: timerGrowShrink, at: sim.Time(r.u64())}
+			st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: sim.Time(r.u64())}
+			st.lease = timerSlot{st: st, kind: timerLease, at: sim.Time(r.u64())}
+			st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: sim.Time(r.u64())}
+			numPending := int(r.u32())
+			for p := 0; p < numPending && r.err == nil; p++ {
+				id := FindID(r.u64())
+				origin := geo.RegionID(r.u32())
+				st.pending = append(st.pending, FindPayload{ID: id, Origin: origin})
+			}
+			objs[obj] = st
+		}
+		decoded = append(decoded, decodedProc{pr: pr, objs: objs})
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(state) {
+		return fmt.Errorf("tracker: %d trailing bytes in region %v state", len(state)-r.off, u)
+	}
+	// Commit only after a fully successful parse.
+	for _, dp := range decoded {
+		dp.pr.objs = dp.objs
+	}
+	return nil
+}

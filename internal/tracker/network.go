@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vinestalk/internal/cgcast"
+	"vinestalk/internal/emul"
 	"vinestalk/internal/evader"
 	"vinestalk/internal/geo"
 	"vinestalk/internal/hier"
@@ -26,33 +27,36 @@ type HeartbeatConfig struct {
 }
 
 func (hb *HeartbeatConfig) leaseFor(level int) sim.Time {
+	if len(hb.leases) == 0 {
+		// computeLeases has not run (a HeartbeatConfig built outside
+		// Network.New): fall back to the level-0 lease term, which every
+		// computed lease is at least.
+		return 2 * hb.Period
+	}
 	if level >= len(hb.leases) {
 		level = len(hb.leases) - 1
+	}
+	if level < 0 {
+		level = 0
 	}
 	return hb.leases[level]
 }
 
-// transitKey identifies a protocol message in flight for the in-transit
-// registry consumed by the lookAhead checker (Fig. 3 needs the set of
-// grow/shrink-family messages in channels).
-type transitKey struct {
+// Transit describes one in-flight protocol message; it doubles as the key
+// of the in-transit registry consumed by the lookAhead checker (Fig. 3
+// needs the set of grow/shrink-family messages in channels).
+type Transit struct {
 	Obj  ObjectID
 	Kind string
 	From hier.ClusterID // NoCluster for client-originated messages
 	To   hier.ClusterID
 }
 
-// Transit describes one in-flight protocol message.
-type Transit struct {
-	Obj  ObjectID
-	Kind string
-	From hier.ClusterID
-	To   hier.ClusterID
-}
-
-// Network instantiates one Tracker process per cluster over a C-gcast
-// service, hosts them on the VSA layer, runs the client algorithm, and
-// exposes the find API plus state snapshots for the correctness checkers.
+// Network instantiates the Tracker automaton (one process per cluster)
+// over a C-gcast service, hosts it on a substrate host (the oracle VSA
+// layer, or the replicated mobile-node emulator under WithEmulation), runs
+// the client algorithm, and exposes the find API plus state snapshots for
+// the correctness checkers.
 type Network struct {
 	cg         *cgcast.Service
 	h          *hier.Hierarchy
@@ -62,12 +66,13 @@ type Network struct {
 	hb         *HeartbeatConfig
 	noLateral  bool
 	replicated bool
+	emulCfg    *emulationConfig
 
-	procs   []*Process
-	backups []*Process // per cluster, nil without replication or alt head
-	clients map[vsa.ClientID]*Client
+	aut      *Automaton
+	emulHost *emulHost // nil on the oracle host
+	clients  map[vsa.ClientID]*Client
 
-	inflight map[transitKey]int
+	inflight map[Transit]int
 	findSeq  FindID
 	started  map[FindID]sim.Time
 	done     map[FindID]bool
@@ -138,10 +143,38 @@ func (o foundOption) apply(n *Network) { n.onFound = o.fn }
 // completed find.
 func WithFoundCallback(fn func(FindResult)) Option { return foundOption{fn: fn} }
 
+type emulationConfig struct {
+	delta    sim.Time
+	tRestart sim.Time
+}
+
+type emulationOption struct{ cfg emulationConfig }
+
+func (o emulationOption) apply(n *Network) { c := o.cfg; n.emulCfg = &c }
+
+// WithEmulation hosts the Tracker automaton on the replicated mobile-node
+// emulator (internal/emul) instead of executing it directly on the oracle
+// VSA layer: every region's machine state lives in the emulating nodes'
+// replicas, inputs are leader-sequenced, and the machine survives leader
+// handoff, joiner checkpointing, and node churn. delta is the intra-region
+// broadcast delay (0 runs the emulation in lockstep with the oracle's
+// timing — the commit point coincides with the oracle's delivery time, so
+// outputs match the oracle exactly); tRestart is the §II-C.2 restart
+// delay after a region empties.
+//
+// After New, add emulating nodes via Emulator().AddNode and call
+// Emulator().Boot() once the initial population is placed. The VSA layer
+// should be built always-alive: region liveness is the emulator's
+// authority in this mode.
+func WithEmulation(delta, tRestart sim.Time) Option {
+	return emulationOption{cfg: emulationConfig{delta: delta, tRestart: tRestart}}
+}
+
 // New builds the tracker network over an assembled C-gcast service, using
-// the same geometry the service was built with. It creates all cluster
-// processes and registers a dispatcher VSA handler for every region; call
-// AddClient (or AddStationaryClients) before starting the evader.
+// the same geometry the service was built with. It creates the Tracker
+// automaton (all cluster processes), attaches it to its substrate host,
+// and registers a VSA handler for every region; call AddClient (or
+// AddStationaryClients) before starting the evader.
 func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, error) {
 	h := cg.Hierarchy()
 	n := &Network{
@@ -151,7 +184,7 @@ func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, erro
 		geom:     geom,
 		sched:    DefaultSchedule(geom, cg.Unit()),
 		clients:  make(map[vsa.ClientID]*Client),
-		inflight: make(map[transitKey]int),
+		inflight: make(map[Transit]int),
 		started:  make(map[FindID]sim.Time),
 		done:     make(map[FindID]bool),
 		evaderAt: make(map[ObjectID]func() geo.RegionID),
@@ -170,34 +203,22 @@ func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, erro
 		return nil, fmt.Errorf("tracker: head replication mismatch: network %v, C-gcast %v", n.replicated, cg.Replicated())
 	}
 
-	n.procs = make([]*Process, h.NumClusters())
-	n.backups = make([]*Process, h.NumClusters())
-	dispatchers := make(map[geo.RegionID]*dispatcher)
-	disp := func(u geo.RegionID) *dispatcher {
-		d, ok := dispatchers[u]
-		if !ok {
-			d = &dispatcher{byLevel: make(map[int]*Process)}
-			dispatchers[u] = d
+	n.aut = newAutomaton(n)
+	if n.emulCfg != nil {
+		eh := newEmulHost(n, n.aut, n.emulCfg.delta, n.emulCfg.tRestart)
+		n.emulHost = eh
+		n.aut.host = eh
+		for u := 0; u < h.Tiling().NumRegions(); u++ {
+			region := geo.RegionID(u)
+			cg.Layer().RegisterVSA(region, emulRegionHandler{host: eh, u: region})
 		}
-		return d
-	}
-	for c := 0; c < h.NumClusters(); c++ {
-		id := hier.ClusterID(c)
-		pr := newProcess(n, id)
-		n.procs[c] = pr
-		disp(h.Head(id)).byLevel[h.Level(id)] = pr
-		if n.replicated {
-			if alt := h.AltHead(id); alt != geo.NoRegion {
-				bk := newProcess(n, id)
-				bk.backup = true
-				n.backups[c] = bk
-				disp(alt).byLevel[h.Level(id)] = bk
-			}
+	} else {
+		oh := newOracleHost(n, n.aut)
+		n.aut.host = oh
+		for u := 0; u < h.Tiling().NumRegions(); u++ {
+			region := geo.RegionID(u)
+			cg.Layer().RegisterVSA(region, oracleRegionHandler{host: oh, u: region})
 		}
-	}
-	for u := 0; u < h.Tiling().NumRegions(); u++ {
-		region := geo.RegionID(u)
-		cg.Layer().RegisterVSA(region, disp(region))
 	}
 	return n, nil
 }
@@ -218,49 +239,6 @@ func (n *Network) computeLeases() []sim.Time {
 	return leases
 }
 
-// dispatcher is the vsa.VSAHandler for one region: it routes deliveries to
-// the Tracker subautomaton of the addressed level and resets them all when
-// the VSA fails or restarts.
-type dispatcher struct {
-	byLevel map[int]*Process
-}
-
-func (d *dispatcher) Receive(level int, msg any) {
-	del, ok := msg.(cgcast.Delivery)
-	if !ok {
-		return
-	}
-	pr, ok := d.byLevel[level]
-	if !ok {
-		return
-	}
-	pr.net.noteDelivered(del, pr.id)
-	if n := pr.net; n.tr.Enabled() {
-		obj := int32(-1)
-		var op uint64
-		if env, ok := del.Payload.(envelope); ok {
-			obj = int32(env.Obj)
-			op = n.opFor(del.Kind, env.Body)
-		}
-		n.tr.Emit(trace.Event{
-			At: n.k.Now(), Kind: "recv", Op: op, Obj: obj, Msg: del.Kind,
-			From: int32(del.From), To: int32(pr.id), Region: -1, Level: int16(level),
-		})
-	}
-	pr.receive(del)
-}
-
-func (d *dispatcher) Reset() {
-	for _, pr := range d.byLevel {
-		pr.net.tr.Emit(trace.Event{
-			At: pr.net.k.Now(), Kind: "reset", Obj: -1,
-			From: int32(pr.id), To: -1, Region: -1, Level: int16(pr.level),
-			Detail: "lost state",
-		})
-		pr.reset()
-	}
-}
-
 // Hierarchy returns the cluster hierarchy.
 func (n *Network) Hierarchy() *hier.Hierarchy { return n.h }
 
@@ -270,53 +248,38 @@ func (n *Network) Kernel() *sim.Kernel { return n.k }
 // Schedule returns the grow/shrink timer schedule in force.
 func (n *Network) Schedule() Schedule { return n.sched }
 
-// Process returns the (primary) Tracker process for a cluster.
-func (n *Network) Process(c hier.ClusterID) *Process {
-	if !c.Valid() || int(c) >= len(n.procs) {
+// Automaton returns the pure Tracker machine the network hosts.
+func (n *Network) Automaton() *Automaton { return n.aut }
+
+// Emulator returns the replicated mobile-node emulator hosting the
+// automaton, or nil when the network runs on the oracle host.
+func (n *Network) Emulator() *emul.Emulator {
+	if n.emulHost == nil {
 		return nil
 	}
-	return n.procs[c]
+	return n.emulHost.em
+}
+
+// Process returns the (primary) Tracker process for a cluster.
+func (n *Network) Process(c hier.ClusterID) *Process {
+	if !c.Valid() || int(c) >= len(n.aut.procs) {
+		return nil
+	}
+	return n.aut.procs[c]
 }
 
 // BackupProcess returns the warm-standby replica at the cluster's
 // alternate head, or nil without head replication.
 func (n *Network) BackupProcess(c hier.ClusterID) *Process {
-	if !c.Valid() || int(c) >= len(n.backups) {
+	if !c.Valid() || int(c) >= len(n.aut.backups) {
 		return nil
 	}
-	return n.backups[c]
-}
-
-// sendFromProcess transmits a protocol message between cluster processes,
-// keeping the in-transit registry consistent for the checker. A backup
-// replica's sends are suppressed while the primary head's VSA is alive
-// (its state still evolves identically, since both replicas consume the
-// same duplicated message stream).
-func (n *Network) sendFromProcess(pr *Process, obj ObjectID, to hier.ClusterID, kind string, body any) {
-	src := n.h.Head(pr.id)
-	if pr.backup {
-		if n.cg.Layer().Alive(src) {
-			return // primary speaks for the cluster
-		}
-		src = n.h.AltHead(pr.id)
-	}
-	key := transitKey{Obj: obj, Kind: kind, From: pr.id, To: to}
-	copies := n.cg.Copies(to)
-	n.inflight[key] += copies
-	if err := n.cg.ClusterToClusterFrom(src, pr.id, to, kind, envelope{Obj: obj, Body: body}); err != nil {
-		n.inflight[key] -= copies
-		return
-	}
-	n.tr.Emit(trace.Event{
-		At: n.k.Now(), Kind: "send", Op: n.opFor(kind, body), Obj: int32(obj),
-		Msg: kind, From: int32(pr.id), To: int32(to), Region: -1,
-		Level: int16(n.h.Level(pr.id)),
-	})
+	return n.aut.backups[c]
 }
 
 // sendFromClient transmits a client message to a level-0 cluster.
 func (n *Network) sendFromClient(obj ObjectID, id vsa.ClientID, to hier.ClusterID, kind string, body any) error {
-	key := transitKey{Obj: obj, Kind: kind, From: hier.NoCluster, To: to}
+	key := Transit{Obj: obj, Kind: kind, From: hier.NoCluster, To: to}
 	n.inflight[key]++
 	if err := n.cg.ClientToCluster(id, to, kind, envelope{Obj: obj, Body: body}); err != nil {
 		n.inflight[key]--
@@ -357,22 +320,13 @@ func (n *Network) noteDelivered(d cgcast.Delivery, to hier.ClusterID) {
 	if !ok {
 		return
 	}
-	key := transitKey{Obj: env.Obj, Kind: d.Kind, From: d.From, To: to}
+	key := Transit{Obj: env.Obj, Kind: d.Kind, From: d.From, To: to}
 	if n.inflight[key] > 0 {
 		n.inflight[key]--
 		if n.inflight[key] == 0 {
 			delete(n.inflight, key)
 		}
 	}
-}
-
-// sendFound broadcasts found from a level-0 cluster to clients in its own
-// and neighboring regions.
-func (n *Network) sendFound(pr *Process, obj ObjectID, payloads []FindPayload) {
-	if pr.backup && n.cg.Layer().Alive(n.h.Head(pr.id)) {
-		return
-	}
-	_ = n.cg.ClusterToClients(pr.id, KindFound, envelope{Obj: obj, Body: payloads})
 }
 
 // AddClient installs a tracker client (sensor node) with the given id at
@@ -513,12 +467,12 @@ func (n *Network) MoveQuiescent() bool {
 			return false
 		}
 	}
-	for _, pr := range n.procs {
+	for _, pr := range n.aut.procs {
 		if pr.Busy() {
 			return false
 		}
 	}
-	for _, pr := range n.backups {
+	for _, pr := range n.aut.backups {
 		if pr != nil && pr.Busy() {
 			return false
 		}
@@ -532,7 +486,7 @@ func (n *Network) InTransit() []Transit {
 	var out []Transit
 	for key, cnt := range n.inflight {
 		for i := 0; i < cnt; i++ {
-			out = append(out, Transit{Obj: key.Obj, Kind: key.Kind, From: key.From, To: key.To})
+			out = append(out, key)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,96 @@
+package tracker
+
+import (
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/trace"
+	"vinestalk/internal/vsa"
+)
+
+// oracleHost runs the Tracker automaton directly on the oracle VSA layer:
+// effects execute synchronously at emission and timer wakeups are plain
+// kernel timers. This reproduces the pre-refactor direct-call execution
+// exactly — same kernel event sequence, hence byte-identical experiment
+// tables.
+type oracleHost struct {
+	net    *Network
+	aut    *Automaton
+	k      *sim.Kernel
+	timers map[oracleTimerKey]*sim.Timer
+}
+
+type oracleTimerKey struct {
+	u  geo.RegionID
+	id vsa.TimerID
+}
+
+func newOracleHost(n *Network, a *Automaton) *oracleHost {
+	return &oracleHost{
+		net:    n,
+		aut:    a,
+		k:      n.k,
+		timers: make(map[oracleTimerKey]*sim.Timer),
+	}
+}
+
+var _ vsa.Host = (*oracleHost)(nil)
+
+func (h *oracleHost) Now() sim.Time { return h.k.Now() }
+
+// SetTimer arms a kernel timer for the slot; the timer is created lazily
+// once per (region, id) and reused thereafter, exactly like the timer
+// fields of the pre-refactor objState.
+func (h *oracleHost) SetTimer(u geo.RegionID, id vsa.TimerID, at sim.Time) {
+	key := oracleTimerKey{u: u, id: id}
+	t, ok := h.timers[key]
+	if !ok {
+		t = sim.NewTimer(h.k, func() {
+			h.aut.TimerFire(u, id, h.k.Now())
+		})
+		h.timers[key] = t
+	}
+	t.Set(at)
+}
+
+func (h *oracleHost) ClearTimer(u geo.RegionID, id vsa.TimerID) {
+	if t, ok := h.timers[oracleTimerKey{u: u, id: id}]; ok {
+		t.Clear()
+	}
+}
+
+// Emit executes the effect immediately against the live network.
+func (h *oracleHost) Emit(u geo.RegionID, effect any) {
+	h.net.execEffect(effect)
+}
+
+// oracleRegionHandler adapts one region's slice of the automaton to the
+// VSA layer's handler interface.
+type oracleRegionHandler struct {
+	host *oracleHost
+	u    geo.RegionID
+}
+
+var _ vsa.VSAHandler = oracleRegionHandler{}
+
+func (rh oracleRegionHandler) Receive(level int, msg any) {
+	rh.host.aut.Deliver(rh.u, level, msg)
+}
+
+// Reset reinitializes the region's processes on VSA failure/restart,
+// tracing the state loss per hosted process.
+func (rh oracleRegionHandler) Reset() {
+	h := rh.host
+	d, ok := h.aut.regions[rh.u]
+	if !ok {
+		return
+	}
+	for _, level := range d.levels {
+		pr := d.byLevel[level]
+		h.net.tr.Emit(trace.Event{
+			At: h.k.Now(), Kind: "reset", Obj: -1,
+			From: int32(pr.id), To: -1, Region: -1, Level: int16(pr.level),
+			Detail: "lost state",
+		})
+		pr.reset()
+	}
+}

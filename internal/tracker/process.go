@@ -2,6 +2,7 @@ package tracker
 
 import (
 	"vinestalk/internal/cgcast"
+	"vinestalk/internal/geo"
 	"vinestalk/internal/hier"
 	"vinestalk/internal/sim"
 )
@@ -15,9 +16,17 @@ import (
 // nbrtimeout) tuple, and protocol messages carry the object they concern.
 // The structures are independent — with one object this is exactly the
 // figure's automaton, and with k objects the state and work multiply by k.
+//
+// A Process is part of the pure Tracker Automaton: it holds no network or
+// kernel handles. Sends, found broadcasts, and instrumentation notes are
+// emitted as effects through the automaton's host, and its timer variables
+// are recorded deadlines (timerSlot) whose wakeups the host routes back
+// via Automaton.TimerFire — which is what lets the same process state be
+// serialized, replicated, and replayed by the emulation host.
 type Process struct {
-	net    *Network
+	aut    *Automaton
 	id     hier.ClusterID
+	region geo.RegionID // the head region hosting this replica
 	level  int
 	backup bool // replica at the alternate head (§VII quorum extension)
 
@@ -37,27 +46,68 @@ type objState struct {
 	nbrptup   hier.ClusterID
 	nbrptdown hier.ClusterID
 
-	timer      *sim.Timer
+	timer      timerSlot
 	pending    []FindPayload
-	nbrTimeout *sim.Timer
+	nbrTimeout timerSlot
 
 	// lease and nbrLease implement the §VII heartbeat extension; inert
 	// when the network has no heartbeat configuration. lease guards the
 	// primary pointers (c, p); nbrLease guards the secondary pointers,
 	// which are renewed by the growPar/growNbr re-announcements that
 	// refresh propagation triggers.
-	lease    *sim.Timer
-	nbrLease *sim.Timer
+	lease    timerSlot
+	nbrLease timerSlot
 }
 
-func newProcess(net *Network, id hier.ClusterID) *Process {
+// timerSlot is one TIOA timer variable of the automaton state: a recorded
+// deadline that is either a finite virtual time or ∞ (Forever). The slot
+// value is part of the serialized region state; arming and clearing are
+// mirrored to the host's wakeup service, whose fires the automaton
+// validates against the recorded deadline (stale wakeups are no-ops).
+type timerSlot struct {
+	st   *objState
+	kind timerKind
+	at   sim.Time
+}
+
+// Set arms the slot to fire at absolute virtual time at; Forever clears.
+func (t *timerSlot) Set(at sim.Time) {
+	t.at = at
+	pr := t.st.pr
+	id := packTimerID(pr.level, t.st.obj, t.kind)
+	if at == sim.Forever {
+		pr.aut.host.ClearTimer(pr.region, id)
+		return
+	}
+	pr.aut.host.SetTimer(pr.region, id, at)
+}
+
+// SetAfter arms the slot delay after the current time, saturating at ∞.
+func (t *timerSlot) SetAfter(delay sim.Time) {
+	t.Set(sim.Add(t.st.pr.aut.host.Now(), delay))
+}
+
+// Clear disarms the slot (deadline ← ∞).
+func (t *timerSlot) Clear() { t.Set(sim.Forever) }
+
+// Deadline returns the recorded deadline, Forever if unarmed.
+func (t *timerSlot) Deadline() sim.Time { return t.at }
+
+// Armed reports whether the slot has a finite deadline.
+func (t *timerSlot) Armed() bool { return t.at != sim.Forever }
+
+func newProcess(aut *Automaton, id hier.ClusterID, region geo.RegionID) *Process {
 	return &Process{
-		net:   net,
-		id:    id,
-		level: net.h.Level(id),
-		objs:  make(map[ObjectID]*objState),
+		aut:    aut,
+		id:     id,
+		region: region,
+		level:  aut.h.Level(id),
+		objs:   make(map[ObjectID]*objState),
 	}
 }
+
+// emit hands an effect to the host on behalf of this process's region.
+func (pr *Process) emit(eff any) { pr.aut.host.Emit(pr.region, eff) }
 
 // state returns (lazily creating) the state vector for one object.
 func (pr *Process) state(obj ObjectID) *objState {
@@ -71,16 +121,32 @@ func (pr *Process) state(obj ObjectID) *objState {
 			nbrptup:   hier.NoCluster,
 			nbrptdown: hier.NoCluster,
 		}
-		st.timer = sim.NewTimer(pr.net.k, st.onTimer)
-		st.nbrTimeout = sim.NewTimer(pr.net.k, st.onNbrTimeout)
-		st.lease = sim.NewTimer(pr.net.k, st.onLeaseExpired)
-		st.nbrLease = sim.NewTimer(pr.net.k, st.onNbrLeaseExpired)
+		st.timer = timerSlot{st: st, kind: timerGrowShrink, at: sim.Forever}
+		st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: sim.Forever}
+		st.lease = timerSlot{st: st, kind: timerLease, at: sim.Forever}
+		st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: sim.Forever}
 		pr.objs[obj] = st
 	}
 	return st
 }
 
-// reset returns the process to its initial state (VSA failure/restart).
+// slot returns the timer slot of the given kind, or nil.
+func (st *objState) slot(kind timerKind) *timerSlot {
+	switch kind {
+	case timerGrowShrink:
+		return &st.timer
+	case timerNbrTimeout:
+		return &st.nbrTimeout
+	case timerLease:
+		return &st.lease
+	case timerNbrLease:
+		return &st.nbrLease
+	}
+	return nil
+}
+
+// reset returns the process to its initial state (VSA failure/restart),
+// clearing armed deadlines through the host.
 func (pr *Process) reset() {
 	for _, st := range pr.objs {
 		st.timer.Clear()
@@ -96,6 +162,9 @@ func (pr *Process) Cluster() hier.ClusterID { return pr.id }
 
 // Level returns level(clust).
 func (pr *Process) Level() int { return pr.level }
+
+// Region returns the head region hosting this replica.
+func (pr *Process) Region() geo.RegionID { return pr.region }
 
 // Pointers returns (c, p, nbrptup, nbrptdown) for the default object.
 func (pr *Process) Pointers() (c, p, up, down hier.ClusterID) {
@@ -139,7 +208,7 @@ func (pr *Process) receive(d cgcast.Delivery) {
 	st.sanitize()
 	switch d.Kind {
 	case KindGrow:
-		pr.net.noteGrow(pr.level)
+		pr.emit(growNoteEffect{Level: pr.level})
 		st.onGrow(cid)
 	case KindGrowNbr:
 		st.onGrowNbr(cid)
@@ -166,7 +235,8 @@ func (pr *Process) receive(d cgcast.Delivery) {
 
 // send emits a protocol message about this object.
 func (st *objState) send(to hier.ClusterID, kind string, body any) {
-	st.pr.net.sendFromProcess(st.pr, st.obj, to, kind, body)
+	pr := st.pr
+	pr.emit(sendEffect{From: pr.id, Backup: pr.backup, Obj: st.obj, To: to, Kind: kind, Body: body})
 }
 
 // --- Move-related actions (Fig. 2, left column) ---
@@ -177,8 +247,8 @@ func (st *objState) send(to hier.ClusterID, kind string, body any) {
 // report upward).
 func (st *objState) onGrow(cid hier.ClusterID) {
 	pr := st.pr
-	if st.c == hier.NoCluster && st.p == hier.NoCluster && pr.level != pr.net.h.MaxLevel() {
-		st.timer.SetAfter(pr.net.sched.G[pr.level])
+	if st.c == hier.NoCluster && st.p == hier.NoCluster && pr.level != pr.aut.maxLevel {
+		st.timer.SetAfter(pr.aut.sched.G[pr.level])
 	}
 	st.c = cid
 	st.renewLease()
@@ -206,8 +276,8 @@ func (st *objState) onShrink(cid hier.ClusterID) {
 		return
 	}
 	st.c = hier.NoCluster
-	if pr.level != pr.net.h.MaxLevel() {
-		st.timer.SetAfter(pr.net.sched.S[pr.level])
+	if pr.level != pr.aut.maxLevel {
+		st.timer.SetAfter(pr.aut.sched.S[pr.level])
 	}
 }
 
@@ -235,10 +305,10 @@ func (st *objState) onShrinkUpd(cid hier.ClusterID) {
 func (st *objState) onTimer() {
 	st.sanitize()
 	pr := st.pr
-	h := pr.net.h
+	h := pr.aut.h
 	switch {
-	case st.c != hier.NoCluster && st.p == hier.NoCluster && pr.level != h.MaxLevel():
-		lateral := st.nbrptup != hier.NoCluster && !pr.net.noLateral
+	case st.c != hier.NoCluster && st.p == hier.NoCluster && pr.level != pr.aut.maxLevel:
+		lateral := st.nbrptup != hier.NoCluster && !pr.aut.noLateral
 		par := st.nbrptup
 		if !lateral {
 			par = h.Parent(pr.id)
@@ -313,7 +383,7 @@ func (st *objState) evaluateFind() {
 		return
 	}
 	pr := st.pr
-	h := pr.net.h
+	h := pr.aut.h
 	switch {
 	case st.c == pr.id:
 		// Tracing complete: broadcast found to clients in this and
@@ -321,7 +391,7 @@ func (st *objState) evaluateFind() {
 		payloads := st.pending
 		st.pending = nil
 		st.nbrTimeout.Clear()
-		pr.net.sendFound(pr, st.obj, payloads)
+		pr.emit(foundEffect{From: pr.id, Backup: pr.backup, Obj: st.obj, Payloads: payloads})
 	case st.c != hier.NoCluster:
 		st.forwardFind(st.c)
 	case st.nbrptdown != hier.NoCluster:
@@ -334,8 +404,8 @@ func (st *objState) evaluateFind() {
 		// arriving at exactly the round-trip bound win over the timeout
 		// (TIOA would resolve the tie either way; the paper intends the
 		// ack to count as "received before nbrtimeout expires").
-		pr.net.noteFindQuery(pr.level)
-		st.nbrTimeout.SetAfter(2*pr.net.cg.Unit()*sim.Time(pr.net.geom.N[pr.level]) + 1)
+		pr.emit(queryNoteEffect{Level: pr.level})
+		st.nbrTimeout.SetAfter(2*pr.aut.unit*sim.Time(pr.aut.geom.N[pr.level]) + 1)
 		for _, b := range h.Nbrs(pr.id) {
 			if b == st.p {
 				continue
@@ -360,7 +430,7 @@ func (st *objState) onNbrTimeout() {
 	}
 	dest := st.nbrptup
 	if dest == hier.NoCluster {
-		dest = st.pr.net.h.Parent(st.pr.id)
+		dest = st.pr.aut.h.Parent(st.pr.id)
 	}
 	if dest == hier.NoCluster || dest == st.pr.id {
 		return // level MAX with no pointer anywhere: keep holding
@@ -383,14 +453,14 @@ func (st *objState) forwardFind(dest hier.ClusterID) {
 // the root; an intact process forwards the refresh along its path parent.
 func (st *objState) onRefresh(cid hier.ClusterID, hops int) {
 	pr := st.pr
-	if pr.net.hb == nil {
+	if pr.aut.hb == nil {
 		return
 	}
 	// TTL: a legal tracking path visits at most MAX+1 levels with at most
 	// one lateral hop per level. A refresh that has traveled further is
 	// circulating through corrupted pointers (e.g. a lateral p-cycle) and
 	// must not keep renewing the garbage's leases.
-	if hops > 2*pr.net.h.MaxLevel()+3 {
+	if hops > 2*pr.aut.maxLevel+3 {
 		return
 	}
 	st.c = cid
@@ -401,14 +471,14 @@ func (st *objState) onRefresh(cid hier.ClusterID, hops int) {
 		// Re-announce the connection kind so neighbors' secondary
 		// pointers (and their leases) stay fresh.
 		kind := KindGrowPar
-		if pr.net.h.AreNbrs(pr.id, st.p) {
+		if pr.aut.h.AreNbrs(pr.id, st.p) {
 			kind = KindGrowNbr
 		}
-		for _, b := range pr.net.h.Nbrs(pr.id) {
+		for _, b := range pr.aut.h.Nbrs(pr.id) {
 			st.send(b, kind, nil)
 		}
-	case pr.level != pr.net.h.MaxLevel() && !st.timer.Armed():
-		st.timer.SetAfter(pr.net.sched.G[pr.level])
+	case pr.level != pr.aut.maxLevel && !st.timer.Armed():
+		st.timer.SetAfter(pr.aut.sched.G[pr.level])
 	}
 }
 
@@ -421,10 +491,10 @@ func (st *objState) onRefresh(cid hier.ClusterID, hops int) {
 // preserves the invariants, which the E5 checker verifies).
 func (st *objState) sanitize() {
 	pr := st.pr
-	if pr.net.hb == nil {
+	if pr.aut.hb == nil {
 		return
 	}
-	h := pr.net.h
+	h := pr.aut.h
 	if c := st.c; c != hier.NoCluster {
 		if !(h.IsChild(c, pr.id) || h.AreNbrs(c, pr.id) || (c == pr.id && pr.level == 0)) {
 			st.c = hier.NoCluster
@@ -445,25 +515,25 @@ func (st *objState) sanitize() {
 
 // renewLease re-arms the path lease when heartbeats are enabled.
 func (st *objState) renewLease() {
-	if st.pr.net.hb == nil {
+	if st.pr.aut.hb == nil {
 		return
 	}
-	st.lease.SetAfter(st.pr.net.hb.leaseFor(st.pr.level))
+	st.lease.SetAfter(st.pr.aut.hb.leaseFor(st.pr.level))
 }
 
 // renewNbrLease re-arms the secondary-pointer lease.
 func (st *objState) renewNbrLease() {
-	if st.pr.net.hb == nil {
+	if st.pr.aut.hb == nil {
 		return
 	}
-	st.nbrLease.SetAfter(st.pr.net.hb.leaseFor(st.pr.level))
+	st.nbrLease.SetAfter(st.pr.aut.hb.leaseFor(st.pr.level))
 }
 
 // onNbrLeaseExpired drops secondary pointers that stopped being
 // re-announced (their holder left the path, or the pointers were
 // corrupted state to begin with).
 func (st *objState) onNbrLeaseExpired() {
-	if st.pr.net.hb == nil {
+	if st.pr.aut.hb == nil {
 		return
 	}
 	st.nbrptup = hier.NoCluster
@@ -474,7 +544,7 @@ func (st *objState) onNbrLeaseExpired() {
 // refreshes (e.g. the path below broke at a failed VSA).
 func (st *objState) onLeaseExpired() {
 	pr := st.pr
-	if pr.net.hb == nil {
+	if pr.aut.hb == nil {
 		return
 	}
 	st.sanitize()
@@ -487,7 +557,7 @@ func (st *objState) onLeaseExpired() {
 		st.p = hier.NoCluster
 		st.send(dest, KindShrink, nil)
 	}
-	for _, b := range pr.net.h.Nbrs(pr.id) {
+	for _, b := range pr.aut.h.Nbrs(pr.id) {
 		st.send(b, KindShrinkUpd, nil)
 	}
 	st.timer.Clear()

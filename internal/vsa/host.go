@@ -1,0 +1,90 @@
+package vsa
+
+import (
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+)
+
+// This file defines the ports-and-adapters boundary between a VSA-hosted
+// algorithm and the substrate that executes it.
+//
+// An Automaton is a deterministic machine partitioned per region: all of
+// its state for region u is explicit and serializable (EncodeRegion /
+// DecodeRegion), every state change is driven by an input the host hands
+// it (Deliver, TimerFire), and every externally-visible action it takes is
+// routed back through its Host (Emit, SetTimer, ClearTimer). The automaton
+// holds no timers, network handles, or scheduled closures of its own —
+// which is what makes one automaton runnable on different substrates:
+//
+//   - an oracle host executes each region's machine directly and
+//     atomically (the abstract layer this package implements), and
+//   - a replicated-emulation host (internal/emul) runs each region's
+//     machine on the mobile nodes currently in the region, surviving
+//     leader handoff and node churn by replaying the serialized state.
+//
+// Determinism contract: a region's state after processing a sequence of
+// inputs must be a pure function of (initial state, input sequence, input
+// times). Encode/decode must round-trip exactly — a replica that decodes a
+// checkpoint and applies the same inputs must encode byte-identical state.
+
+// TimerID names one logical timer of an automaton region. The automaton
+// assigns ids (packing whatever coordinates it needs — level, object,
+// timer role); the host treats them as opaque. Within one region, an id
+// names at most one armed deadline at a time: re-setting an id supersedes
+// its previous deadline, exactly like assigning a TIOA timer variable.
+type TimerID uint64
+
+// Host is the substrate-side port an Automaton runs against.
+type Host interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+
+	// SetTimer arms (or re-arms) timer id of region u to fire at absolute
+	// virtual time at. The host will eventually call the automaton's
+	// TimerFire(u, id, at); the wakeup is advisory — the automaton
+	// re-validates the deadline against its own recorded state, so a stale
+	// wakeup (superseded deadline, state lost to a failure) is a no-op.
+	SetTimer(u geo.RegionID, id TimerID, at sim.Time)
+
+	// ClearTimer disarms timer id of region u (deadline ← ∞).
+	ClearTimer(u geo.RegionID, id TimerID)
+
+	// Emit hands the host an effect the region's machine produced: a
+	// protocol message to transmit, an output, an accounting note. The
+	// host decides when the effect takes place — an oracle host executes
+	// it synchronously, a replicated host defers it to the leader's commit
+	// point (follower replicas produce the same effects, which are
+	// discarded). Effects must therefore be self-contained values.
+	Emit(u geo.RegionID, effect any)
+}
+
+// Automaton is the algorithm-side port: a deterministic, serializable
+// per-region machine. Implementations must confine all mutable state to
+// what EncodeRegion captures, and perform all external actions through
+// the Host they were built with.
+type Automaton interface {
+	// Deliver hands the region's machine one message addressed to the
+	// subautomaton at the given hierarchy level.
+	Deliver(u geo.RegionID, level int, msg any)
+
+	// TimerFire reports that timer id, armed for deadline at, has come
+	// due. The automaton must treat the call as advisory: if its recorded
+	// deadline for id is not exactly at (the timer was re-armed, cleared,
+	// or the state was lost and rebuilt), the fire is ignored.
+	TimerFire(u geo.RegionID, id TimerID, at sim.Time)
+
+	// ResetRegion returns region u's machine to its initial state (VSA
+	// failure or restart, §II-C.2), clearing any armed timers through the
+	// host.
+	ResetRegion(u geo.RegionID)
+
+	// EncodeRegion serializes region u's complete machine state. Two
+	// regions that processed the same input sequence from the same state
+	// must encode byte-identical values.
+	EncodeRegion(u geo.RegionID) []byte
+
+	// DecodeRegion replaces region u's machine state with a previously
+	// encoded value. It must not touch host timers: the recorded deadlines
+	// inside the state are authoritative, and host wakeups self-guard.
+	DecodeRegion(u geo.RegionID, state []byte) error
+}

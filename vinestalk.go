@@ -54,6 +54,9 @@ type (
 	FindResult = tracker.FindResult
 	// Schedule holds the grow/shrink timer functions g, s of §IV-B.
 	Schedule = tracker.Schedule
+	// EmulationConfig hosts the Tracker on the replicated mobile-node
+	// emulation substrate (§II-C) instead of the oracle VSA layer.
+	EmulationConfig = core.EmulationConfig
 	// Time is virtual simulation time.
 	Time = sim.Time
 )
