@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -37,12 +37,13 @@ shuffle:
 race:
 	$(GO) test -race ./...
 
-# Hot-path micro-benchmarks (event kernel, failover routing), recorded as
-# BENCH_4.json — suite wall-clock, ns/op, allocs/op, and the cached-vs-
-# uncached failover speedup (the run fails below 2x). Future PRs extend the
-# trajectory by re-running this after touching a hot path.
+# Hot-path micro-benchmarks (event kernel, failover routing, networked-host
+# round trip), recorded as BENCH_6.json — suite wall-clock, ns/op,
+# allocs/op, and the cached-vs-uncached failover speedup (the run fails
+# below 2x). Future PRs extend the trajectory by re-running this after
+# touching a hot path.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_4.json
+	$(GO) run ./cmd/bench -out BENCH_6.json
 
 # Full benchmark sweep: one target per experiment table plus micro-benches.
 bench-full:
@@ -53,8 +54,16 @@ bench-full:
 # enforces) plus the zero-allocation regression tests pinning the
 # steady-state claims.
 bench-smoke:
-	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -out BENCH_4.json
+	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -out BENCH_6.json
 	$(GO) test -run 'ZeroAlloc' -v ./internal/sim ./internal/geocast
+
+# Networked-host smoke: the nethost runtime and the tracker-over-nethost
+# integration tests (oracle parity, heal-after-kill, chaos conservation)
+# under the race detector, plus the DecodeRegion fuzz seed corpus.
+nethost-smoke:
+	$(GO) test -race ./internal/nethost
+	$(GO) test -race -run 'TestNetHost' ./internal/tracker
+	$(GO) test -run 'FuzzDecodeRegion' ./internal/tracker
 
 # Regenerate every paper claim (EXPERIMENTS.md tables).
 experiments:

@@ -1,12 +1,12 @@
 // Command bench runs the hot-path micro-benchmarks (event-kernel
-// schedule/cancel/churn and geocast failover routing) and records the
-// results machine-readably, so successive PRs leave a performance
-// trajectory instead of anecdotes.
+// schedule/cancel/churn, geocast failover routing, and the networked-host
+// frame round trip) and records the results machine-readably, so
+// successive PRs leave a performance trajectory instead of anecdotes.
 //
 // It shells out to `go test -bench` on the packages that own the
 // benchmarks, parses the standard benchmark output, computes the
 // cached-vs-uncached failover speedup, and writes a JSON report
-// (default BENCH_4.json):
+// (default BENCH_6.json):
 //
 //	{
 //	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
@@ -35,9 +35,9 @@ import (
 // benchPackages own the micro-benchmarks; benchPattern selects exactly the
 // hot-path ones (the experiment-table benchmarks live in the repo root and
 // are not part of this report).
-var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast"}
+var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast", "vinestalk/internal/nethost"}
 
-const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover)$"
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec)$"
 
 // result is one parsed benchmark line.
 type result struct {
@@ -48,7 +48,7 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// report is the BENCH_4.json document.
+// report is the BENCH_6.json document.
 type report struct {
 	GoVersion         string   `json:"go_version"`
 	GOMAXPROCS        int      `json:"gomaxprocs"`
@@ -63,7 +63,7 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
 	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
 	flag.Parse()

@@ -1,0 +1,247 @@
+// Command vineload drives a running vinestalkd over its control protocol:
+// a seeded random walk of the tracked object interleaved with finds from
+// random origins, measuring find-completion latency from the client's side
+// of the wire. Optionally kills and restarts a region mid-run to exercise
+// the §VII healing path, mirroring the worked example in the README.
+//
+// Usage:
+//
+//	vineload [-addr 127.0.0.1:7717] [-side 4] [-seed 1] [-moves 20]
+//	         [-period 150ms] [-find-every 2] [-wait 5s]
+//	         [-kill-region -1] [-kill-after 5] [-restart-after 10]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vinestalk/internal/geo"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7717", "vinestalkd control address")
+		side      = flag.Int("side", 4, "grid side length of the serving daemon")
+		seed      = flag.Int64("seed", 1, "walk and find-origin seed")
+		moves     = flag.Int("moves", 20, "number of object moves")
+		period    = flag.Duration("period", 150*time.Millisecond, "time between moves")
+		findEvery = flag.Int("find-every", 2, "issue a find after every N moves")
+		wait      = flag.Duration("wait", 5*time.Second, "grace period for outstanding finds")
+
+		killRegion   = flag.Int("kill-region", -1, "region to kill mid-run (-1 disables)")
+		killAfter    = flag.Int("kill-after", 5, "kill after this many moves")
+		restartAfter = flag.Int("restart-after", 10, "restart after this many moves")
+	)
+	flag.Parse()
+	if err := run(*addr, *side, *seed, *moves, *period, *findEvery, *wait,
+		*killRegion, *killAfter, *restartAfter); err != nil {
+		fmt.Fprintln(os.Stderr, "vineload:", err)
+		os.Exit(1)
+	}
+}
+
+// client demuxes the daemon's line stream: every command produces exactly
+// one "ok"/"err" reply, and "found" lines arrive asynchronously between
+// them, so a reader goroutine splits the stream into two channels.
+type client struct {
+	conn    net.Conn
+	w       *bufio.Writer
+	replies chan string
+	founds  chan string
+
+	mu     sync.Mutex
+	issued map[int]time.Time // find id → issue wall time
+	lats   []time.Duration
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		replies: make(chan string, 16),
+		founds:  make(chan string, 1024),
+		issued:  make(map[int]time.Time),
+	}
+	go func() {
+		sc := bufio.NewScanner(conn)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "found ") {
+				c.founds <- line
+			} else {
+				c.replies <- line
+			}
+		}
+		close(c.founds)
+		close(c.replies)
+	}()
+	return c, nil
+}
+
+// cmd sends one command line and returns the "ok ..." reply payload.
+func (c *client) cmd(format string, args ...any) (string, error) {
+	line := fmt.Sprintf(format, args...)
+	if _, err := fmt.Fprintln(c.w, line); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	reply, ok := <-c.replies
+	if !ok {
+		return "", fmt.Errorf("connection closed awaiting reply to %q", line)
+	}
+	if strings.HasPrefix(reply, "err ") {
+		return "", fmt.Errorf("%q: %s", line, reply[4:])
+	}
+	return strings.TrimPrefix(reply, "ok "), nil
+}
+
+// collectFounds drains found lines without blocking, matching them to
+// issued finds and recording latency.
+func (c *client) collectFounds() {
+	for {
+		select {
+		case line, ok := <-c.founds:
+			if !ok {
+				return
+			}
+			c.recordFound(line)
+		default:
+			return
+		}
+	}
+}
+
+func (c *client) recordFound(line string) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start, ok := c.issued[id]
+	if !ok {
+		return
+	}
+	delete(c.issued, id)
+	c.lats = append(c.lats, time.Since(start))
+}
+
+func (c *client) outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.issued)
+}
+
+func run(addr string, side int, seed int64, moves int, period time.Duration, findEvery int,
+	wait time.Duration, killRegion, killAfter, restartAfter int) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+	rng := rand.New(rand.NewSource(seed))
+	tiling, err := geo.NewGridTiling(side, side)
+	if err != nil {
+		return err
+	}
+
+	cur := geo.RegionID(rng.Intn(tiling.NumRegions()))
+	if _, err := c.cmd("place 0 %d", cur); err != nil {
+		return err
+	}
+	fmt.Printf("vineload: object 0 placed at region %d\n", cur)
+
+	findsIssued := 0
+	for i := 1; i <= moves; i++ {
+		time.Sleep(period)
+		c.collectFounds()
+		nbrs := tiling.Neighbors(cur)
+		next := nbrs[rng.Intn(len(nbrs))]
+		if _, err := c.cmd("move 0 %d %d", cur, next); err != nil {
+			return err
+		}
+		cur = next
+		if findEvery > 0 && i%findEvery == 0 {
+			origin := geo.RegionID(rng.Intn(tiling.NumRegions()))
+			reply, err := c.cmd("find %d", origin)
+			if err != nil {
+				// A find from a crashed origin region is part of the scenario.
+				fmt.Printf("vineload: find from region %d failed: %v\n", origin, err)
+				continue
+			}
+			var id int
+			if _, err := fmt.Sscanf(reply, "find %d", &id); err != nil {
+				return fmt.Errorf("unparseable find reply %q", reply)
+			}
+			c.mu.Lock()
+			c.issued[id] = time.Now()
+			c.mu.Unlock()
+			findsIssued++
+		}
+		if killRegion >= 0 && i == killAfter {
+			if _, err := c.cmd("kill %d", killRegion); err != nil {
+				return err
+			}
+			fmt.Printf("vineload: killed region %d after move %d\n", killRegion, i)
+		}
+		if killRegion >= 0 && i == restartAfter {
+			if _, err := c.cmd("restart %d", killRegion); err != nil {
+				return err
+			}
+			fmt.Printf("vineload: restarted region %d after move %d\n", killRegion, i)
+		}
+	}
+
+	// Grace period: drain founds until every issued find completed or the
+	// deadline passes (finds issued into a crashed subtree may be lost — the
+	// daemon's drop ledger names the cause).
+	deadline := time.Now().Add(wait)
+	for c.outstanding() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		c.collectFounds()
+	}
+
+	stats, err := c.cmd("stats")
+	if err != nil {
+		return err
+	}
+	fmt.Println("vineload: daemon ledger:", strings.TrimPrefix(stats, "stats "))
+
+	c.mu.Lock()
+	lats := append([]time.Duration(nil), c.lats...)
+	lost := len(c.issued)
+	c.mu.Unlock()
+	fmt.Printf("vineload: %d moves, %d finds issued, %d completed, %d unresolved\n",
+		moves, findsIssued, len(lats), lost)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var total time.Duration
+		for _, l := range lats {
+			total += l
+		}
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("vineload: find latency min %v p50 %v p90 %v max %v mean %v\n",
+			lats[0], q(0.5), q(0.9), lats[len(lats)-1], total/time.Duration(len(lats)))
+	}
+	_, _ = c.cmd("quit")
+	return nil
+}

@@ -1,0 +1,282 @@
+// Command vinestalkd serves a VINESTALK tracking hierarchy as a real
+// networked host: one goroutine per grid region (internal/nethost), the
+// Tracker automaton per region, wall-clock timers, and the versioned wire
+// codec between regions — over an in-process transport by default, or a
+// real TCP loopback transport with -transport tcp.
+//
+// A newline text protocol on the control port drives it:
+//
+//	place <obj> <region>          introduce object <obj> at <region>
+//	move <obj> <from> <to>        GPS transition input
+//	find <origin> [obj]           issue a find; replies "ok find <id>"
+//	kill <region>                 crash-stop the region's goroutine
+//	restart <region>              boot the region fresh (initial state)
+//	alive <region>                replies "ok alive true|false"
+//	stats                         replies one-line JSON ledger export
+//	quit                          close this control connection
+//
+// Every command gets exactly one "ok ..." or "err ..." reply line.
+// Completed finds are pushed asynchronously to every control connection
+// as "found <id> <obj> <origin> <foundAt>" lines.
+//
+// Usage:
+//
+//	vinestalkd [-side 4] [-base 2] [-delta 10ms] [-lag 5ms]
+//	           [-heartbeat 60ms] [-listen 127.0.0.1:7717]
+//	           [-transport chan|tcp] [-data 127.0.0.1:0]
+//	           [-chaos-windows 0] [-chaos-len 200ms] [-chaos-drop 0]
+//	           [-chaos-horizon 2s] [-chaos-seed 1]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vinestalk/internal/chaos"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/nethost"
+	"vinestalk/internal/tracker"
+)
+
+func main() {
+	var (
+		side      = flag.Int("side", 4, "grid side length (regions per side)")
+		base      = flag.Int("base", 2, "hierarchy base r")
+		delta     = flag.Duration("delta", 10*time.Millisecond, "δ: client↔cluster broadcast delay")
+		lag       = flag.Duration("lag", 5*time.Millisecond, "e: VSA output lag (unit = δ+e)")
+		heartbeat = flag.Duration("heartbeat", 60*time.Millisecond, "§VII client refresh period (0 disables healing)")
+		listen    = flag.String("listen", "127.0.0.1:7717", "control-protocol listen address")
+		transport = flag.String("transport", "chan", "inter-region transport: chan (in-process) or tcp")
+		dataAddr  = flag.String("data", "127.0.0.1:0", "data-plane listen address (tcp transport)")
+
+		chaosWindows = flag.Int("chaos-windows", 0, "scripted region crash windows")
+		chaosLen     = flag.Duration("chaos-len", 200*time.Millisecond, "length of each crash window")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "in-window frame loss probability")
+		chaosHorizon = flag.Duration("chaos-horizon", 2*time.Second, "time after which faults cease")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-plan seed")
+	)
+	flag.Parse()
+	if err := run(*side, *base, *delta, *lag, *heartbeat, *listen, *transport, *dataAddr,
+		*chaosWindows, *chaosLen, *chaosDrop, *chaosHorizon, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "vinestalkd:", err)
+		os.Exit(1)
+	}
+}
+
+// server fans found outputs out to every control connection.
+type server struct {
+	nh  *tracker.NetHost
+	svc *nethost.Service
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+func run(side, base int, delta, lag, heartbeat time.Duration, listen, transport, dataAddr string,
+	chaosWindows int, chaosLen time.Duration, chaosDrop float64, chaosHorizon time.Duration, chaosSeed int64) error {
+	tiling, err := geo.NewGridTiling(side, side)
+	if err != nil {
+		return err
+	}
+	h, err := hier.NewGrid(tiling, base)
+	if err != nil {
+		return err
+	}
+	srv := &server{conns: make(map[net.Conn]bool)}
+	nh, err := tracker.NewNetHost(h, tracker.NetConfig{
+		Geom:      hier.MeasureGeometry(h),
+		Delta:     delta,
+		Unit:      delta + lag,
+		Heartbeat: heartbeat,
+		OnFound:   srv.broadcastFound,
+	})
+	if err != nil {
+		return err
+	}
+	var tr nethost.Transport
+	if transport == "tcp" {
+		tcp, err := nethost.NewTCPTransport(dataAddr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vinestalkd: data plane on tcp %s\n", tcp.Addr())
+		tr = tcp
+	} else if transport != "chan" {
+		return fmt.Errorf("unknown transport %q (chan or tcp)", transport)
+	}
+	svc, err := nethost.New(nh, nethost.Config{NumRegions: tiling.NumRegions(), Transport: tr})
+	if err != nil {
+		return err
+	}
+	nh.Attach(svc)
+	srv.nh, srv.svc = nh, svc
+
+	if chaosWindows > 0 {
+		plan, err := chaos.NewPlan(chaos.Config{
+			Seed: chaosSeed, CrashWindows: chaosWindows, CrashLen: chaosLen,
+			DropProb: chaosDrop, Horizon: chaosHorizon,
+		})
+		if err != nil {
+			return err
+		}
+		if err := plan.InstallNet(svc); err != nil {
+			return err
+		}
+		for _, w := range plan.Windows() {
+			fmt.Printf("vinestalkd: chaos window region %v [%v, %v)\n", w.Region, w.Start, w.End)
+		}
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer svc.Stop()
+	fmt.Printf("vinestalkd: serving %dx%d grid (r=%d, %d clusters, max level %d) on %s\n",
+		side, side, base, h.NumClusters(), h.MaxLevel(), ln.Addr())
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		srv.mu.Lock()
+		srv.conns[c] = true
+		srv.mu.Unlock()
+		go srv.handle(c)
+	}
+}
+
+func (s *server) broadcastFound(r tracker.FindResult) {
+	line := fmt.Sprintf("found %d %d %d %d\n", r.ID, r.Object, r.Origin, r.FoundAt)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		fmt.Fprint(c, line)
+	}
+}
+
+func (s *server) handle(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	sc := bufio.NewScanner(c)
+	for sc.Scan() {
+		reply := s.exec(strings.Fields(sc.Text()))
+		if reply == "" {
+			return // quit
+		}
+		// Serialize replies against found pushes so lines never interleave.
+		s.mu.Lock()
+		fmt.Fprintln(c, reply)
+		s.mu.Unlock()
+	}
+}
+
+// exec runs one control command and returns its reply line ("" for quit).
+func (s *server) exec(fields []string) string {
+	if len(fields) == 0 {
+		return "err empty command"
+	}
+	argN := func(i int) (int, error) { return strconv.Atoi(fields[i]) }
+	switch fields[0] {
+	case "place":
+		if len(fields) != 3 {
+			return "err usage: place <obj> <region>"
+		}
+		obj, e1 := argN(1)
+		at, e2 := argN(2)
+		if e1 != nil || e2 != nil {
+			return "err bad arguments"
+		}
+		if err := s.nh.PlaceObject(tracker.ObjectID(obj), geo.RegionID(at)); err != nil {
+			return "err " + err.Error()
+		}
+		return "ok place"
+	case "move":
+		if len(fields) != 4 {
+			return "err usage: move <obj> <from> <to>"
+		}
+		obj, e1 := argN(1)
+		from, e2 := argN(2)
+		to, e3 := argN(3)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return "err bad arguments"
+		}
+		if err := s.nh.MoveObject(tracker.ObjectID(obj), geo.RegionID(from), geo.RegionID(to)); err != nil {
+			return "err " + err.Error()
+		}
+		return "ok move"
+	case "find":
+		if len(fields) != 2 && len(fields) != 3 {
+			return "err usage: find <origin> [obj]"
+		}
+		origin, e1 := argN(1)
+		obj := int(tracker.DefaultObject)
+		var e2 error
+		if len(fields) == 3 {
+			obj, e2 = argN(2)
+		}
+		if e1 != nil || e2 != nil {
+			return "err bad arguments"
+		}
+		id, err := s.nh.FindObject(geo.RegionID(origin), tracker.ObjectID(obj))
+		if err != nil {
+			return "err " + err.Error()
+		}
+		return fmt.Sprintf("ok find %d", id)
+	case "kill":
+		if len(fields) != 2 {
+			return "err usage: kill <region>"
+		}
+		u, e1 := argN(1)
+		if e1 != nil {
+			return "err bad arguments"
+		}
+		s.svc.KillRegion(geo.RegionID(u))
+		return "ok kill"
+	case "restart":
+		if len(fields) != 2 {
+			return "err usage: restart <region>"
+		}
+		u, e1 := argN(1)
+		if e1 != nil {
+			return "err bad arguments"
+		}
+		s.svc.RestartRegion(geo.RegionID(u))
+		return "ok restart"
+	case "alive":
+		if len(fields) != 2 {
+			return "err usage: alive <region>"
+		}
+		u, e1 := argN(1)
+		if e1 != nil {
+			return "err bad arguments"
+		}
+		return fmt.Sprintf("ok alive %v", s.svc.RegionAlive(geo.RegionID(u)))
+	case "stats":
+		data, err := json.Marshal(s.svc.LedgerExport())
+		if err != nil {
+			return "err " + err.Error()
+		}
+		return "ok stats " + string(data)
+	case "quit":
+		return ""
+	default:
+		return fmt.Sprintf("err unknown command %q", fields[0])
+	}
+}

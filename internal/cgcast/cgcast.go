@@ -120,34 +120,41 @@ func (s *Service) Unit() sim.Time { return s.unit }
 // neighbor's child, reachable when a find chases a freshly-acquired
 // pointer) are charged (δ+e) times the actual head-to-head hop distance.
 func (s *Service) ScheduleDelay(from, to hier.ClusterID) sim.Time {
+	return ScheduleDelayIn(s.h, s.geom, s.unit, from, to)
+}
+
+// ScheduleDelayIn is ScheduleDelay as a standalone function, for hosts
+// that run the paper's delivery schedule without an assembled Service
+// (e.g. a networked host computing frame due times).
+func ScheduleDelayIn(h *hier.Hierarchy, geom hier.Geometry, unit sim.Time, from, to hier.ClusterID) sim.Time {
 	if from == to {
 		return 0
 	}
-	l := s.h.Level(from)
+	l := h.Level(from)
 	switch {
-	case s.h.AreNbrs(from, to):
-		return s.unit * sim.Time(s.geom.N[l])
-	case s.h.Parent(from) == to:
-		return s.unit * sim.Time(s.geom.P[l])
-	case s.h.Parent(to) == from:
-		return s.unit * sim.Time(s.geom.P[s.h.Level(to)])
-	case s.isNbrOfNbr(from, to):
-		return s.unit * sim.Time(2*s.geom.N[l])
+	case h.AreNbrs(from, to):
+		return unit * sim.Time(geom.N[l])
+	case h.Parent(from) == to:
+		return unit * sim.Time(geom.P[l])
+	case h.Parent(to) == from:
+		return unit * sim.Time(geom.P[h.Level(to)])
+	case isNbrOfNbrIn(h, from, to):
+		return unit * sim.Time(2*geom.N[l])
 	default:
-		d := s.h.Graph().Distance(s.h.Head(from), s.h.Head(to))
+		d := h.Graph().Distance(h.Head(from), h.Head(to))
 		if d < 1 {
 			d = 1
 		}
-		return s.unit * sim.Time(d)
+		return unit * sim.Time(d)
 	}
 }
 
-func (s *Service) isNbrOfNbr(from, to hier.ClusterID) bool {
-	if s.h.Level(from) != s.h.Level(to) {
+func isNbrOfNbrIn(h *hier.Hierarchy, from, to hier.ClusterID) bool {
+	if h.Level(from) != h.Level(to) {
 		return false
 	}
-	for _, nb := range s.h.Nbrs(from) {
-		if s.h.AreNbrs(nb, to) {
+	for _, nb := range h.Nbrs(from) {
+		if h.AreNbrs(nb, to) {
 			return true
 		}
 	}

@@ -138,6 +138,24 @@ func (p *Plan) LossFunc(k *sim.Kernel) func(cur, next geo.RegionID) bool {
 	}
 }
 
+// LossSampler is LossFunc for hosts without a sim kernel: the clock is
+// whatever now function the host lives on (e.g. a nethost wall clock). It
+// draws from the same "drop" stream, applies only inside compiled crash
+// windows, and returns nil when loss is disabled. The caller must
+// serialize calls (the stream is not thread-safe).
+func (p *Plan) LossSampler(now func() sim.Time) func() bool {
+	if p.cfg.DropProb <= 0 || p.cfg.CrashWindows == 0 {
+		return nil
+	}
+	rng := p.streams.Stream("drop")
+	return func() bool {
+		if !p.windowActive(now()) {
+			return false
+		}
+		return rng.Float64() < p.cfg.DropProb
+	}
+}
+
 // windowActive reports whether any crash window covers time t.
 func (p *Plan) windowActive(t sim.Time) bool {
 	for _, w := range p.windows {

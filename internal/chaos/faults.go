@@ -29,7 +29,9 @@ func (p *Plan) Install(k *sim.Kernel, layer *vsa.Layer,
 		}
 	}
 	p.installed = true
-	p.compileWindows(layer)
+	if p.cfg.CrashWindows > 0 {
+		p.CompileWindows(layer.Tiling().NumRegions())
+	}
 	for _, w := range p.windows {
 		p.scheduleWindow(k, layer, w)
 	}
@@ -46,24 +48,28 @@ func (p *Plan) Install(k *sim.Kernel, layer *vsa.Layer,
 	return nil
 }
 
-// compileWindows samples the crash windows from the "crash" stream: a
+// CompileWindows samples the crash windows from the "crash" stream: a
 // region and a start time uniform over [0, Horizon−CrashLen], so every
-// window ends by the horizon.
-func (p *Plan) compileWindows(layer *vsa.Layer) {
-	if p.cfg.CrashWindows <= 0 {
-		return
+// window ends by the horizon. The windows depend only on the plan seed and
+// the region count, so a simulated layer and a networked host compiling the
+// same plan against the same tiling script identical faults. Compilation
+// happens at most once per plan; repeated calls return the cached windows
+// (Install compiles implicitly).
+func (p *Plan) CompileWindows(numRegions int) []Window {
+	if p.cfg.CrashWindows <= 0 || p.windows != nil {
+		return p.Windows()
 	}
 	rng := p.streams.Stream("crash")
-	n := layer.Tiling().NumRegions()
 	span := int64(p.cfg.Horizon - p.cfg.CrashLen)
 	for i := 0; i < p.cfg.CrashWindows; i++ {
-		u := geo.RegionID(rng.Intn(n))
+		u := geo.RegionID(rng.Intn(numRegions))
 		start := sim.Time(0)
 		if span > 0 {
 			start = sim.Time(rng.Int63n(span + 1))
 		}
 		p.windows = append(p.windows, Window{Region: u, Start: start, End: start + p.cfg.CrashLen})
 	}
+	return p.Windows()
 }
 
 // scheduleWindow scripts one window: at Start every client then in the

@@ -1,0 +1,30 @@
+package chaos
+
+import (
+	"vinestalk/internal/nethost"
+)
+
+// InstallNet turns the plan into real faults on a networked host: each
+// compiled crash window becomes a goroutine kill at its start and a
+// restart at its end, and in-window frame loss is sampled from the plan's
+// drop stream on the send path. CompileWindows draws the "crash" stream in
+// the same order as the sim-kernel Install, so a seeded plan scripts
+// identical fault schedules on both hosts — the basis of the chaos parity
+// tests.
+//
+// Call before s.Start. Client churn has no networked counterpart (nethost
+// regions host their clients in-process) and is ignored.
+func (p *Plan) InstallNet(s *nethost.Service) error {
+	for _, w := range p.CompileWindows(s.NumRegions()) {
+		if err := s.ScheduleKill(w.Start, w.Region); err != nil {
+			return err
+		}
+		if err := s.ScheduleRestart(w.End, w.Region); err != nil {
+			return err
+		}
+	}
+	if loss := p.LossSampler(s.Now); loss != nil {
+		return s.SetLoss(loss)
+	}
+	return nil
+}

@@ -105,7 +105,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
+		// NaN must be caught explicitly: it fails every ordered comparison,
+		// and int64(NaN) below is implementation-defined.
 		return h.min
 	}
 	if q >= 1 {
@@ -202,9 +204,16 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	}
 	*h = Histogram{count: doc.Count, min: doc.Min, max: doc.Max, total: doc.Total}
 	var top int64 = -1
+	maxIdx := int64(histBucketOf(math.MaxInt64))
 	for _, b := range doc.Buckets {
 		if b[0] < 0 {
 			return fmt.Errorf("metrics: negative histogram bucket index %d", b[0])
+		}
+		if b[0] > maxIdx {
+			// No sample can land past histBucketOf(MaxInt64); an index out
+			// there is a corrupt or hostile document, and sizing the bucket
+			// slice by it would be an attacker-chosen allocation.
+			return fmt.Errorf("metrics: histogram bucket index %d exceeds max %d", b[0], maxIdx)
 		}
 		if b[0] > top {
 			top = b[0]

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBoundaryAgreement exhaustively checks that histBucketOf and
+// histBucketUpper agree at every sub-bucket and octave boundary: each
+// bucket's upper bound maps into the bucket, the next representable value
+// crosses into exactly the next bucket, and the value just past the
+// previous bucket's upper bound lands at the bucket's lower edge.
+func TestHistogramBoundaryAgreement(t *testing.T) {
+	top := histBucketOf(math.MaxInt64)
+	for i := 0; i <= top; i++ {
+		upper := histBucketUpper(i)
+		if got := histBucketOf(upper); got != i {
+			t.Fatalf("histBucketOf(histBucketUpper(%d)=%d) = %d", i, upper, got)
+		}
+		if upper < math.MaxInt64 {
+			if got := histBucketOf(upper + 1); got != i+1 {
+				t.Fatalf("histBucketOf(%d+1) = %d, want next bucket %d", upper, got, i+1)
+			}
+		} else if i != top {
+			t.Fatalf("bucket %d already spans MaxInt64 but top bucket is %d", i, top)
+		}
+		if i > 0 {
+			lo := histBucketUpper(i-1) + 1
+			if got := histBucketOf(lo); got != i {
+				t.Fatalf("lower edge histBucketOf(%d) = %d, want %d", lo, got, i)
+			}
+		}
+	}
+	if upper := histBucketUpper(top); upper != math.MaxInt64 {
+		t.Errorf("top bucket %d upper = %d, want MaxInt64", top, upper)
+	}
+}
+
+// TestHistogramQuantileNonFinite: quantile queries with NaN or infinite q
+// must stay inside [Min, Max] (NaN maps to Min, like q <= 0) instead of
+// hitting the implementation-defined float→int conversion.
+func TestHistogramQuantileNonFinite(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty Quantile(NaN) = %d, want 0", got)
+	}
+	for _, v := range []int64{5, 10, 20} {
+		h.Add(v)
+	}
+	if got := h.Quantile(math.NaN()); got != h.Min() {
+		t.Errorf("Quantile(NaN) = %d, want Min %d", got, h.Min())
+	}
+	if got := h.Quantile(math.Inf(1)); got != h.Max() {
+		t.Errorf("Quantile(+Inf) = %d, want Max %d", got, h.Max())
+	}
+	if got := h.Quantile(math.Inf(-1)); got != h.Min() {
+		t.Errorf("Quantile(-Inf) = %d, want Min %d", got, h.Min())
+	}
+}
+
+// TestHistogramUnmarshalHostileBucketIndex: a histogram document is
+// untrusted wire input; a bucket index past histBucketOf(MaxInt64) must be
+// rejected before it sizes the bucket slice.
+func TestHistogramUnmarshalHostileBucketIndex(t *testing.T) {
+	top := histBucketOf(math.MaxInt64)
+	for _, tc := range []struct {
+		idx int64
+		ok  bool
+	}{
+		{int64(top), true},
+		{int64(top) + 1, false},
+		{1 << 60, false},
+		{-1, false},
+	} {
+		doc := fmt.Sprintf(`{"count":1,"min":1,"max":1,"total":1,"buckets":[[%d,1]]}`, tc.idx)
+		var h Histogram
+		err := json.Unmarshal([]byte(doc), &h)
+		if tc.ok && err != nil {
+			t.Errorf("index %d rejected: %v", tc.idx, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("hostile bucket index %d accepted", tc.idx)
+			} else if !strings.Contains(err.Error(), "bucket index") {
+				t.Errorf("index %d: unexpected error %v", tc.idx, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package nethost
+
+import (
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/vsa"
+)
+
+// benchApp acknowledges every delivered frame on a channel so the
+// benchmark can measure complete send→hold→deliver round trips.
+type benchApp struct {
+	done chan struct{}
+}
+
+func (a *benchApp) NewAutomaton(u geo.RegionID, host vsa.Host) vsa.Automaton {
+	return &recAut{app: &recApp{}}
+}
+func (a *benchApp) OnStart(n *Node)               {}
+func (a *benchApp) HandleEffect(n *Node, eff any) {}
+func (a *benchApp) DeliverFrame(n *Node, kind string, payload []byte) {
+	a.done <- struct{}{}
+}
+
+// BenchmarkNetHostRoundTrip measures one full networked-host frame round
+// trip — ledger charge, loss gate, frame encode, transport hop, parse,
+// hold scheduling, incarnation check, mailbox post, and app dispatch —
+// over the in-process transport with an already-due frame.
+func BenchmarkNetHostRoundTrip(b *testing.B) {
+	app := &benchApp{done: make(chan struct{}, 1)}
+	s, err := New(app, Config{NumRegions: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.send(1, s.Now(), "bench", 1, payload)
+		<-app.done
+	}
+}
+
+// BenchmarkFrameCodec measures the frame header encode/parse pair alone.
+func BenchmarkFrameCodec(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := encodeFrame(3, 17*time.Millisecond, "grow", payload)
+		if _, _, _, _, err := parseFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

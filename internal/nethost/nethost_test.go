@@ -1,0 +1,293 @@
+package nethost
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"vinestalk/internal/geo"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+// recApp is a minimal App whose automatons record every TimerFire and
+// frame delivery, for exercising the host runtime in isolation.
+type recApp struct {
+	mu     sync.Mutex
+	fires  []fireRec
+	frames []frameRec
+}
+
+type fireRec struct {
+	u  geo.RegionID
+	id vsa.TimerID
+	at sim.Time
+}
+
+type frameRec struct {
+	u       geo.RegionID
+	kind    string
+	payload []byte
+}
+
+func (a *recApp) recordedFires() []fireRec {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]fireRec(nil), a.fires...)
+}
+
+func (a *recApp) recordedFrames() []frameRec {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]frameRec(nil), a.frames...)
+}
+
+type recAut struct {
+	app *recApp
+	u   geo.RegionID
+}
+
+func (r *recAut) Deliver(u geo.RegionID, level int, msg any)      {}
+func (r *recAut) ResetRegion(u geo.RegionID)                      {}
+func (r *recAut) EncodeRegion(u geo.RegionID) []byte              { return nil }
+func (r *recAut) DecodeRegion(u geo.RegionID, state []byte) error { return nil }
+
+func (r *recAut) TimerFire(u geo.RegionID, id vsa.TimerID, at sim.Time) {
+	r.app.mu.Lock()
+	r.app.fires = append(r.app.fires, fireRec{u: u, id: id, at: at})
+	r.app.mu.Unlock()
+}
+
+func (a *recApp) NewAutomaton(u geo.RegionID, host vsa.Host) vsa.Automaton {
+	return &recAut{app: a, u: u}
+}
+
+func (a *recApp) OnStart(n *Node)               {}
+func (a *recApp) HandleEffect(n *Node, eff any) {}
+func (a *recApp) DeliverFrame(n *Node, kind string, payload []byte) {
+	a.mu.Lock()
+	a.frames = append(a.frames, frameRec{u: n.Region(), kind: kind, payload: append([]byte(nil), payload...)})
+	a.mu.Unlock()
+}
+
+func startService(t *testing.T, app App, numRegions int) *Service {
+	t.Helper()
+	s, err := New(app, Config{NumRegions: numRegions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+// TestStaleWakeupNeverFires is the advisory-timer audit under wall clocks:
+// a wall timer that fires late — after its deadline was superseded by a
+// re-arm — must never reach the automaton. The node goroutine is blocked
+// across the first deadline so the stale wakeup is queued behind the
+// re-arm, the exact race a sim kernel can never produce.
+func TestStaleWakeupNeverFires(t *testing.T) {
+	app := &recApp{}
+	s := startService(t, app, 1)
+	const id = vsa.TimerID(7)
+
+	var t2 sim.Time
+	done := make(chan struct{})
+	if err := s.Inject(0, func(n *Node) {
+		t1 := n.Now() + 20*time.Millisecond
+		n.SetTimer(0, id, t1)
+		// Block the node goroutine past t1: the t1 wall timer fires and its
+		// wakeup sits in the mailbox behind this function.
+		time.Sleep(60 * time.Millisecond)
+		t2 = n.Now() + 50*time.Millisecond
+		n.SetTimer(0, id, t2)
+		close(done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	time.Sleep(150 * time.Millisecond)
+
+	fires := app.recordedFires()
+	if len(fires) != 1 {
+		t.Fatalf("got %d timer fires %v, want exactly 1", len(fires), fires)
+	}
+	if fires[0].at != t2 || fires[0].id != id {
+		t.Fatalf("fired (id=%d, at=%v), want (id=%d, at=%v) — a stale t1 wakeup leaked", fires[0].id, fires[0].at, id, t2)
+	}
+}
+
+// TestClearTimerSuppressesWakeup: clearing an armed timer before its
+// deadline must suppress the fire entirely.
+func TestClearTimerSuppressesWakeup(t *testing.T) {
+	app := &recApp{}
+	s := startService(t, app, 1)
+	if err := s.Inject(0, func(n *Node) {
+		n.SetTimer(0, 1, n.Now()+20*time.Millisecond)
+		n.ClearTimer(0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fires := app.recordedFires(); len(fires) != 0 {
+		t.Fatalf("cleared timer fired: %v", fires)
+	}
+}
+
+// TestHoldUntilDue: a frame with a future due time must not reach the app
+// before that time, and must arrive after it.
+func TestHoldUntilDue(t *testing.T) {
+	app := &recApp{}
+	s := startService(t, app, 2)
+	if err := s.Inject(0, func(n *Node) {
+		n.Send(1, n.Now()+80*time.Millisecond, "probe", 1, []byte("x"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := app.recordedFrames(); len(got) != 0 {
+		t.Fatalf("frame delivered %v before its due time", got)
+	}
+	time.Sleep(120 * time.Millisecond)
+	got := app.recordedFrames()
+	if len(got) != 1 || got[0].u != 1 || got[0].kind != "probe" || !bytes.Equal(got[0].payload, []byte("x")) {
+		t.Fatalf("after due time got %v, want one probe frame at region 1", got)
+	}
+	snap := s.LedgerSnapshot()
+	if snap.MsgCount["net/probe"] != 1 || snap.Delivered["net/probe"] != 1 {
+		t.Fatalf("ledger %+v, want net/probe 1 sent 1 delivered", snap)
+	}
+}
+
+// TestKillDropsHeldFrames: a frame held for a region that dies before the
+// due time resolves to a named drop, and a frame recorded under an old
+// incarnation dies as a VSA reset even if the region restarted — every
+// send resolves to exactly one delivery or drop.
+func TestKillDropsHeldFrames(t *testing.T) {
+	app := &recApp{}
+	s := startService(t, app, 2)
+	// Held frame whose holder dies: DropDeadVSA.
+	if err := s.Inject(0, func(n *Node) {
+		n.Send(1, n.Now()+60*time.Millisecond, "doomed", 0, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.KillRegion(1)
+	// Held frame recorded pre-restart, due post-restart: DropVSAReset.
+	s.RestartRegion(1)
+	time.Sleep(100 * time.Millisecond)
+
+	snap := s.LedgerSnapshot()
+	if snap.MsgCount["net/doomed"] != 1 {
+		t.Fatalf("sent %d doomed frames, want 1", snap.MsgCount["net/doomed"])
+	}
+	drops := int64(0)
+	for _, n := range snap.Drops["net/doomed"] {
+		drops += n
+	}
+	if snap.Delivered["net/doomed"]+drops != 1 {
+		t.Fatalf("doomed frame unaccounted: delivered %d, drops %v", snap.Delivered["net/doomed"], snap.Drops["net/doomed"])
+	}
+	if drops != 1 {
+		t.Fatalf("doomed frame was delivered across the incarnation change: %+v", snap)
+	}
+}
+
+// TestParseFrameRejectsHostileInput: the frame header is untrusted wire
+// input — truncation, oversized kind lengths, and negative fields must be
+// rejected before any payload handling.
+func TestParseFrameRejectsHostileInput(t *testing.T) {
+	good := encodeFrame(3, 17*time.Millisecond, "grow", []byte("payload"))
+	to, due, kind, payload, err := parseFrame(good)
+	if err != nil || to != 3 || due != 17*time.Millisecond || kind != "grow" || string(payload) != "payload" {
+		t.Fatalf("round trip = (%v %v %q %q %v)", to, due, kind, payload, err)
+	}
+	bad := [][]byte{
+		nil,
+		good[:5],
+		good[:13],
+		encodeFrame(-1, 0, "k", nil),           // negative region
+		encodeFrame(1, sim.Time(-5), "k", nil), // negative due
+		append(good[:12], 0xff, 0xff),          // kind length past end
+		encodeFrame(1, 0, string(make([]byte, 300)), nil), // kind over bound
+	}
+	for i, b := range bad {
+		if _, _, _, _, err := parseFrame(b); err == nil {
+			t.Errorf("hostile frame %d accepted", i)
+		}
+	}
+}
+
+// TestTCPTransportLoopback runs the same service semantics over a real TCP
+// listener: frames self-route back to the single process and land intact.
+func TestTCPTransportLoopback(t *testing.T) {
+	tr, err := NewTCPTransport("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &recApp{}
+	s, err := New(app, Config{NumRegions: 2, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	if err := s.Inject(0, func(n *Node) {
+		n.Send(1, n.Now()+10*time.Millisecond, "tcp", 1, []byte("over-the-wire"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got := app.recordedFrames()
+		if len(got) == 1 {
+			if got[0].u != 1 || got[0].kind != "tcp" || string(got[0].payload) != "over-the-wire" {
+				t.Fatalf("got %v", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frame never arrived over TCP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPTransportRejectsOversizedFrame: a hostile length prefix must kill
+// the stream without allocating.
+func TestTCPTransportRejectsOversizedFrame(t *testing.T) {
+	tr, err := NewTCPTransport("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got [][]byte
+	if err := tr.Start(func(f []byte) {
+		mu.Lock()
+		got = append(got, f)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	if err := tr.Send(0, make([]byte, maxTCPFrame+1)); err == nil {
+		t.Error("oversized send accepted")
+	}
+	// Raw hostile stream: a 512MiB length prefix.
+	if err := tr.Send(0, encodeFrame(0, 0, "ok", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("got %d frames, want the 1 valid one", n)
+	}
+}

@@ -1,0 +1,71 @@
+package nethost
+
+import (
+	"fmt"
+	"sync"
+
+	"vinestalk/internal/geo"
+)
+
+// Transport moves opaque frames between regions. Implementations deliver
+// frames to the sink registered via Start; delivery order between distinct
+// sends is unspecified (the service's hold-until-due layer restores the
+// protocol's timing discipline).
+type Transport interface {
+	// Start registers the receive sink and begins accepting frames. The
+	// sink may be called from any goroutine, including inline from Send.
+	Start(sink func(frame []byte)) error
+	// Send transmits one frame toward region to. An error means the frame
+	// was not handed to the destination (the caller records a drop).
+	Send(to geo.RegionID, frame []byte) error
+	// Close stops the transport; Send after Close errors.
+	Close() error
+}
+
+// ChanTransport is the in-process transport: Send hands the frame to the
+// sink inline. That is safe with Service.Receive, which only records the
+// frame and schedules its due-time delivery — it never blocks on node
+// mailboxes from the transport path.
+type ChanTransport struct {
+	mu     sync.Mutex
+	sink   func([]byte)
+	closed bool
+}
+
+// NewChanTransport returns an in-process transport.
+func NewChanTransport() *ChanTransport { return &ChanTransport{} }
+
+// Start implements Transport.
+func (t *ChanTransport) Start(sink func(frame []byte)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("nethost: transport closed")
+	}
+	t.sink = sink
+	return nil
+}
+
+// Send implements Transport: the frame reaches the sink inline.
+func (t *ChanTransport) Send(to geo.RegionID, frame []byte) error {
+	t.mu.Lock()
+	sink, closed := t.sink, t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("nethost: transport closed")
+	}
+	if sink == nil {
+		return fmt.Errorf("nethost: transport not started")
+	}
+	sink(frame)
+	return nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.sink = nil
+	t.mu.Unlock()
+	return nil
+}

@@ -50,18 +50,39 @@ func (d *dispatcher) add(level int, pr *Process) {
 	sort.Ints(d.levels)
 }
 
-// newAutomaton builds every cluster process and the per-region dispatch
-// tables from the network's validated configuration. The host is attached
-// by the caller before any input flows.
+// automatonConfig is the validated configuration an Automaton is built
+// from — everything the machine needs, with no *Network (so hosts without
+// a Network, like the networked host, can build instances too).
+type automatonConfig struct {
+	h          *hier.Hierarchy
+	geom       hier.Geometry
+	sched      Schedule
+	unit       sim.Time
+	hb         *HeartbeatConfig
+	noLateral  bool
+	replicated bool
+}
+
+// newAutomaton builds the automaton from a network's validated
+// configuration.
 func newAutomaton(n *Network) *Automaton {
-	h := n.h
+	return buildAutomaton(automatonConfig{
+		h: n.h, geom: n.geom, sched: n.sched, unit: n.cg.Unit(),
+		hb: n.hb, noLateral: n.noLateral, replicated: n.replicated,
+	})
+}
+
+// buildAutomaton builds every cluster process and the per-region dispatch
+// tables. The host is attached by the caller before any input flows.
+func buildAutomaton(cfg automatonConfig) *Automaton {
+	h := cfg.h
 	a := &Automaton{
 		h:         h,
-		geom:      n.geom,
-		sched:     n.sched,
-		unit:      n.cg.Unit(),
-		hb:        n.hb,
-		noLateral: n.noLateral,
+		geom:      cfg.geom,
+		sched:     cfg.sched,
+		unit:      cfg.unit,
+		hb:        cfg.hb,
+		noLateral: cfg.noLateral,
 		maxLevel:  h.MaxLevel(),
 		regions:   make(map[geo.RegionID]*dispatcher),
 	}
@@ -80,7 +101,7 @@ func newAutomaton(n *Network) *Automaton {
 		pr := newProcess(a, id, h.Head(id))
 		a.procs[c] = pr
 		disp(pr.region).add(pr.level, pr)
-		if n.replicated {
+		if cfg.replicated {
 			if alt := h.AltHead(id); alt != geo.NoRegion {
 				bk := newProcess(a, id, alt)
 				bk.backup = true

@@ -126,11 +126,41 @@ func (r *decoder) fail() {
 	}
 }
 
+// remaining reports how many undecoded bytes are left.
+func (r *decoder) remaining() int { return len(r.buf) - r.off }
+
+// Minimum encoded sizes, used to sanity-bound length-prefixed counts
+// before allocating: a count that could not possibly be satisfied by the
+// remaining bytes is rejected up front, so a crafted frame cannot force a
+// huge allocation.
+const (
+	encObjMinSize  = 5*4 + 4*8 + 4 // pointers + timers + pending count
+	encPendingSize = 8 + 4         // findID + origin
+)
+
+// decodeTimer reads one timer deadline, rejecting negative values: the
+// encoder only ever writes absolute times ≥ 0 (or sim.Forever), so a
+// negative deadline marks a corrupted or hostile frame.
+func (r *decoder) decodeTimer() sim.Time {
+	at := sim.Time(r.u64())
+	if r.err == nil && at < 0 {
+		r.err = fmt.Errorf("tracker: negative timer deadline %d at offset %d", at, r.off)
+	}
+	return at
+}
+
 // DecodeRegion implements vsa.Automaton: it replaces region u's machine
 // state with a previously encoded value. Host timers are deliberately not
 // touched — the decoded deadlines are authoritative and host wakeups are
 // validated against them, so a replica adopting a checkpoint needs no
 // timer reconciliation.
+//
+// The input is untrusted (a networked host receives checkpoints over the
+// wire): length-prefixed counts are bounded against the remaining bytes
+// before any allocation, canonical form is enforced (levels in host order,
+// object ids strictly ascending, deadlines non-negative), and nothing is
+// committed until the whole frame parses — so every accepted frame is one
+// EncodeRegion could have produced, byte for byte.
 func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 	d, ok := a.regions[u]
 	if !ok {
@@ -154,14 +184,25 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 	decoded := make([]decodedProc, 0, numLevels)
 	for i := 0; i < numLevels && r.err == nil; i++ {
 		level := int(r.u16())
+		if r.err == nil && level != d.levels[i] {
+			return fmt.Errorf("tracker: region %v state level %d at index %d, want canonical order %v", u, level, i, d.levels)
+		}
 		pr := d.byLevel[level]
 		if pr == nil {
 			return fmt.Errorf("tracker: region %v state names level %d, which it does not host", u, level)
 		}
-		objs := make(map[ObjectID]*objState)
 		numObjs := int(r.u32())
+		if r.err == nil && numObjs > r.remaining()/encObjMinSize {
+			return fmt.Errorf("tracker: region %v state claims %d objects with %d bytes left", u, numObjs, r.remaining())
+		}
+		objs := make(map[ObjectID]*objState, numObjs)
+		prevObj := ObjectID(0)
 		for j := 0; j < numObjs && r.err == nil; j++ {
 			obj := ObjectID(r.u32())
+			if r.err == nil && j > 0 && obj <= prevObj {
+				return fmt.Errorf("tracker: region %v state object %d after %d, want strictly ascending", u, obj, prevObj)
+			}
+			prevObj = obj
 			st := &objState{
 				pr:        pr,
 				obj:       obj,
@@ -170,11 +211,17 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 				nbrptup:   hier.ClusterID(r.u32()),
 				nbrptdown: hier.ClusterID(r.u32()),
 			}
-			st.timer = timerSlot{st: st, kind: timerGrowShrink, at: sim.Time(r.u64())}
-			st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: sim.Time(r.u64())}
-			st.lease = timerSlot{st: st, kind: timerLease, at: sim.Time(r.u64())}
-			st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: sim.Time(r.u64())}
+			st.timer = timerSlot{st: st, kind: timerGrowShrink, at: r.decodeTimer()}
+			st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: r.decodeTimer()}
+			st.lease = timerSlot{st: st, kind: timerLease, at: r.decodeTimer()}
+			st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: r.decodeTimer()}
 			numPending := int(r.u32())
+			if r.err == nil && numPending > r.remaining()/encPendingSize {
+				return fmt.Errorf("tracker: region %v state claims %d pending finds with %d bytes left", u, numPending, r.remaining())
+			}
+			if numPending > 0 {
+				st.pending = make([]FindPayload, 0, numPending)
+			}
 			for p := 0; p < numPending && r.err == nil; p++ {
 				id := FindID(r.u64())
 				origin := geo.RegionID(r.u32())

@@ -25,7 +25,7 @@ const (
 // V-bcast, geocast, C-gcast, tracker network, one stationary client per
 // region, and the evader.
 type fixture struct {
-	t      *testing.T
+	t      testing.TB
 	k      *sim.Kernel
 	tiling *geo.GridTiling
 	h      *hier.Hierarchy
@@ -46,7 +46,7 @@ type fixtureConfig struct {
 	netOptions []Option
 }
 
-func newFixture(t *testing.T, cfg fixtureConfig) *fixture {
+func newFixture(t testing.TB, cfg fixtureConfig) *fixture {
 	t.Helper()
 	if cfg.r == 0 {
 		cfg.r = 2

@@ -1,0 +1,72 @@
+package tracker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"vinestalk/internal/geo"
+)
+
+// FuzzDecodeRegion throws untrusted bytes at the region-state codec — the
+// frames a networked host receives over the wire. Three properties must
+// hold for every input:
+//
+//  1. no panic and no unbounded allocation (length-prefixed counts are
+//     bounded against the remaining bytes before any slice is made);
+//  2. a rejected frame leaves the machine state untouched;
+//  3. an accepted frame is canonical: re-encoding the region reproduces
+//     the input byte for byte, so every accepted frame is one
+//     EncodeRegion could have produced.
+func FuzzDecodeRegion(f *testing.F) {
+	fx := newFixture(f, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	fx.settle()
+	if err := fx.ev.MoveTo(6); err != nil {
+		f.Fatal(err)
+	}
+	fx.settle()
+	if _, err := fx.net.Find(geo.RegionID(12)); err != nil {
+		f.Fatal(err)
+	}
+	fx.settle()
+	aut := fx.net.Automaton()
+
+	// Seeds: every live region encoding, plus hostile shapes — truncations,
+	// an implausible object count, an implausible pending count, and a
+	// negative timer deadline.
+	for u := 0; u < fx.tiling.NumRegions(); u++ {
+		f.Add(aut.EncodeRegion(geo.RegionID(u)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	enc := aut.EncodeRegion(0)
+	f.Add(enc[:len(enc)-1])
+	hugeObjs := bytes.Clone(enc)
+	binary.BigEndian.PutUint32(hugeObjs[6:], 0xFFFFFFFF) // first level's numObjs
+	f.Add(hugeObjs)
+	if len(enc) > 10+56 { // region 0 hosts at least one object
+		hugePending := bytes.Clone(enc)
+		binary.BigEndian.PutUint32(hugePending[10+52:], 0xFFFFFFFF)
+		f.Add(hugePending)
+		negTimer := bytes.Clone(enc)
+		binary.BigEndian.PutUint64(negTimer[10+20:], 0x8000000000000000)
+		f.Add(negTimer)
+	}
+
+	const region = geo.RegionID(0)
+	before := aut.EncodeRegion(region)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := aut.DecodeRegion(region, data); err != nil {
+			if got := aut.EncodeRegion(region); !bytes.Equal(got, before) {
+				t.Fatalf("rejected frame mutated region state (err %v)", err)
+			}
+			return
+		}
+		if got := aut.EncodeRegion(region); !bytes.Equal(got, data) {
+			t.Fatalf("accepted frame is not canonical:\n in  %x\n out %x", data, got)
+		}
+		if err := aut.DecodeRegion(region, before); err != nil {
+			t.Fatalf("restoring pristine state: %v", err)
+		}
+	})
+}

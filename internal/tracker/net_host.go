@@ -1,0 +1,400 @@
+package tracker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/nethost"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/vsa"
+)
+
+// NetHost runs the Tracker automaton on the networked host
+// (internal/nethost): one goroutine per region, wall-clock timers, and the
+// versioned wire codec as the message format. It plays the role the
+// Network plays on the sim hosts — client algorithm, find bookkeeping,
+// found deduplication — but against real concurrency: every region's
+// machine and client state live on that region's node goroutine, and the
+// host's own registries sit behind a mutex.
+//
+// The paper's delivery schedule survives the near-instant transport
+// because every frame carries an absolute due time computed from the same
+// ScheduleDelayIn the sim service uses, and the receiving service holds
+// the frame until then.
+type NetHost struct {
+	h     *hier.Hierarchy
+	geom  hier.Geometry
+	sched Schedule
+	unit  sim.Time
+	delta sim.Time
+	hb    *HeartbeatConfig
+	aCfg  automatonConfig
+
+	svc *nethost.Service
+
+	// mu guards the host registries below, never node or automaton state.
+	mu      sync.Mutex
+	objAt   map[ObjectID]geo.RegionID
+	findSeq FindID
+	started map[FindID]sim.Time
+	findObj map[FindID]ObjectID
+	done    map[FindID]bool
+	results map[FindID]FindResult
+	onFound func(FindResult)
+}
+
+// NetConfig parameterizes a NetHost.
+type NetConfig struct {
+	// Geom is the measured cluster geometry (hier.MeasureGeometry).
+	Geom hier.Geometry
+	// Delta is δ, the client↔cluster broadcast delay.
+	Delta sim.Time
+	// Unit is δ+e, the per-distance-unit delay of the schedule.
+	Unit sim.Time
+	// Heartbeat, when positive, enables the §VII refresh extension with
+	// this client re-broadcast period.
+	Heartbeat sim.Time
+	// Schedule overrides the default grow/shrink schedule (validated).
+	Schedule *Schedule
+	// OnFound is invoked once per completed find (off the node goroutines'
+	// critical state, but concurrently with them).
+	OnFound func(FindResult)
+}
+
+// NewNetHost validates the configuration and assembles the app; wire it to
+// a service with nethost.New(app, ...) and keep the returned service via
+// Attach before Start.
+func NewNetHost(h *hier.Hierarchy, cfg NetConfig) (*NetHost, error) {
+	if cfg.Unit <= 0 || cfg.Delta <= 0 {
+		return nil, fmt.Errorf("tracker: nethost needs positive delta and unit, got δ=%v unit=%v", cfg.Delta, cfg.Unit)
+	}
+	sched := DefaultSchedule(cfg.Geom, cfg.Unit)
+	if cfg.Schedule != nil {
+		sched = *cfg.Schedule
+	}
+	if err := sched.Validate(cfg.Geom, cfg.Unit); err != nil {
+		return nil, err
+	}
+	nh := &NetHost{
+		h:       h,
+		geom:    cfg.Geom,
+		sched:   sched,
+		unit:    cfg.Unit,
+		delta:   cfg.Delta,
+		onFound: cfg.OnFound,
+		objAt:   make(map[ObjectID]geo.RegionID),
+		started: make(map[FindID]sim.Time),
+		findObj: make(map[FindID]ObjectID),
+		done:    make(map[FindID]bool),
+		results: make(map[FindID]FindResult),
+	}
+	if cfg.Heartbeat > 0 {
+		nh.hb = &HeartbeatConfig{
+			Period: cfg.Heartbeat,
+			leases: computeLeases(h, cfg.Geom, sched, cfg.Unit, cfg.Heartbeat),
+		}
+	}
+	nh.aCfg = automatonConfig{
+		h: h, geom: cfg.Geom, sched: sched, unit: cfg.Unit, hb: nh.hb,
+	}
+	return nh, nil
+}
+
+// Attach binds the hosting service. Call after nethost.New and before
+// Start (find and move inputs need it to reach node goroutines).
+func (nh *NetHost) Attach(svc *nethost.Service) { nh.svc = svc }
+
+// Hierarchy returns the cluster hierarchy.
+func (nh *NetHost) Hierarchy() *hier.Hierarchy { return nh.h }
+
+// netRegionState is the per-node client state (Node.State): the §IV-A
+// client algorithm's detection flags for the region's co-located sensor.
+// Node-goroutine only.
+type netRegionState struct {
+	here map[ObjectID]bool
+}
+
+func regionState(n *nethost.Node) *netRegionState {
+	st, ok := n.State.(*netRegionState)
+	if !ok {
+		st = &netRegionState{here: make(map[ObjectID]bool)}
+		n.State = st
+	}
+	return st
+}
+
+// --- nethost.App ---
+
+var _ nethost.App = (*NetHost)(nil)
+
+// NewAutomaton implements nethost.App: each region node gets its own full
+// automaton instance in initial state, wired to the node as its host. Only
+// the processes headed at that region are ever driven; the instance-per-
+// region split is what a real deployment has, and a node restart therefore
+// comes back with exactly the §II-C.2 initial state.
+func (nh *NetHost) NewAutomaton(u geo.RegionID, host vsa.Host) vsa.Automaton {
+	a := buildAutomaton(nh.aCfg)
+	a.host = host
+	return a
+}
+
+// OnStart implements nethost.App: the region's co-located client re-runs
+// its GPS detection, exactly like Client.GPSUpdate after a restart — if
+// the tracked object sits here, broadcast a fresh detection and start the
+// heartbeat. This is what lets a killed-and-restarted evader region
+// re-seed the tracking structure.
+func (nh *NetHost) OnStart(n *nethost.Node) {
+	st := regionState(n)
+	nh.mu.Lock()
+	var present []ObjectID
+	for obj, at := range nh.objAt {
+		if at == n.Region() {
+			present = append(present, obj)
+		}
+	}
+	nh.mu.Unlock()
+	for _, obj := range present {
+		st.here[obj] = true
+		nh.clientSend(n, obj, KindGrow, nil)
+		nh.armRefresh(n, obj)
+	}
+}
+
+// HandleEffect implements nethost.App: automaton effects become wire
+// frames. Accounting notes are host-internal on the sim substrate and
+// have no networked counterpart.
+func (nh *NetHost) HandleEffect(n *nethost.Node, effect any) {
+	switch e := effect.(type) {
+	case sendEffect:
+		to := nh.h.Head(e.To)
+		payload, err := EncodeClusterMsg(e.From, n.Region(), nh.h.Level(e.To), e.Obj, e.Kind, e.Body)
+		if err != nil {
+			return
+		}
+		due := n.Now() + cgcast.ScheduleDelayIn(nh.h, nh.geom, nh.unit, e.From, e.To)
+		n.Send(to, due, e.Kind, nh.hops(n.Region(), to), payload)
+	case foundEffect:
+		u := nh.h.Head(e.From)
+		payload, err := EncodeClusterMsg(e.From, u, 0, e.Obj, KindFound, e.Payloads)
+		if err != nil {
+			return
+		}
+		due := n.Now() + nh.unit
+		for _, target := range append([]geo.RegionID{u}, nh.h.Tiling().Neighbors(u)...) {
+			n.Send(target, due, KindFound, nh.hops(u, target), payload)
+		}
+	}
+}
+
+// DeliverFrame implements nethost.App: decode one due frame and feed it to
+// the region's machine — or, for found broadcasts, to the region's client.
+// The bytes are untrusted; a frame that fails the wire codec is dropped.
+func (nh *NetHost) DeliverFrame(n *nethost.Node, kind string, payload []byte) {
+	level, del, err := DecodeClusterMsg(kind, payload)
+	if err != nil {
+		return
+	}
+	if kind == KindFound {
+		env := del.Payload.(envelope)
+		st := regionState(n)
+		if !st.here[env.Obj] {
+			return
+		}
+		if ps, ok := env.Body.([]FindPayload); ok {
+			for _, p := range ps {
+				nh.reportFound(env.Obj, p, n.Region())
+			}
+		}
+		return
+	}
+	n.Automaton().Deliver(n.Region(), level, del)
+}
+
+// hops charges the head-to-head hop distance for the ledger's hop-work
+// accounting, mirroring the sim service.
+func (nh *NetHost) hops(from, to geo.RegionID) int {
+	if from == to {
+		return 0
+	}
+	d := nh.h.Graph().Distance(from, to)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// clientSend broadcasts a client message to the node's region's level-0
+// cluster (cgcast ClientToCluster over the wire): due δ from now, from
+// NoCluster so the receiving process treats it as a local detection.
+func (nh *NetHost) clientSend(n *nethost.Node, obj ObjectID, kind string, body any) {
+	c0 := nh.h.Cluster(n.Region(), 0)
+	if c0 == hier.NoCluster {
+		return
+	}
+	head := nh.h.Head(c0)
+	payload, err := EncodeClusterMsg(hier.NoCluster, n.Region(), 0, obj, kind, body)
+	if err != nil {
+		return
+	}
+	n.Send(head, n.Now()+nh.delta, kind, nh.hops(n.Region(), head), payload)
+}
+
+// armRefresh starts the §VII heartbeat loop on the node: every period,
+// while the object is still detected here, re-broadcast a refresh. The
+// loop is node-local state — it dies with the node and OnStart revives it.
+func (nh *NetHost) armRefresh(n *nethost.Node, obj ObjectID) {
+	if nh.hb == nil {
+		return
+	}
+	n.RunAt(n.Now()+nh.hb.Period, func(n *nethost.Node) {
+		st := regionState(n)
+		if !st.here[obj] {
+			return
+		}
+		nh.clientSend(n, obj, KindRefresh, 0)
+		nh.armRefresh(n, obj)
+	})
+}
+
+// --- external inputs ---
+
+// PlaceObject introduces (or teleports) a tracked object at region at:
+// the region's client detects it and grows the initial path.
+func (nh *NetHost) PlaceObject(obj ObjectID, at geo.RegionID) error {
+	return nh.moveObject(obj, geo.NoRegion, at)
+}
+
+// MoveObject is the GPS transition input: the object leaves from (its
+// client broadcasts shrink) and enters to (grow). It mirrors the sim
+// evader's Sink events.
+func (nh *NetHost) MoveObject(obj ObjectID, from, to geo.RegionID) error {
+	return nh.moveObject(obj, from, to)
+}
+
+func (nh *NetHost) moveObject(obj ObjectID, from, to geo.RegionID) error {
+	nh.mu.Lock()
+	nh.objAt[obj] = to
+	nh.mu.Unlock()
+	if from != geo.NoRegion && from != to {
+		// A dead origin region simply misses the left input — its restart
+		// resets detection anyway (OnStart only re-detects present objects).
+		_ = nh.svc.Inject(from, func(n *nethost.Node) {
+			st := regionState(n)
+			if !st.here[obj] {
+				return
+			}
+			st.here[obj] = false
+			nh.clientSend(n, obj, KindShrink, nil)
+		})
+	}
+	err := nh.svc.Inject(to, func(n *nethost.Node) {
+		st := regionState(n)
+		st.here[obj] = true
+		nh.clientSend(n, obj, KindGrow, nil)
+		nh.armRefresh(n, obj)
+	})
+	if errors.Is(err, nethost.ErrRegionDown) {
+		// The object entered a crashed region: detection is lost until the
+		// region restarts, when OnStart re-detects it from objAt.
+		return nil
+	}
+	return err
+}
+
+// Find issues a find input at a client in region origin for the default
+// object; the found output arrives through the OnFound callback.
+func (nh *NetHost) Find(origin geo.RegionID) (FindID, error) {
+	return nh.FindObject(origin, DefaultObject)
+}
+
+// FindObject is Find for one of several tracked objects.
+func (nh *NetHost) FindObject(origin geo.RegionID, obj ObjectID) (FindID, error) {
+	nh.mu.Lock()
+	nh.findSeq++
+	id := nh.findSeq
+	nh.started[id] = nh.svc.Now()
+	nh.findObj[id] = obj
+	nh.mu.Unlock()
+	p := FindPayload{ID: id, Origin: origin}
+	err := nh.svc.Inject(origin, func(n *nethost.Node) {
+		nh.clientSend(n, obj, KindFind, []FindPayload{p})
+	})
+	if err != nil {
+		nh.mu.Lock()
+		delete(nh.started, id)
+		delete(nh.findObj, id)
+		nh.mu.Unlock()
+		return 0, err
+	}
+	return id, nil
+}
+
+// FindDone reports whether a found output for the find has occurred.
+func (nh *NetHost) FindDone(id FindID) bool {
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	return nh.done[id]
+}
+
+// FindResultFor returns the recorded found output for a completed find.
+func (nh *NetHost) FindResultFor(id FindID) (FindResult, bool) {
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	r, ok := nh.results[id]
+	return r, ok
+}
+
+// reportFound deduplicates found outputs per find id (the broadcast
+// reaches the evader's region and its neighbors) and records the
+// find-completion latency in the service ledger.
+func (nh *NetHost) reportFound(obj ObjectID, p FindPayload, at geo.RegionID) {
+	nh.mu.Lock()
+	if nh.done[p.ID] {
+		nh.mu.Unlock()
+		return
+	}
+	nh.done[p.ID] = true
+	res := FindResult{ID: p.ID, Object: obj, Origin: p.Origin, FoundAt: at}
+	nh.results[p.ID] = res
+	start, ok := nh.started[p.ID]
+	cb := nh.onFound
+	nh.mu.Unlock()
+	if ok {
+		nh.svc.RecordLatency("net/find", time.Duration(nh.svc.Now()-start))
+	}
+	if cb != nil {
+		cb(res)
+	}
+}
+
+// ClusterPointers snapshots (c, p, nbrptup, nbrptdown) of one cluster's
+// process for the default object, by querying the head region's node on
+// its own goroutine (the only place the automaton may be read).
+func (nh *NetHost) ClusterPointers(c hier.ClusterID) (cp, pp, up, down hier.ClusterID, err error) {
+	return nh.ClusterPointersFor(c, DefaultObject)
+}
+
+// ClusterPointersFor is ClusterPointers for one tracked object.
+func (nh *NetHost) ClusterPointersFor(c hier.ClusterID, obj ObjectID) (cp, pp, up, down hier.ClusterID, err error) {
+	ch := make(chan [4]hier.ClusterID, 1)
+	err = nh.svc.Inject(nh.h.Head(c), func(n *nethost.Node) {
+		a := n.Automaton().(*Automaton)
+		c0, p0, u0, d0 := a.procs[c].PointersFor(obj)
+		ch <- [4]hier.ClusterID{c0, p0, u0, d0}
+	})
+	if err != nil {
+		return hier.NoCluster, hier.NoCluster, hier.NoCluster, hier.NoCluster, err
+	}
+	select {
+	case v := <-ch:
+		return v[0], v[1], v[2], v[3], nil
+	case <-time.After(10 * time.Second):
+		return hier.NoCluster, hier.NoCluster, hier.NoCluster, hier.NoCluster,
+			fmt.Errorf("tracker: pointer snapshot of %v timed out", c)
+	}
+}

@@ -1,0 +1,405 @@
+package tracker_test
+
+// Networked-host integration tests: the same Tracker automaton that the
+// sim fixtures drive through a discrete-event kernel runs here on real
+// goroutines, wall-clock timers, and a real transport — and must produce
+// the same found outputs and pointer structure as the oracle on a fixed
+// move/find schedule. These tests live outside package tracker so they can
+// use the lookahead checkers (which import tracker).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/chaos"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/geocast"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/lookahead"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/nethost"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/tracker"
+	"vinestalk/internal/vbcast"
+	"vinestalk/internal/vsa"
+)
+
+const (
+	netDelta = 10 * time.Millisecond
+	netLagE  = 5 * time.Millisecond
+	netUnit  = netDelta + netLagE
+)
+
+// oracleRun drives the fixed schedule through the oracle-hosted sim stack
+// and returns its found outputs and quiescent pointer state.
+func oracleRun(t *testing.T, side int, start geo.RegionID, walk, finds []geo.RegionID, phase sim.Time) (map[tracker.FindID]tracker.FindResult, map[int][4]int32) {
+	t.Helper()
+	k := sim.New(42)
+	tiling := geo.MustGridTiling(side, side)
+	h := hier.MustGrid(tiling, 2)
+	layer := vsa.NewLayer(k, tiling, vsa.WithAlwaysAlive())
+	ledger := metrics.NewLedger()
+	vb := vbcast.New(k, layer, netDelta, netLagE, ledger)
+	gc := geocast.New(k, layer, h.Graph(), vb, ledger)
+	geom := hier.MeasureGeometry(h)
+	cg, err := cgcast.New(h, layer, gc, vb, geom, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	founds := make(map[tracker.FindID]tracker.FindResult)
+	net, err := tracker.New(cg, geom, tracker.WithFoundCallback(func(r tracker.FindResult) {
+		founds[r.ID] = r
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStationaryClients(); err != nil {
+		t.Fatal(err)
+	}
+	layer.StartAllAlive()
+	ev, err := evader.New(tiling, start, net.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AttachEvader(ev.Region)
+
+	for i, to := range walk {
+		k.RunUntil(sim.Time(i+1) * phase)
+		if err := ev.MoveTo(to); err != nil {
+			t.Fatal(err)
+		}
+		k.RunUntil(sim.Time(i+1)*phase + phase/2)
+		if _, err := net.Find(finds[i%len(finds)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.RunLimited(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ptrs := make(map[int][4]int32)
+	for c := 0; c < h.NumClusters(); c++ {
+		c1, p1, u1, d1 := net.Process(hier.ClusterID(c)).Pointers()
+		ptrs[c] = [4]int32{int32(c1), int32(p1), int32(u1), int32(d1)}
+	}
+	return founds, ptrs
+}
+
+// netStack assembles a NetHost over an in-process transport.
+func netStack(t *testing.T, side int, cfg tracker.NetConfig) (*tracker.NetHost, *nethost.Service, *hier.Hierarchy) {
+	t.Helper()
+	tiling := geo.MustGridTiling(side, side)
+	h := hier.MustGrid(tiling, 2)
+	if cfg.Geom.N == nil {
+		cfg.Geom = hier.MeasureGeometry(h)
+	}
+	nh, err := tracker.NewNetHost(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := nethost.New(nh, nethost.Config{NumRegions: tiling.NumRegions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh.Attach(svc)
+	return nh, svc, h
+}
+
+// waitUntil sleeps until the service's virtual clock passes at.
+func waitUntil(svc *nethost.Service, at sim.Time) {
+	for {
+		d := time.Duration(at - svc.Now())
+		if d <= 0 {
+			return
+		}
+		time.Sleep(d)
+	}
+}
+
+// netPointerState snapshots every cluster's pointers into a lookahead
+// state (Transit empty — call only at quiescence).
+func netPointerState(t *testing.T, nh *tracker.NetHost, h *hier.Hierarchy) *lookahead.State {
+	t.Helper()
+	s := lookahead.NewState(h)
+	for c := 0; c < h.NumClusters(); c++ {
+		id := hier.ClusterID(c)
+		cp, pp, up, down, err := nh.ClusterPointers(id)
+		if err != nil {
+			t.Fatalf("pointer snapshot of %v: %v", id, err)
+		}
+		s.C[c], s.P[c], s.Up[c], s.Down[c] = cp, pp, up, down
+	}
+	return s
+}
+
+// TestNetHostMatchesOracleOnFixedSchedule is the tentpole parity test: the
+// E12 move/find schedule, driven in real time against the networked host,
+// must produce found outputs identical to the oracle twin, identical
+// quiescent pointer state, and a state satisfying Theorem 4.8
+// (lookAhead(state) == atomicMoveSeq(trail)).
+func TestNetHostMatchesOracleOnFixedSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time schedule (~3s)")
+	}
+	const side = 4
+	const phase = 300 * time.Millisecond
+	start := geo.RegionID(0)
+	walk := []geo.RegionID{1, 5, 6, 10, 11, 15, 14, 10}
+	finds := []geo.RegionID{0, 3, 12, 15, 6}
+
+	oFounds, oPtrs := oracleRun(t, side, start, walk, finds, phase)
+	if len(oFounds) != len(walk) {
+		t.Fatalf("oracle completed %d finds, want %d", len(oFounds), len(walk))
+	}
+
+	var mu sync.Mutex
+	nFounds := make(map[tracker.FindID]tracker.FindResult)
+	nh, svc, h := netStack(t, side, tracker.NetConfig{
+		Delta: netDelta, Unit: netUnit,
+		OnFound: func(r tracker.FindResult) {
+			mu.Lock()
+			nFounds[r.ID] = r
+			mu.Unlock()
+		},
+	})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	if err := nh.PlaceObject(tracker.DefaultObject, start); err != nil {
+		t.Fatal(err)
+	}
+	cur := start
+	for i, to := range walk {
+		waitUntil(svc, sim.Time(i+1)*phase)
+		if err := nh.MoveObject(tracker.DefaultObject, cur, to); err != nil {
+			t.Fatal(err)
+		}
+		cur = to
+		waitUntil(svc, sim.Time(i+1)*phase+phase/2)
+		if _, err := nh.Find(finds[i%len(finds)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce: every schedule delay is bounded well under a second on this
+	// geometry; give the cascade generous slack.
+	time.Sleep(time.Second)
+
+	mu.Lock()
+	got := make(map[tracker.FindID]tracker.FindResult, len(nFounds))
+	for id, r := range nFounds {
+		got[id] = r
+	}
+	mu.Unlock()
+	if len(got) != len(oFounds) {
+		t.Fatalf("networked host completed %d finds, oracle %d", len(got), len(oFounds))
+	}
+	for id, want := range oFounds {
+		if gotR, ok := got[id]; !ok || gotR != want {
+			t.Errorf("find %d: networked %+v, oracle %+v", id, got[id], want)
+		}
+	}
+
+	// Pointer parity with the oracle twin.
+	netState := netPointerState(t, nh, h)
+	for c, want := range oPtrs {
+		gotP := [4]int32{int32(netState.C[c]), int32(netState.P[c]), int32(netState.Up[c]), int32(netState.Down[c])}
+		if gotP != want {
+			t.Errorf("cluster %d pointers: networked %v, oracle %v", c, gotP, want)
+		}
+	}
+
+	// Theorem 4.8 at quiescence (no losses on this run, so the equality
+	// form applies): lookAhead of the captured state equals the atomic
+	// move sequence over the trail.
+	if err := netState.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	trail := append([]geo.RegionID{start}, walk...)
+	want, err := lookahead.AtomicMoveSeq(h, trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := lookahead.Equal(lookahead.LookAhead(netState), want); diff != "" {
+		t.Errorf("Theorem 4.8: lookAhead(state) ≠ atomicMoveSeq(trail): %s", diff)
+	}
+}
+
+// TestNetHostHealsAfterRegionKill kills a goroutine on the tracking path
+// (a real crash: machine state, armed timers, and held frames die),
+// restarts it, and requires the §VII heartbeat extension to heal the
+// structure — finds complete again, the tracking path terminates at the
+// evader, and the healed state passes the invariant and Theorem 5.1
+// checkers (not the Theorem 4.8 equality, which presumes no losses).
+func TestNetHostHealsAfterRegionKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time healing (~4s)")
+	}
+	const side = 4
+	evRegion := geo.RegionID(5)
+	hb := 4 * netUnit
+
+	var mu sync.Mutex
+	founds := make(map[tracker.FindID]tracker.FindResult)
+	nh, svc, h := netStack(t, side, tracker.NetConfig{
+		Delta: netDelta, Unit: netUnit, Heartbeat: hb,
+		OnFound: func(r tracker.FindResult) {
+			mu.Lock()
+			founds[r.ID] = r
+			mu.Unlock()
+		},
+	})
+	geom := hier.MeasureGeometry(h)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	if err := nh.PlaceObject(tracker.DefaultObject, evRegion); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond) // build the initial path
+
+	// Pick a victim on the tracking path whose head is not the evader's
+	// region (killing the detector would just re-seed on restart, a weaker
+	// scenario): the highest-level such cluster.
+	st := netPointerState(t, nh, h)
+	path, err := st.TrackingPath()
+	if err != nil {
+		t.Fatalf("initial path: %v", err)
+	}
+	victim := geo.NoRegion
+	for _, c := range path {
+		if u := h.Head(c); u != evRegion {
+			victim = u
+			break
+		}
+	}
+	if victim == geo.NoRegion {
+		t.Fatal("no path region distinct from the evader's to kill")
+	}
+	svc.KillRegion(victim)
+	time.Sleep(200 * time.Millisecond)
+	svc.RestartRegion(victim)
+
+	// Heal: leases at the break expire and a heartbeat refresh climbs
+	// through the restarted (initial-state) processes.
+	time.Sleep(3 * time.Second)
+
+	origin := geo.RegionID(15)
+	id, err := nh.Find(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for !nh.FindDone(id) {
+		if time.Now().After(deadline) {
+			t.Fatal("find did not complete after heartbeat healing")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r, _ := nh.FindResultFor(id)
+	if r.FoundAt != evRegion {
+		t.Errorf("found at %v, want evader region %v", r.FoundAt, evRegion)
+	}
+
+	healed := netPointerState(t, nh, h)
+	hPath, err := healed.TrackingPath()
+	if err != nil {
+		t.Fatalf("healed path: %v", err)
+	}
+	if leaf := hPath[len(hPath)-1]; leaf != h.Cluster(evRegion, 0) {
+		t.Errorf("healed path ends at %v, want %v", leaf, h.Cluster(evRegion, 0))
+	}
+	if err := healed.CheckInvariants(); err != nil {
+		t.Errorf("healed invariants: %v", err)
+	}
+	if err := healed.CheckTheorem51(evRegion, geom); err != nil {
+		t.Errorf("healed Theorem 5.1: %v", err)
+	}
+}
+
+// TestNetHostChaosConservation runs a seeded fault plan as real faults and
+// checks two things: the networked host compiles the exact crash windows
+// the sim-kernel install would (same seed, same "crash"-stream draw
+// order), and the drop-cause conservation invariant holds exactly on the
+// networked path — every sent frame is delivered or accounted to a named
+// drop cause, even across kills, restarts, and sampled loss.
+func TestNetHostChaosConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos run (~3s)")
+	}
+	const side = 4
+	cfg := chaos.Config{
+		Seed:         7,
+		CrashWindows: 2,
+		CrashLen:     200 * time.Millisecond,
+		DropProb:     0.25,
+		Horizon:      1200 * time.Millisecond,
+	}
+	plan, err := chaos.NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := chaos.NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nh, svc, _ := netStack(t, side, tracker.NetConfig{Delta: netDelta, Unit: netUnit})
+	if err := plan.InstallNet(svc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Window parity: the same seeded plan compiles the same schedule the
+	// sim-side Install would run.
+	simWindows := twin.CompileWindows(side * side)
+	netWindows := plan.Windows()
+	if len(simWindows) != len(netWindows) {
+		t.Fatalf("window counts differ: net %d, sim %d", len(netWindows), len(simWindows))
+	}
+	for i := range simWindows {
+		if simWindows[i] != netWindows[i] {
+			t.Errorf("window %d: net %+v, sim %+v", i, netWindows[i], simWindows[i])
+		}
+	}
+
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	if err := nh.PlaceObject(tracker.DefaultObject, 0); err != nil {
+		t.Fatal(err)
+	}
+	walk := []geo.RegionID{1, 5, 6, 10}
+	cur := geo.RegionID(0)
+	for i, to := range walk {
+		waitUntil(svc, sim.Time(i+1)*250*time.Millisecond)
+		_ = nh.MoveObject(tracker.DefaultObject, cur, to) // dead regions are part of the scenario
+		cur = to
+		_, _ = nh.Find(geo.RegionID(15))
+	}
+	waitUntil(svc, cfg.Horizon)
+	// Quiesce past the horizon so every held frame has reached its due
+	// time; snapshot BEFORE Stop (Stop would resolve stragglers as drops,
+	// which is also conservation — but we want the live-system identity).
+	time.Sleep(1500 * time.Millisecond)
+
+	snap := svc.LedgerSnapshot()
+	checked := 0
+	for kind, sent := range snap.MsgCount {
+		delivered := snap.Delivered[kind]
+		var dropped int64
+		for _, n := range snap.Drops[kind] {
+			dropped += n
+		}
+		if delivered+dropped != sent {
+			t.Errorf("%s: sent %d != delivered %d + dropped %d", kind, sent, delivered, dropped)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no message kinds accounted — workload never ran")
+	}
+}

@@ -227,14 +227,21 @@ func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, erro
 // the worst-case time for a refresh to climb to that level (grow waits plus
 // parent-hop delays).
 func (n *Network) computeLeases() []sim.Time {
-	m := n.h.MaxLevel()
+	return computeLeases(n.h, n.geom, n.sched, n.cg.Unit(), n.hb.Period)
+}
+
+// computeLeases is the lease derivation shared by every host: leases[l] is
+// generous enough for a refresh issued every period to climb to level l
+// between renewals.
+func computeLeases(h *hier.Hierarchy, geom hier.Geometry, sched Schedule, unit, period sim.Time) []sim.Time {
+	m := h.MaxLevel()
 	leases := make([]sim.Time, m+1)
 	climb := sim.Time(0)
 	for l := 0; l <= m; l++ {
 		if l > 0 {
-			climb += n.sched.S[l-1] + n.cg.Unit()*sim.Time(n.geom.P[l-1])
+			climb += sched.S[l-1] + unit*sim.Time(geom.P[l-1])
 		}
-		leases[l] = 2*n.hb.Period + 2*climb + n.cg.Unit()
+		leases[l] = 2*period + 2*climb + unit
 	}
 	return leases
 }
