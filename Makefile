@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke shards-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -38,12 +38,13 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path micro-benchmarks (event kernel, failover routing, networked-host
-# round trip), recorded as BENCH_6.json — suite wall-clock, ns/op,
-# allocs/op, and the cached-vs-uncached failover speedup (the run fails
-# below 2x). Future PRs extend the trajectory by re-running this after
-# touching a hot path.
+# round trip, shard-scaling curve), recorded as BENCH_7.json — suite
+# wall-clock, ns/op, allocs/op, the cached-vs-uncached failover speedup
+# (the run fails below 2x), and events/sec at K ∈ {1,2,4,8} shards on the
+# 2048² grid (the run fails below 2x at K=8). Future PRs extend the
+# trajectory by re-running this after touching a hot path.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_6.json
+	$(GO) run ./cmd/bench -out BENCH_7.json
 
 # Full benchmark sweep: one target per experiment table plus micro-benches.
 bench-full:
@@ -54,16 +55,26 @@ bench-full:
 # enforces) plus the zero-allocation regression tests pinning the
 # steady-state claims.
 bench-smoke:
-	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -out BENCH_6.json
+	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -min-shard-speedup 0 -shard-grid 256 -out BENCH_7.json
 	$(GO) test -run 'ZeroAlloc' -v ./internal/sim ./internal/geocast
 
 # Networked-host smoke: the nethost runtime and the tracker-over-nethost
 # integration tests (oracle parity, heal-after-kill, chaos conservation)
-# under the race detector, plus the DecodeRegion fuzz seed corpus.
+# under the race detector, plus the wire-codec fuzz seed corpora.
 nethost-smoke:
 	$(GO) test -race ./internal/nethost
 	$(GO) test -race -run 'TestNetHost' ./internal/tracker
-	$(GO) test -run 'FuzzDecodeRegion' ./internal/tracker
+	$(GO) test -run 'FuzzDecodeRegion|FuzzDecodeClusterMessage' ./internal/tracker
+
+# Sharded-kernel smoke: the conservative engine under the race detector
+# (determinism across K, lookahead enforcement, zero-alloc send), the
+# partition invariants, and the E1/E2/E7/E11 shard-matrix byte-identity
+# bar (tables identical at -shards 1, 2, 8).
+shards-smoke:
+	$(GO) test -race -run 'TestSharded|TestRouter' ./internal/sim
+	$(GO) test -run 'TestPartition' ./internal/geo
+	$(GO) test -run 'TestShard' ./internal/core
+	$(GO) test -run 'TestKernelAndRouteCacheExperimentsByteIdentical' ./internal/experiments
 
 # Regenerate every paper claim (EXPERIMENTS.md tables).
 experiments:

@@ -1,22 +1,28 @@
 // Command bench runs the hot-path micro-benchmarks (event-kernel
-// schedule/cancel/churn, geocast failover routing, and the networked-host
-// frame round trip) and records the results machine-readably, so
-// successive PRs leave a performance trajectory instead of anecdotes.
+// schedule/cancel/churn, geocast failover routing, the networked-host
+// frame round trip, and the sharded-kernel scaling curve) and records the
+// results machine-readably, so successive PRs leave a performance
+// trajectory instead of anecdotes.
 //
 // It shells out to `go test -bench` on the packages that own the
 // benchmarks, parses the standard benchmark output, computes the
-// cached-vs-uncached failover speedup, and writes a JSON report
-// (default BENCH_6.json):
+// cached-vs-uncached failover speedup and the shard-scaling curve
+// (events/sec at K ∈ {1,2,4,8} on a -shard-grid² grid), and writes a JSON
+// report (default BENCH_7.json):
 //
 //	{
 //	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
-//	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op"}, …],
-//	  "failover_speedup": …        // uncached ns/op ÷ cached ns/op
+//	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op", "events_per_sec"}, …],
+//	  "failover_speedup": …,       // uncached ns/op ÷ cached ns/op
+//	  "shard_scaling": [{"k", "events_per_sec"}, …],
+//	  "shard_speedup_k8": …        // events/s at K=8 ÷ events/s at K=1
 //	}
 //
 // The run fails (non-zero exit) if the failover speedup falls below
-// -min-speedup (default 2): the epoch cache earning less than 2x over the
-// per-hop BFS is a performance regression, not a tuning matter.
+// -min-speedup (default 2), or the K=8 shard speedup falls below
+// -min-shard-speedup (default 2): the epoch cache earning less than 2x
+// over per-hop BFS, or eight shards earning less than 2x over one kernel
+// on the large grid, is a performance regression, not a tuning matter.
 package main
 
 import (
@@ -37,40 +43,57 @@ import (
 // are not part of this report).
 var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast", "vinestalk/internal/nethost"}
 
-const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec)$"
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling)$"
 
 // result is one parsed benchmark line.
 type result struct {
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name         string  `json:"name"`
+	Iters        int64   `json:"iters"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-// report is the BENCH_6.json document.
+// shardPoint is one point of the shard-scaling curve.
+type shardPoint struct {
+	K            int     `json:"k"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// report is the BENCH_7.json document.
 type report struct {
-	GoVersion         string   `json:"go_version"`
-	GOMAXPROCS        int      `json:"gomaxprocs"`
-	Benchtime         string   `json:"benchtime"`
-	SuiteWallClockSec float64  `json:"suite_wall_clock_sec"`
-	Benchmarks        []result `json:"benchmarks"`
-	FailoverSpeedup   float64  `json:"failover_speedup"`
+	GoVersion         string       `json:"go_version"`
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	Benchtime         string       `json:"benchtime"`
+	ShardGrid         int          `json:"shard_grid"`
+	SuiteWallClockSec float64      `json:"suite_wall_clock_sec"`
+	Benchmarks        []result     `json:"benchmarks"`
+	FailoverSpeedup   float64      `json:"failover_speedup"`
+	ShardScaling      []shardPoint `json:"shard_scaling,omitempty"`
+	ShardSpeedupK8    float64      `json:"shard_speedup_k8,omitempty"`
 }
 
 // benchLine matches standard `go test -bench -benchmem` output, e.g.
 // "BenchmarkGeocastFailover/cached-8  1000000  23.3 ns/op  0 B/op  0 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// Custom b.ReportMetric columns (events/s) appear between ns/op and B/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.e+]+) events/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// shardName extracts K from "BenchmarkShardedScaling/K=8".
+var shardName = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
 	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
+	minShardSpeedup := flag.Float64("min-shard-speedup", 2, "fail unless 8 shards beat 1 shard by this events/s factor")
+	shardGrid := flag.Int("shard-grid", 2048, "grid side for the shard-scaling benchmark (smoke runs use a small one)")
 	flag.Parse()
 
 	args := append([]string{"test", "-run", "^$", "-bench", benchPattern,
-		"-benchmem", "-benchtime", *benchtime}, benchPackages...)
+		"-benchmem", "-benchtime", *benchtime, "-timeout", "60m"}, benchPackages...)
 	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("VINESTALK_SHARD_GRID=%d", *shardGrid))
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -87,6 +110,7 @@ func main() {
 		GoVersion:         runtime.Version(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		Benchtime:         *benchtime,
+		ShardGrid:         *shardGrid,
 		SuiteWallClockSec: wall.Seconds(),
 	}
 	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
@@ -98,12 +122,19 @@ func main() {
 		r.Iters, _ = strconv.ParseInt(string(m[2]), 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(string(m[3]), 64)
 		if len(m[4]) > 0 {
-			r.BytesPerOp, _ = strconv.ParseInt(string(m[4]), 10, 64)
+			r.EventsPerSec, _ = strconv.ParseFloat(string(m[4]), 64)
 		}
 		if len(m[5]) > 0 {
-			r.AllocsPerOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
+			r.BytesPerOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
+		}
+		if len(m[6]) > 0 {
+			r.AllocsPerOp, _ = strconv.ParseInt(string(m[6]), 10, 64)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
+		if sm := shardName.FindStringSubmatch(r.Name); sm != nil {
+			k, _ := strconv.Atoi(sm[1])
+			rep.ShardScaling = append(rep.ShardScaling, shardPoint{K: k, EventsPerSec: r.EventsPerSec})
+		}
 	}
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed; output format changed?")
@@ -122,6 +153,18 @@ func main() {
 	if cached > 0 && uncached > 0 {
 		rep.FailoverSpeedup = uncached / cached
 	}
+	var k1, k8 float64
+	for _, p := range rep.ShardScaling {
+		switch p.K {
+		case 1:
+			k1 = p.EventsPerSec
+		case 8:
+			k8 = p.EventsPerSec
+		}
+	}
+	if k1 > 0 && k8 > 0 {
+		rep.ShardSpeedupK8 = k8 / k1
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -133,11 +176,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx)\n", *out, wall.Seconds(), rep.FailoverSpeedup)
+	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid)\n",
+		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid)
 
 	if rep.FailoverSpeedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: failover speedup %.2fx below required %.2fx\n",
 			rep.FailoverSpeedup, *minSpeedup)
+		os.Exit(1)
+	}
+	if rep.ShardSpeedupK8 < *minShardSpeedup {
+		fmt.Fprintf(os.Stderr, "bench: shard speedup %.2fx at K=8 below required %.2fx\n",
+			rep.ShardSpeedupK8, *minShardSpeedup)
 		os.Exit(1)
 	}
 }

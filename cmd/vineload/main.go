@@ -18,7 +18,6 @@ import (
 	"math/rand"
 	"net"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -232,16 +231,7 @@ func run(addr string, side int, seed int64, moves int, period time.Duration, fin
 	c.mu.Unlock()
 	fmt.Printf("vineload: %d moves, %d finds issued, %d completed, %d unresolved\n",
 		moves, findsIssued, len(lats), lost)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var total time.Duration
-		for _, l := range lats {
-			total += l
-		}
-		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
-		fmt.Printf("vineload: find latency min %v p50 %v p90 %v max %v mean %v\n",
-			lats[0], q(0.5), q(0.9), lats[len(lats)-1], total/time.Duration(len(lats)))
-	}
+	fmt.Println(latencySummary(lats))
 	_, _ = c.cmd("quit")
 	return nil
 }

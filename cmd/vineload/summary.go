@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// latencySummary renders the find-latency line of the load report. An
+// empty slice reports "no completed finds" instead of indexing into
+// nothing; the input is copied, not mutated.
+func latencySummary(lats []time.Duration) string {
+	if len(lats) == 0 {
+		return "vineload: no completed finds"
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, l := range sorted {
+		total += l
+	}
+	return fmt.Sprintf("vineload: find latency min %v p50 %v p90 %v max %v mean %v",
+		sorted[0], quantile(sorted, 0.5), quantile(sorted, 0.9),
+		sorted[len(sorted)-1], total/time.Duration(len(sorted)))
+}
+
+// quantile returns the nearest-rank p-quantile of a sorted slice: the
+// ⌈p·n⌉-th smallest value, with the rank clamped into the slice so p=1.0
+// is the maximum (never one past it) and p=0 the minimum.
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Zero completed finds must produce a message, not an index panic.
+func TestLatencySummaryEmpty(t *testing.T) {
+	got := latencySummary(nil)
+	if got != "vineload: no completed finds" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	if got := latencySummary([]time.Duration{}); got != "vineload: no completed finds" {
+		t.Fatalf("empty-slice summary = %q", got)
+	}
+}
+
+// One sample: every quantile — including p100, the old out-of-range index —
+// is that sample.
+func TestLatencySummarySingleSample(t *testing.T) {
+	got := latencySummary([]time.Duration{42 * time.Millisecond})
+	want := "vineload: find latency min 42ms p50 42ms p90 42ms max 42ms mean 42ms"
+	if got != want {
+		t.Fatalf("single-sample summary:\n got %q\nwant %q", got, want)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 0.5, 0.9, 0.99, 1.0} {
+		if q := quantile(one, p); q != one[0] {
+			t.Fatalf("quantile(1 sample, %.2f) = %v, want %v", p, q, one[0])
+		}
+	}
+}
+
+// Two samples: nearest rank gives p50 the lower sample and p90/p100 the
+// upper one, regardless of input order, and the input is not mutated.
+func TestLatencySummaryTwoSamples(t *testing.T) {
+	in := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond}
+	got := latencySummary(in)
+	want := "vineload: find latency min 10ms p50 10ms p90 30ms max 30ms mean 20ms"
+	if got != want {
+		t.Fatalf("two-sample summary:\n got %q\nwant %q", got, want)
+	}
+	if in[0] != 30*time.Millisecond || in[1] != 10*time.Millisecond {
+		t.Fatal("latencySummary mutated its input")
+	}
+	sorted := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond}
+	if q := quantile(sorted, 1.0); q != 30*time.Millisecond {
+		t.Fatalf("quantile(2 samples, 1.0) = %v, want 30ms", q)
+	}
+	if q := quantile(sorted, 0.0); q != 10*time.Millisecond {
+		t.Fatalf("quantile(2 samples, 0.0) = %v, want 10ms", q)
+	}
+	if !strings.Contains(got, "mean 20ms") {
+		t.Fatal("mean missing from summary")
+	}
+}

@@ -52,6 +52,22 @@ type Service struct {
 	unit      sim.Time // δ+e
 	ledger    *metrics.Ledger
 	replicate bool
+	route     vbcast.RouteFunc
+}
+
+// SetRouter installs a delivery router for the held-message timer (nil
+// restores direct kernel scheduling). The hold fires in the destination
+// region itself — a same-shard event — but routing it keeps every
+// scheduled delivery of the stack accounted against the shard partition.
+func (s *Service) SetRouter(r vbcast.RouteFunc) { s.route = r }
+
+// at schedules a held delivery in region u through the installed router.
+func (s *Service) at(u geo.RegionID, due sim.Time, fn func()) {
+	if s.route != nil {
+		s.route(u, u, due, fn)
+		return
+	}
+	s.k.At(due, fn)
 }
 
 // Option configures the service.
@@ -199,7 +215,7 @@ func (s *Service) ClusterToClusterFrom(srcRegion geo.RegionID, from, to hier.Clu
 			if hold < 0 {
 				hold = 0
 			}
-			s.k.Schedule(hold, func() {
+			s.at(dstRegion, sim.Add(s.k.Now(), hold), func() {
 				if s.layer.Incarnation(dstRegion) != inc {
 					// The holding VSA failed or restarted before the
 					// scheduled delivery time; the held message dies with

@@ -39,6 +39,16 @@ type Config struct {
 	E sim.Time
 	// Seed for the deterministic simulation (default 1).
 	Seed int64
+	// Shards is the spatial shard count of the event engine (default 1).
+	// The grid is partitioned into Shards row bands (geo.Partition) and
+	// every transport delivery is routed against that partition through
+	// sim.Router. The tracker stack shares one ledger and RNG stream, so
+	// its events keep a single global order — the router executes them on
+	// one kernel in (time, seq) order, making every table byte-identical
+	// at any shard count by construction, while recording the cross-shard
+	// traffic profile and the measured δ-lookahead that the parallel
+	// engine (sim.Sharded) exploits for shard-confined programs.
+	Shards int
 	// Start region of the evader (default region 0).
 	Start geo.RegionID
 	// AlwaysAliveVSAs pins VSAs alive (the paper's correctness assumption).
@@ -117,6 +127,12 @@ func (c *Config) fillDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return errors.New("core: Shards must be positive")
+	}
 	if c.Emulation != nil {
 		if c.Emulation.TRestart == 0 {
 			c.Emulation.TRestart = 50 * time.Millisecond
@@ -135,6 +151,8 @@ func (c *Config) fillDefaults() error {
 type Service struct {
 	cfg    Config
 	kernel *sim.Kernel
+	part   *geo.Partition
+	router *sim.Router
 	tiling *geo.GridTiling
 	hier   *hier.Hierarchy
 	geom   hier.Geometry
@@ -188,6 +206,11 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	}
 
 	s := &Service{cfg: cfg, kernel: sim.New(cfg.Seed), tiling: tiling, hier: h}
+	s.part = geo.NewPartition(tiling, cfg.Shards)
+	s.router = sim.NewRouter(s.kernel, s.part.K())
+	route := func(from, to geo.RegionID, due sim.Time, fn func()) sim.Event {
+		return s.router.At(s.part.ShardOf(from), s.part.ShardOf(to), due, fn)
+	}
 	var layerOpts []vsa.Option
 	if cfg.AlwaysAliveVSAs {
 		layerOpts = append(layerOpts, vsa.WithAlwaysAlive())
@@ -198,6 +221,7 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	s.layer = vsa.NewLayer(s.kernel, tiling, layerOpts...)
 	s.ledger = metrics.NewLedger()
 	vb := vbcast.New(s.kernel, s.layer, cfg.Delta, cfg.E, s.ledger)
+	vb.SetRouter(route)
 	gc := geocast.New(s.kernel, s.layer, h.Graph(), vb, s.ledger)
 	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
 		plan, err := chaos.NewPlan(*cfg.Chaos)
@@ -221,6 +245,7 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	cg.SetRouter(route)
 	s.cg = cg
 
 	s.foundAt = make(map[tracker.FindID]sim.Time)
@@ -300,6 +325,14 @@ func (s *Service) ChaosPlan() *chaos.Plan { return s.plan }
 
 // Kernel returns the simulation kernel.
 func (s *Service) Kernel() *sim.Kernel { return s.kernel }
+
+// Partition returns the spatial shard partition of the grid.
+func (s *Service) Partition() *geo.Partition { return s.part }
+
+// Router returns the shard router carrying every transport delivery; its
+// counters expose the cross-shard traffic profile and the measured
+// δ-lookahead of the run.
+func (s *Service) Router() *sim.Router { return s.router }
 
 // Tiling returns the grid tiling.
 func (s *Service) Tiling() *geo.GridTiling { return s.tiling }

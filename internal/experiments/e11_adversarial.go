@@ -106,7 +106,7 @@ func E11Adversarial(env Env) (*Result, error) {
 		if cc != nil {
 			cfg.Chaos = cc
 		}
-		svc, err := core.New(cfg)
+		svc, err := env.newService(cfg)
 		if err != nil {
 			return out, err
 		}

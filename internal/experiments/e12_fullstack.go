@@ -81,7 +81,7 @@ func E12FullStack(env Env) (*Result, error) {
 				NodesPerRegion: 3,
 			}
 		}
-		svc, err := core.New(cfg)
+		svc, err := env.newService(cfg)
 		if err != nil {
 			return out, err
 		}

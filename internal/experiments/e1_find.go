@@ -48,7 +48,7 @@ func E1FindCost(env Env) (*Result, error) {
 		ledger  *metrics.Export
 	}
 	measured, err := cells(env, distances, func(d int) (point, error) {
-		svc, err := core.New(core.Config{
+		svc, err := env.newService(core.Config{
 			Width:           side,
 			AlwaysAliveVSAs: true,
 			Start:           centerRegion(side),

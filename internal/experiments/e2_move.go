@@ -41,7 +41,7 @@ func E2MoveCost(env Env) (*Result, error) {
 		ledger   *metrics.Export
 	}
 	points, err := cells(env, sides, func(side int) (point, error) {
-		svc, err := core.New(core.Config{
+		svc, err := env.newService(core.Config{
 			Width:           side,
 			AlwaysAliveVSAs: true,
 			Start:           centerRegion(side),

@@ -3,16 +3,34 @@ package experiments
 import (
 	"context"
 
+	"vinestalk/internal/core"
+	"vinestalk/internal/hier"
 	"vinestalk/internal/sweep"
 )
 
 // Env carries the run parameters every experiment driver receives: quick
-// mode (reduced grid sizes and repetition counts) and the sweep worker
-// budget.
+// mode (reduced grid sizes and repetition counts), the sweep worker
+// budget, and the shard count of the event engine.
 type Env struct {
 	Quick     bool
 	Workers   int   // sweep worker count; <= 0 means GOMAXPROCS
 	ChaosSeed int64 // offset added to fault-plan seeds (E11)
+	Shards    int   // core.Config.Shards for every assembled service; <= 0 means 1
+}
+
+// newService assembles a tracking service with the environment's shard
+// count applied — every driver builds services through here so -shards
+// reaches each cell. Results are byte-identical at any shard count (the
+// router preserves the kernel's global event order; see core.Config.Shards).
+func (env Env) newService(cfg core.Config) (*core.Service, error) {
+	cfg.Shards = env.Shards
+	return core.New(cfg)
+}
+
+// newServiceWithHierarchy is newService for caller-supplied hierarchies.
+func (env Env) newServiceWithHierarchy(h *hier.Hierarchy, cfg core.Config) (*core.Service, error) {
+	cfg.Shards = env.Shards
+	return core.NewWithHierarchy(h, cfg)
 }
 
 // cells runs fn over every sweep cell on env.Workers workers, returning

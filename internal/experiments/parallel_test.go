@@ -112,19 +112,32 @@ func TestRunAllByteIdenticalAcrossWorkers(t *testing.T) {
 // tables embed every measured quantity, so any perturbation from the event
 // arena, the 4-ary heap, or a stale route-cache entry would surface as a
 // byte difference here.
+// The matrix also spans the shard dimension: the shard router must be
+// execution-transparent, so the same four experiments render byte-
+// identically at K ∈ {1, 2, 8} shards (and at any worker count at once) —
+// the ISSUE 7 acceptance bar, run in CI.
 func TestKernelAndRouteCacheExperimentsByteIdentical(t *testing.T) {
 	only := []string{"E1", "E2", "E7", "E11"}
-	run := func(workers int) string {
+	run := func(workers, shards int) string {
 		var b strings.Builder
-		if err := RunAll(&b, Options{Quick: true, Only: only, Parallel: workers}); err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+		if err := RunAll(&b, Options{Quick: true, Only: only, Parallel: workers, Shards: shards}); err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
 		}
 		return b.String()
 	}
-	sequential := run(1)
-	if got := run(8); got != sequential {
+	sequential := run(1, 1)
+	if got := run(8, 1); got != sequential {
 		t.Errorf("E1/E2/E7/E11 output at 8 workers differs from sequential run:\n--- parallel 1\n%s\n--- parallel 8\n%s",
 			sequential, got)
+	}
+	for _, shards := range []int{2, 8} {
+		if got := run(1, shards); got != sequential {
+			t.Errorf("E1/E2/E7/E11 output at %d shards differs from 1 shard:\n--- shards 1\n%s\n--- shards %d\n%s",
+				shards, sequential, shards, got)
+		}
+	}
+	if got := run(8, 8); got != sequential {
+		t.Error("E1/E2/E7/E11 output at 8 workers x 8 shards differs from sequential single-shard run")
 	}
 }
 

@@ -20,6 +20,7 @@ type Options struct {
 	JSONDir   string   // also write each result (table + checks + ledgers) as <dir>/<ID>.json
 	Parallel  int      // sweep worker count; <= 0 means GOMAXPROCS
 	ChaosSeed int64    // offset added to fault-plan seeds (E11)
+	Shards    int      // event-engine shard count per service; <= 0 means 1
 }
 
 // RunAll executes the selected experiments, rendering each result to w and
@@ -40,7 +41,7 @@ func RunAll(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	env := Env{Quick: opts.Quick, Workers: opts.Parallel, ChaosSeed: opts.ChaosSeed}
+	env := Env{Quick: opts.Quick, Workers: opts.Parallel, ChaosSeed: opts.ChaosSeed, Shards: opts.Shards}
 
 	// Each experiment renders into its own buffer inside the worker pool;
 	// the buffers are concatenated in presentation order afterwards.

@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every region must land on exactly one shard, shards must be balanced to
+// within one row (grid) or one region (general), and the union must cover
+// the tiling.
+func TestPartitionBalancedCover(t *testing.T) {
+	g := MustGridTiling(16, 16)
+	for _, k := range []int{1, 2, 3, 4, 8, 16} {
+		p := NewPartition(g, k)
+		if p.K() != k {
+			t.Fatalf("k=%d: got K()=%d", k, p.K())
+		}
+		sizes := p.Sizes()
+		total, min, max := 0, g.NumRegions(), 0
+		for _, s := range sizes {
+			total += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if total != g.NumRegions() {
+			t.Fatalf("k=%d: sizes sum to %d, want %d", k, total, g.NumRegions())
+		}
+		if min == 0 {
+			t.Fatalf("k=%d: empty shard (sizes %v)", k, sizes)
+		}
+		// Row bands differ by at most one row = Width regions.
+		if max-min > g.Width() {
+			t.Fatalf("k=%d: imbalance %d > one row (%d); sizes %v", k, max-min, g.Width(), sizes)
+		}
+	}
+}
+
+// Grid partitions are row bands: the shard of a region depends only on its
+// row, and shard indices are non-decreasing in y.
+func TestPartitionGridRowBands(t *testing.T) {
+	g := MustGridTiling(7, 13)
+	p := NewPartition(g, 4)
+	prev := 0
+	for y := 0; y < g.Height(); y++ {
+		s := p.ShardOf(g.RegionAt(0, y))
+		for x := 1; x < g.Width(); x++ {
+			if got := p.ShardOf(g.RegionAt(x, y)); got != s {
+				t.Fatalf("row %d not on one shard: x=0 -> %d, x=%d -> %d", y, s, x, got)
+			}
+		}
+		if s < prev {
+			t.Fatalf("shard index decreased at row %d: %d -> %d", y, prev, s)
+		}
+		prev = s
+	}
+}
+
+// The general (non-grid) path grows shards as BFS blobs: on a well-
+// connected tiling every shard must be a connected subgraph, and the shard
+// adjacency must be symmetric and match the cross-edge relation. The
+// connectivity bar uses a grid forced through the general path (thinned
+// graphs may fragment the unassigned pool, which the partition handles by
+// component jumps rather than guarantees).
+func TestPartitionGeneralTilingConnectivityAndAdjacency(t *testing.T) {
+	g := MustGridTiling(12, 12)
+	lists := make([][]RegionID, g.NumRegions())
+	for u := range lists {
+		lists[u] = g.Neighbors(RegionID(u))
+	}
+	dense, err := NewAdjacencyTiling(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(dense, 5)
+	for s := 0; s < p.K(); s++ {
+		if !shardConnected(dense, p, s) {
+			t.Fatalf("shard %d is not a connected subgraph", s)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	thin, err := Thin(MustGridTiling(12, 12), 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewPartition(thin, 5)
+	covered := 0
+	for _, s := range pt.Sizes() {
+		covered += s
+	}
+	if covered != thin.NumRegions() {
+		t.Fatalf("thin tiling: %d of %d regions covered", covered, thin.NumRegions())
+	}
+	adj := p.Adjacency(dense)
+	for a := range adj {
+		for _, b := range adj[a] {
+			if a == b {
+				t.Fatalf("shard %d adjacent to itself", a)
+			}
+			if !containsInt(adj[b], a) {
+				t.Fatalf("adjacency not symmetric: %d lists %d but not vice versa", a, b)
+			}
+		}
+	}
+	if p.CrossEdges(dense) == 0 {
+		t.Fatal("5-way partition of a connected tiling must have cross edges")
+	}
+	// Single shard: no cross edges, no adjacency.
+	p1 := NewPartition(thin, 1)
+	if p1.CrossEdges(thin) != 0 || len(p1.Adjacency(thin)[0]) != 0 {
+		t.Fatal("single-shard partition must have no cross edges")
+	}
+}
+
+// k is clamped: k > n gives one region per shard; k <= 0 gives one shard.
+func TestPartitionClamping(t *testing.T) {
+	g := MustGridTiling(3, 3)
+	if p := NewPartition(g, 100); p.K() != 9 {
+		t.Fatalf("k=100 on 9 regions: got K()=%d, want 9", p.K())
+	}
+	if p := NewPartition(g, 0); p.K() != 1 {
+		t.Fatalf("k=0: got K()=%d, want 1", p.K())
+	}
+	if p := NewPartition(g, -3); p.K() != 1 {
+		t.Fatalf("k=-3: got K()=%d, want 1", p.K())
+	}
+	p := NewPartition(g, 4)
+	if got := p.ShardOf(NoRegion); got != 0 {
+		t.Fatalf("ShardOf(NoRegion) = %d, want 0", got)
+	}
+	if got := p.ShardOf(RegionID(99)); got != 0 {
+		t.Fatalf("ShardOf(out of range) = %d, want 0", got)
+	}
+}
+
+// The assignment is a pure function of (tiling, k).
+func TestPartitionDeterministic(t *testing.T) {
+	g := MustGridTiling(9, 11)
+	a := NewPartition(g, 6)
+	b := NewPartition(g, 6)
+	for u := 0; u < g.NumRegions(); u++ {
+		if a.ShardOf(RegionID(u)) != b.ShardOf(RegionID(u)) {
+			t.Fatalf("partition not deterministic at region %d", u)
+		}
+	}
+}
+
+func shardConnected(t Tiling, p *Partition, s int) bool {
+	var start RegionID = NoRegion
+	n := t.NumRegions()
+	size := 0
+	for u := RegionID(0); int(u) < n; u++ {
+		if p.ShardOf(u) == s {
+			size++
+			if start == NoRegion {
+				start = u
+			}
+		}
+	}
+	if size == 0 {
+		return false
+	}
+	seen := map[RegionID]bool{start: true}
+	queue := []RegionID{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if p.ShardOf(v) == s && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(seen) == size
+}
+
+func containsInt(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -90,3 +90,43 @@ func TestHistogramUnmarshalHostileBucketIndex(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantileSingleSampleClamp: with one sample every quantile
+// must be that sample, even though the sample's bucket upper bound (e.g.
+// 3000 for 2500) overshoots it — the [Min, Max] clamp pins the answer.
+func TestHistogramQuantileSingleSampleClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2500)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 2500 {
+			t.Errorf("Quantile(%.2f) on single sample 2500 = %d, want 2500", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileTwoOctaveGapClamp: samples two octaves apart leave
+// the low sample's bucket upper bound between the two values; low-q
+// quantiles must clamp up to no less than Min and the high quantile must
+// not exceed Max despite the coarse top bucket.
+func TestHistogramQuantileTwoOctaveGapClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1000)
+	h.Add(5000) // > two octaves above 1000's sub-bucket
+	if got := h.Quantile(0.5); got < 1000 || got > 5000 {
+		t.Errorf("Quantile(0.5) = %d, outside [1000, 5000]", got)
+	}
+	if got := h.Quantile(0.5); got < h.Min() {
+		t.Errorf("Quantile(0.5) = %d below Min %d", got, h.Min())
+	}
+	if got := h.Quantile(1); got != 5000 {
+		t.Errorf("Quantile(1) = %d, want Max 5000", got)
+	}
+	if got := h.Quantile(0); got != 1000 {
+		t.Errorf("Quantile(0) = %d, want Min 1000", got)
+	}
+	// q just below 1 selects the top sample's bucket, whose upper bound
+	// overshoots 5000 — the Max clamp must cap it.
+	if got := h.Quantile(0.99); got != 5000 {
+		t.Errorf("Quantile(0.99) = %d, want clamped Max 5000", got)
+	}
+}

@@ -102,6 +102,22 @@ type Service struct {
 	started bool
 	stopped bool
 	wg      sync.WaitGroup
+
+	// held tracks every frame sitting in hold (§II-C.3) awaiting its due
+	// time, so Stop can resolve each one to a ledger drop instead of letting
+	// its timer fire after Stop returns. Exactly one of Stop (timer.Stop won)
+	// or deliverHeld (timer fired) claims an id; heldWG pairs one Done with
+	// each claim so Stop can wait out in-flight deliveries.
+	held    map[uint64]*heldFrame
+	heldSeq uint64
+	heldWG  sync.WaitGroup
+}
+
+// heldFrame is one frame in hold: its wall timer and the ledger kind it
+// resolves under.
+type heldFrame struct {
+	timer *time.Timer
+	kind  string
 }
 
 // slot tracks one region's current node. inc counts lifecycle transitions;
@@ -128,6 +144,7 @@ func New(app App, cfg Config) (*Service, error) {
 		mailbox: cfg.Mailbox,
 		slots:   make([]slot, cfg.NumRegions),
 		ledger:  cfg.Ledger,
+		held:    make(map[uint64]*heldFrame),
 	}
 	if s.tr == nil {
 		s.tr = NewChanTransport()
@@ -185,8 +202,11 @@ func (s *Service) Start() error {
 	return nil
 }
 
-// Stop kills every node and waits for their goroutines to exit. Frames
-// still held at stop time resolve to drops against the dead nodes.
+// Stop kills every node and waits for their goroutines to exit. Every
+// frame still held at stop time is resolved — recorded as a DropDeadVSA
+// against its kind — before Stop returns, so the conservation invariant
+// (sent == delivered + drops) holds on the ledger the moment Stop is done;
+// no held-frame timer survives past the call.
 func (s *Service) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -194,11 +214,23 @@ func (s *Service) Stop() {
 		return
 	}
 	s.stopped = true
+	// Claim every held frame whose timer has not fired yet: winning the
+	// timer.Stop race makes Stop the frame's sole resolver. Frames whose
+	// timers already fired are mid-deliverHeld; heldWG.Wait below blocks
+	// until those resolve themselves.
+	for id, hf := range s.held {
+		if hf.timer.Stop() {
+			delete(s.held, id)
+			s.ledger.RecordDrop("net/"+hf.kind, metrics.DropDeadVSA)
+			s.heldWG.Done()
+		}
+	}
 	s.mu.Unlock()
 	for u := range s.slots {
 		s.KillRegion(geo.RegionID(u))
 	}
 	s.wg.Wait()
+	s.heldWG.Wait()
 	_ = s.tr.Close()
 }
 
@@ -335,20 +367,34 @@ func (s *Service) Receive(frame []byte) {
 	}
 	netKind := "net/" + kind
 	s.mu.Lock()
-	if s.slots[to].node == nil {
+	if s.stopped || s.slots[to].node == nil {
 		s.ledger.RecordDrop(netKind, metrics.DropDeadVSA)
 		s.mu.Unlock()
 		return
 	}
 	inc := s.slots[to].inc
-	s.mu.Unlock()
+	id := s.heldSeq
+	s.heldSeq++
+	hf := &heldFrame{kind: kind}
+	s.held[id] = hf
+	s.heldWG.Add(1)
 	hold := time.Duration(due - s.Now())
-	time.AfterFunc(hold, func() { s.deliverHeld(to, inc, kind, payload) })
+	// Armed under mu: a non-positive hold fires the callback immediately on
+	// another goroutine, which then blocks claiming the id until we release.
+	hf.timer = time.AfterFunc(hold, func() { s.deliverHeld(id, to, inc, kind, payload) })
+	s.mu.Unlock()
 }
 
-func (s *Service) deliverHeld(to geo.RegionID, inc uint64, kind string, payload []byte) {
+func (s *Service) deliverHeld(id uint64, to geo.RegionID, inc uint64, kind string, payload []byte) {
 	netKind := "net/" + kind
 	s.mu.Lock()
+	if _, ok := s.held[id]; !ok {
+		// Stop won the timer race and already resolved this frame.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.held, id)
+	defer s.heldWG.Done()
 	n := s.slots[to].node
 	switch {
 	case n == nil:

@@ -1,0 +1,95 @@
+package sim
+
+// Router is the sequenced face of the sharded design: it routes
+// region-to-region deliveries between shards of a geographic partition
+// while executing them on one sequential kernel.
+//
+// The full tracker stack shares mutable state across every region — one
+// metrics ledger, one RNG stream, the tracker's network maps — so its
+// events require a single global order; running them on K free-running
+// kernels would change that order (and race). The Router therefore keeps
+// the kernel's (time, seq) execution order untouched — results are
+// byte-identical at every shard count by construction — while accounting
+// each delivery against the shard map exactly as the parallel engine
+// (Sharded) would route it: which shard pair it crosses, and with how much
+// lead over the sender's clock. The recorded minimum cross-shard lead is
+// the empirical δ-lookahead the conservative barrier relies on; core's
+// tests pin that it never drops below the configured δ floor. Programs
+// whose state is region-confined can graduate from Router to Sharded
+// without changing their schedule calls.
+type Router struct {
+	k       *Kernel
+	kShards int
+	pair    []uint64 // kShards×kShards cross-shard delivery counts
+	local   uint64
+	minLead Time
+	haveX   bool
+}
+
+// NewRouter wraps kernel k with a router over `shards` shards (≥ 1).
+func NewRouter(k *Kernel, shards int) *Router {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Router{k: k, kShards: shards, pair: make([]uint64, shards*shards)}
+}
+
+// At schedules fn at absolute time due as a delivery from shard `from` to
+// shard `to`, recording the crossing. Out-of-range shard indices are
+// clamped to shard 0 (mirroring geo.Partition.ShardOf for unplaced
+// traffic). Execution order is the kernel's own.
+func (r *Router) At(from, to int, due Time, fn func()) Event {
+	from, to = r.clamp(from), r.clamp(to)
+	if from != to {
+		r.pair[from*r.kShards+to]++
+		if lead := due - r.k.Now(); !r.haveX || lead < r.minLead {
+			r.minLead = lead
+			r.haveX = true
+		}
+	} else {
+		r.local++
+	}
+	return r.k.At(due, fn)
+}
+
+// Schedule is At with a delay relative to the kernel clock.
+func (r *Router) Schedule(from, to int, delay Time, fn func()) Event {
+	return r.At(from, to, Add(r.k.Now(), delay), fn)
+}
+
+func (r *Router) clamp(s int) int {
+	if s < 0 || s >= r.kShards {
+		return 0
+	}
+	return s
+}
+
+// Kernel returns the underlying sequential kernel.
+func (r *Router) Kernel() *Kernel { return r.k }
+
+// K returns the shard count.
+func (r *Router) K() int { return r.kShards }
+
+// LocalCount returns the number of same-shard deliveries routed.
+func (r *Router) LocalCount() uint64 { return r.local }
+
+// CrossCount returns the number of cross-shard deliveries routed.
+func (r *Router) CrossCount() uint64 {
+	var n uint64
+	for _, c := range r.pair {
+		n += c
+	}
+	return n
+}
+
+// PairCount returns the number of deliveries routed from shard `from` to
+// shard `to` (from ≠ to; same-shard traffic is under LocalCount).
+func (r *Router) PairCount(from, to int) uint64 {
+	return r.pair[r.clamp(from)*r.kShards+r.clamp(to)]
+}
+
+// MinCrossLead returns the smallest (due − sender clock) observed over all
+// cross-shard deliveries, and whether any crossing was observed. This is
+// the measured lookahead: the conservative barrier is sound for any
+// δ ≤ this value.
+func (r *Router) MinCrossLead() (Time, bool) { return r.minLead, r.haveX }

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The router must be transparent — execution identical to raw kernel use —
+// while counting crossings and tracking the minimum cross-shard lead.
+func TestRouterTransparentAndCounts(t *testing.T) {
+	k := New(1)
+	r := NewRouter(k, 4)
+	var order []int
+	r.At(0, 1, 5*time.Millisecond, func() { order = append(order, 1) })
+	r.At(2, 2, 2*time.Millisecond, func() { order = append(order, 0) })
+	r.Schedule(1, 3, 9*time.Millisecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("execution order %v, want [0 1 2]", order)
+	}
+	if r.CrossCount() != 2 || r.LocalCount() != 1 {
+		t.Fatalf("cross=%d local=%d, want 2/1", r.CrossCount(), r.LocalCount())
+	}
+	if r.PairCount(0, 1) != 1 || r.PairCount(1, 3) != 1 || r.PairCount(2, 2) != 0 {
+		t.Fatal("pair counts wrong")
+	}
+	lead, ok := r.MinCrossLead()
+	if !ok || lead != 5*time.Millisecond {
+		t.Fatalf("min cross lead %v ok=%v, want 5ms", lead, ok)
+	}
+}
+
+// Out-of-range shard indices clamp to shard 0 instead of corrupting the
+// count matrix (mirrors geo.Partition.ShardOf for unplaced traffic).
+func TestRouterClampsShardIndices(t *testing.T) {
+	k := New(1)
+	r := NewRouter(k, 2)
+	r.At(-1, 1, time.Millisecond, func() {})
+	r.At(7, -9, time.Millisecond, func() {})
+	if r.PairCount(0, 1) != 1 {
+		t.Fatalf("PairCount(0,1)=%d, want 1", r.PairCount(0, 1))
+	}
+	if r.LocalCount() != 1 { // (7,-9) clamps to (0,0)
+		t.Fatalf("LocalCount()=%d, want 1", r.LocalCount())
+	}
+	if NewRouter(k, 0).K() != 1 {
+		t.Fatal("shards<1 must clamp to 1")
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// benchGridSide returns the large-grid side length for the shard-scaling
+// benchmark. The recorded BENCH_7 run uses the default 2048 (4.2M regions
+// — the arena and heap far exceed cache, which is the regime sharding
+// helps); CI smoke runs set VINESTALK_SHARD_GRID to something small.
+func benchGridSide() int {
+	if s := os.Getenv("VINESTALK_SHARD_GRID"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 2048
+}
+
+// BenchmarkShardedScaling measures events/sec of the grid workload at
+// K ∈ {1, 2, 4, 8} shards. On a single CPU the win is locality, not
+// parallelism: each shard's arena and 4-ary heap is K× smaller, so a
+// shard's δ-window of events runs against a cache-resident working set
+// instead of thrashing the full-grid structures. cmd/bench parses the
+// events/s metric and gates K=8 ≥ 2× K=1 in BENCH_7.json.
+func BenchmarkShardedScaling(b *testing.B) {
+	g := benchGridSide()
+	const periods = 12
+	horizon := time.Duration(periods) * gridDelta
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var events uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newGridWorld(g, k)
+				b.StartTimer()
+				events += w.eng.RunUntil(horizon)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

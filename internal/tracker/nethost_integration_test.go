@@ -403,3 +403,85 @@ func TestNetHostChaosConservation(t *testing.T) {
 		t.Fatal("no message kinds accounted — workload never ran")
 	}
 }
+
+// TestNetHostStopMidFlightConservation stops the service while frames are
+// still sitting in their §II-C.3 hold window and checks the conservation
+// invariant on the ledger the moment Stop returns: Stop must claim every
+// held frame (recording it as a DropDeadVSA) or wait out its in-flight
+// delivery — no frame may resolve after Stop, and none may vanish
+// unaccounted.
+func TestNetHostStopMidFlightConservation(t *testing.T) {
+	const side = 4
+	// A long δ keeps every frame sent below in hold when Stop arrives.
+	const slowDelta = 250 * time.Millisecond
+	nh, svc, _ := netStack(t, side, tracker.NetConfig{Delta: slowDelta, Unit: slowDelta + netLagE})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nh.PlaceObject(tracker.DefaultObject, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Burst of moves and finds: each emits frames due ≈ now+δ, all still
+	// held when Stop races them a few milliseconds later.
+	cur := geo.RegionID(0)
+	for _, to := range []geo.RegionID{1, 5, 6} {
+		_ = nh.MoveObject(tracker.DefaultObject, cur, to)
+		cur = to
+		_, _ = nh.Find(geo.RegionID(15))
+	}
+	time.Sleep(5 * time.Millisecond) // let sends reach Receive and enter hold
+	svc.Stop()
+
+	snap := svc.LedgerSnapshot()
+	checked := 0
+	var deadVSADrops int64
+	for kind, sent := range snap.MsgCount {
+		delivered := snap.Delivered[kind]
+		var dropped int64
+		for _, n := range snap.Drops[kind] {
+			dropped += n
+		}
+		if delivered+dropped != sent {
+			t.Errorf("%s: sent %d != delivered %d + dropped %d", kind, sent, delivered, dropped)
+		}
+		deadVSADrops += snap.Drops[kind][metrics.DropDeadVSA]
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no message kinds accounted — workload never ran")
+	}
+	if deadVSADrops == 0 {
+		t.Error("no DropDeadVSA drops recorded — Stop claimed no held frames, so the mid-flight window never existed")
+	}
+
+	// The ledger must be quiescent: no held-frame timer survived Stop.
+	time.Sleep(2 * slowDelta)
+	if after := svc.LedgerSnapshot(); !snapshotsEqual(snap, after) {
+		t.Error("ledger changed after Stop returned — a held frame resolved late")
+	}
+}
+
+// snapshotsEqual compares the counters conservation cares about.
+func snapshotsEqual(a, b metrics.Snapshot) bool {
+	if len(a.MsgCount) != len(b.MsgCount) || len(a.Delivered) != len(b.Delivered) || len(a.Drops) != len(b.Drops) {
+		return false
+	}
+	for k, v := range b.MsgCount {
+		if a.MsgCount[k] != v {
+			return false
+		}
+	}
+	for k, v := range b.Delivered {
+		if a.Delivered[k] != v {
+			return false
+		}
+	}
+	for k, causes := range b.Drops {
+		for c, v := range causes {
+			if a.Drops[k][c] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
