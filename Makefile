@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke shards-smoke experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke shards-smoke multiobject-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -38,24 +38,28 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path micro-benchmarks (event kernel, failover routing, networked-host
-# round trip, shard-scaling curve), recorded as BENCH_7.json — suite
-# wall-clock, ns/op, allocs/op, the cached-vs-uncached failover speedup
-# (the run fails below 2x), and events/sec at K ∈ {1,2,4,8} shards on the
-# 2048² grid (the run fails below 2x at K=8). Future PRs extend the
-# trajectory by re-running this after touching a hot path.
+# round trip, shard-scaling curve, multi-object fan-out), recorded as
+# BENCH_8.json — suite wall-clock, ns/op, allocs/op, the cached-vs-uncached
+# failover speedup (the run fails below 2x), events/sec at K ∈ {1,2,4,8}
+# shards on the 2048² grid (the run fails below 2x at K=8), and the
+# multi-object scaling curve (objects/sec, bytes/region, frames/round at
+# k ∈ {100, 1e3, 1e4}; the run fails unless batched C-gcast beats unbatched
+# by 2x in frames at the largest k). Future PRs extend the trajectory by
+# re-running this after touching a hot path.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_7.json
+	$(GO) run ./cmd/bench -out BENCH_8.json
 
 # Full benchmark sweep: one target per experiment table plus micro-benches.
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # CI gate: each micro-benchmark once (wiring check — single-iteration
-# timings are too noisy for the 2x speedup gate, which `make bench`
-# enforces) plus the zero-allocation regression tests pinning the
+# timings are too noisy for the 2x speedup gates, which `make bench`
+# enforces; the batch frame gain is a deterministic count ratio and stays
+# gated even here) plus the zero-allocation regression tests pinning the
 # steady-state claims.
 bench-smoke:
-	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -min-shard-speedup 0 -shard-grid 256 -out BENCH_7.json
+	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -min-shard-speedup 0 -shard-grid 256 -out BENCH_8.json
 	$(GO) test -run 'ZeroAlloc' -v ./internal/sim ./internal/geocast
 
 # Networked-host smoke: the nethost runtime and the tracker-over-nethost
@@ -64,7 +68,7 @@ bench-smoke:
 nethost-smoke:
 	$(GO) test -race ./internal/nethost
 	$(GO) test -race -run 'TestNetHost' ./internal/tracker
-	$(GO) test -run 'FuzzDecodeRegion|FuzzDecodeClusterMessage' ./internal/tracker
+	$(GO) test -run 'FuzzDecodeRegion|FuzzDecodeClusterMessage|FuzzDecodeClusterBatch' ./internal/tracker
 
 # Sharded-kernel smoke: the conservative engine under the race detector
 # (determinism across K, lookahead enforcement, zero-alloc send), the
@@ -75,6 +79,18 @@ shards-smoke:
 	$(GO) test -run 'TestPartition' ./internal/geo
 	$(GO) test -run 'TestShard' ./internal/core
 	$(GO) test -run 'TestKernelAndRouteCacheExperimentsByteIdentical' ./internal/experiments
+
+# Multi-object smoke: the quick E13 fan-out run (concurrent objects with
+# sampled Theorem 4.8/4.9 checks and the batching-beats-k-sends bar), the
+# object-lifecycle regression tests (quiescence eviction, stale-envelope
+# rejection, frame reduction), the E8 worker x shard byte-identity matrix,
+# and the multi-object wire-codec fuzz seed corpora.
+multiobject-smoke:
+	$(GO) run ./cmd/experiments -quick -only E13
+	$(GO) test -run 'TestChurnEvictsToBaseline|TestStaleEnvelopeDoesNotAllocateState|TestMoveSpansSeparateConcurrentObjects' ./internal/tracker
+	$(GO) test -run 'TestBatchingReducesFrames|TestDefaultConfigRecordsNoFrames' ./internal/core
+	$(GO) test -run 'TestMultiObjectExperimentByteIdentical' ./internal/experiments
+	$(GO) test -run 'FuzzDecodeRegion|FuzzDecodeClusterMessage|FuzzDecodeClusterBatch' ./internal/tracker
 
 # Regenerate every paper claim (EXPERIMENTS.md tables).
 experiments:

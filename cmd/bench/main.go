@@ -1,28 +1,40 @@
 // Command bench runs the hot-path micro-benchmarks (event-kernel
 // schedule/cancel/churn, geocast failover routing, the networked-host
-// frame round trip, and the sharded-kernel scaling curve) and records the
-// results machine-readably, so successive PRs leave a performance
-// trajectory instead of anecdotes.
+// frame round trip, the sharded-kernel scaling curve, and the multi-object
+// fan-out workload) and records the results machine-readably, so
+// successive PRs leave a performance trajectory instead of anecdotes.
 //
 // It shells out to `go test -bench` on the packages that own the
-// benchmarks, parses the standard benchmark output, computes the
-// cached-vs-uncached failover speedup and the shard-scaling curve
-// (events/sec at K ∈ {1,2,4,8} on a -shard-grid² grid), and writes a JSON
-// report (default BENCH_7.json):
+// benchmarks and parses the standard benchmark output generically: every
+// "<value> <unit>" pair on a benchmark line is captured, with the standard
+// ns/op, B/op, and allocs/op promoted to fields and every custom
+// b.ReportMetric unit (events/s, objects/s, bytes/region, frames/round)
+// kept in a per-benchmark metrics map. From those it computes the
+// cached-vs-uncached failover speedup, the shard-scaling curve (events/sec
+// at K ∈ {1,2,4,8} on a -shard-grid² grid), and the multi-object scaling
+// curve (objects/sec, bytes/region, frames/round, and the
+// batched-vs-unbatched frame gain at each fan-out), and writes a JSON
+// report (default BENCH_8.json):
 //
 //	{
 //	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
-//	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op", "events_per_sec"}, …],
+//	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op", "metrics": {unit: value}}, …],
 //	  "failover_speedup": …,       // uncached ns/op ÷ cached ns/op
 //	  "shard_scaling": [{"k", "events_per_sec"}, …],
-//	  "shard_speedup_k8": …        // events/s at K=8 ÷ events/s at K=1
+//	  "shard_speedup_k8": …,       // events/s at K=8 ÷ events/s at K=1
+//	  "multi_object_scaling": [{"objects", "objects_per_sec", "bytes_per_region",
+//	                            "frames_per_round", "batch_frame_gain"}, …],
+//	  "batch_frame_gain": …        // unbatched ÷ batched frames/round at the largest fan-out
 //	}
 //
 // The run fails (non-zero exit) if the failover speedup falls below
-// -min-speedup (default 2), or the K=8 shard speedup falls below
-// -min-shard-speedup (default 2): the epoch cache earning less than 2x
-// over per-hop BFS, or eight shards earning less than 2x over one kernel
-// on the large grid, is a performance regression, not a tuning matter.
+// -min-speedup (default 2), the K=8 shard speedup falls below
+// -min-shard-speedup (default 2), or the batched C-gcast frame gain at the
+// largest fan-out falls below -min-batch-gain (default 2). The first two
+// are timing ratios and are disabled for single-iteration smoke runs;
+// frame counts are deterministic, so the batch-gain gate holds even at
+// -benchtime 1x — batching that fails to beat k independent sends by 2x is
+// a regression, not a tuning matter.
 package main
 
 import (
@@ -35,24 +47,27 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // benchPackages own the micro-benchmarks; benchPattern selects exactly the
 // hot-path ones (the experiment-table benchmarks live in the repo root and
 // are not part of this report).
-var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast", "vinestalk/internal/nethost"}
+var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast",
+	"vinestalk/internal/nethost", "vinestalk/internal/core"}
 
-const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling)$"
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling|BenchmarkMultiObject)$"
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line: the standard columns as fields,
+// every custom b.ReportMetric unit in Metrics.
 type result struct {
-	Name         string  `json:"name"`
-	Iters        int64   `json:"iters"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // shardPoint is one point of the shard-scaling curve.
@@ -61,32 +76,87 @@ type shardPoint struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
-// report is the BENCH_7.json document.
-type report struct {
-	GoVersion         string       `json:"go_version"`
-	GOMAXPROCS        int          `json:"gomaxprocs"`
-	Benchtime         string       `json:"benchtime"`
-	ShardGrid         int          `json:"shard_grid"`
-	SuiteWallClockSec float64      `json:"suite_wall_clock_sec"`
-	Benchmarks        []result     `json:"benchmarks"`
-	FailoverSpeedup   float64      `json:"failover_speedup"`
-	ShardScaling      []shardPoint `json:"shard_scaling,omitempty"`
-	ShardSpeedupK8    float64      `json:"shard_speedup_k8,omitempty"`
+// multiPoint is one point of the multi-object scaling curve (from the
+// batched run at that fan-out; the gain divides in the unbatched run).
+type multiPoint struct {
+	Objects        int     `json:"objects"`
+	ObjectsPerSec  float64 `json:"objects_per_sec"`
+	BytesPerRegion float64 `json:"bytes_per_region"`
+	FramesPerRound float64 `json:"frames_per_round"`
+	BatchFrameGain float64 `json:"batch_frame_gain"`
 }
 
-// benchLine matches standard `go test -bench -benchmem` output, e.g.
-// "BenchmarkGeocastFailover/cached-8  1000000  23.3 ns/op  0 B/op  0 allocs/op".
-// Custom b.ReportMetric columns (events/s) appear between ns/op and B/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.e+]+) events/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// report is the BENCH_8.json document.
+type report struct {
+	GoVersion          string       `json:"go_version"`
+	GOMAXPROCS         int          `json:"gomaxprocs"`
+	Benchtime          string       `json:"benchtime"`
+	ShardGrid          int          `json:"shard_grid"`
+	SuiteWallClockSec  float64      `json:"suite_wall_clock_sec"`
+	Benchmarks         []result     `json:"benchmarks"`
+	FailoverSpeedup    float64      `json:"failover_speedup"`
+	ShardScaling       []shardPoint `json:"shard_scaling,omitempty"`
+	ShardSpeedupK8     float64      `json:"shard_speedup_k8,omitempty"`
+	MultiObjectScaling []multiPoint `json:"multi_object_scaling,omitempty"`
+	BatchFrameGain     float64      `json:"batch_frame_gain,omitempty"`
+}
 
-// shardName extracts K from "BenchmarkShardedScaling/K=8".
-var shardName = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
+// shardName extracts K from "BenchmarkShardedScaling/K=8"; multiName
+// extracts the fan-out and mode from "BenchmarkMultiObject/objects=1000/batched".
+var (
+	shardName = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
+	multiName = regexp.MustCompile(`^BenchmarkMultiObject/objects=(\d+)/(batched|unbatched)$`)
+)
+
+// parseBenchLine parses one standard `go test -bench -benchmem` output
+// line ("BenchmarkX-8  100  12.3 ns/op  4 B/op  1 allocs/op" with any
+// custom units interleaved) into a result. The trailing -N GOMAXPROCS
+// suffix is stripped from the name.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name, Iters: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp, sawNs = val, true
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, sawNs
+}
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
 	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 2, "fail unless 8 shards beat 1 shard by this events/s factor")
+	minBatchGain := flag.Float64("min-batch-gain", 2, "fail unless batched C-gcast beats unbatched by this frames/round factor at the largest fan-out")
 	shardGrid := flag.Int("shard-grid", 2048, "grid side for the shard-scaling benchmark (smoke runs use a small one)")
 	flag.Parse()
 
@@ -113,27 +183,35 @@ func main() {
 		ShardGrid:         *shardGrid,
 		SuiteWallClockSec: wall.Seconds(),
 	}
-	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
-		m := benchLine.FindSubmatch(bytes.TrimSpace(line))
-		if m == nil {
+	type multiCell struct {
+		batched, unbatched result
+		hasBatched         bool
+	}
+	multi := make(map[int]*multiCell)
+	var multiKs []int
+	for _, line := range strings.Split(buf.String(), "\n") {
+		r, ok := parseBenchLine(strings.TrimSpace(line))
+		if !ok {
 			continue
-		}
-		r := result{Name: string(m[1])}
-		r.Iters, _ = strconv.ParseInt(string(m[2]), 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(string(m[3]), 64)
-		if len(m[4]) > 0 {
-			r.EventsPerSec, _ = strconv.ParseFloat(string(m[4]), 64)
-		}
-		if len(m[5]) > 0 {
-			r.BytesPerOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
-		}
-		if len(m[6]) > 0 {
-			r.AllocsPerOp, _ = strconv.ParseInt(string(m[6]), 10, 64)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		if sm := shardName.FindStringSubmatch(r.Name); sm != nil {
 			k, _ := strconv.Atoi(sm[1])
-			rep.ShardScaling = append(rep.ShardScaling, shardPoint{K: k, EventsPerSec: r.EventsPerSec})
+			rep.ShardScaling = append(rep.ShardScaling, shardPoint{K: k, EventsPerSec: r.Metrics["events/s"]})
+		}
+		if mm := multiName.FindStringSubmatch(r.Name); mm != nil {
+			k, _ := strconv.Atoi(mm[1])
+			cell := multi[k]
+			if cell == nil {
+				cell = &multiCell{}
+				multi[k] = cell
+				multiKs = append(multiKs, k)
+			}
+			if mm[2] == "batched" {
+				cell.batched, cell.hasBatched = r, true
+			} else {
+				cell.unbatched = r
+			}
 		}
 	}
 	if len(rep.Benchmarks) == 0 {
@@ -165,6 +243,23 @@ func main() {
 	if k1 > 0 && k8 > 0 {
 		rep.ShardSpeedupK8 = k8 / k1
 	}
+	for _, k := range multiKs {
+		cell := multi[k]
+		if !cell.hasBatched {
+			continue
+		}
+		p := multiPoint{
+			Objects:        k,
+			ObjectsPerSec:  cell.batched.Metrics["objects/s"],
+			BytesPerRegion: cell.batched.Metrics["bytes/region"],
+			FramesPerRound: cell.batched.Metrics["frames/round"],
+		}
+		if p.FramesPerRound > 0 {
+			p.BatchFrameGain = cell.unbatched.Metrics["frames/round"] / p.FramesPerRound
+		}
+		rep.MultiObjectScaling = append(rep.MultiObjectScaling, p)
+		rep.BatchFrameGain = p.BatchFrameGain // curve is in ascending k; last wins
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -176,8 +271,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid)\n",
-		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid)
+	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid, batch frame gain %.1fx)\n",
+		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid, rep.BatchFrameGain)
 
 	if rep.FailoverSpeedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: failover speedup %.2fx below required %.2fx\n",
@@ -187,6 +282,11 @@ func main() {
 	if rep.ShardSpeedupK8 < *minShardSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: shard speedup %.2fx at K=8 below required %.2fx\n",
 			rep.ShardSpeedupK8, *minShardSpeedup)
+		os.Exit(1)
+	}
+	if rep.BatchFrameGain < *minBatchGain {
+		fmt.Fprintf(os.Stderr, "bench: batched C-gcast frame gain %.2fx below required %.2fx\n",
+			rep.BatchFrameGain, *minBatchGain)
 		os.Exit(1)
 	}
 }

@@ -52,6 +52,9 @@ type Service struct {
 	unit      sim.Time // δ+e
 	ledger    *metrics.Ledger
 	replicate bool
+	batch     bool
+	frames    bool
+	pending   map[batchKey][]batchEntry
 	route     vbcast.RouteFunc
 }
 
@@ -83,6 +86,53 @@ func (replicateOption) apply(s *Service) { s.replicate = true }
 // the per-message work — the "additional constant factor overhead" the
 // paper predicts — in exchange for tolerating single-head VSA failures.
 func WithReplication() Option { return replicateOption{} }
+
+type batchOption struct{}
+
+func (batchOption) apply(s *Service) {
+	s.batch = true
+	s.frames = true
+	s.pending = make(map[batchKey][]batchEntry)
+}
+
+// WithBatching coalesces same-instant cluster-to-cluster traffic per
+// (source region, destination region, scheduled delivery time) into one
+// wire frame: with k objects multiplexed over one hierarchy, a round's k
+// per-object cluster messages along one edge ride a single geocast send
+// instead of k. Per-message protocol accounting ("proto/"+kind) is
+// unchanged; the frames themselves are accounted under FrameKind. Batching
+// implies frame accounting.
+func WithBatching() Option { return batchOption{} }
+
+type frameOption struct{}
+
+func (frameOption) apply(s *Service) { s.frames = true }
+
+// WithFrameAccounting records one FrameKind ledger entry per wire frame
+// without enabling batching (unbatched, every message-target send is its
+// own frame). Comparing FrameKind counts between a batched and an
+// unbatched run of the same workload measures exactly what batching saves.
+func WithFrameAccounting() Option { return frameOption{} }
+
+// FrameKind is the ledger kind for cluster-to-cluster wire frames. Each
+// recorded frame resolves to exactly one delivery or one named drop, like
+// the per-message "proto/" kinds.
+const FrameKind = "frame/cgcast"
+
+// batchKey names one coalescing bucket: all cluster messages sent this
+// instant from srcRegion to dstRegion with the same scheduled delivery
+// time share one frame.
+type batchKey struct {
+	src, dst geo.RegionID
+	due      sim.Time
+}
+
+// batchEntry is one cluster message riding a frame.
+type batchEntry struct {
+	del   Delivery
+	level int
+	kind  string // "proto/"-prefixed accounting kind
+}
 
 // New assembles the service. geom supplies the n and p parameters of the
 // delivery schedule (use the measured geometry of the hierarchy, or the
@@ -205,41 +255,98 @@ func (s *Service) ClusterToClusterFrom(srcRegion geo.RegionID, from, to hier.Clu
 	var firstErr error
 	protoKind := "proto/" + kind
 	for _, dstRegion := range targets {
-		dstRegion := dstRegion
 		s.record(kind, s.h.Graph().Distance(srcRegion, dstRegion))
-		err := s.gc.SendTracked(srcRegion, dstRegion, func() {
-			// The message is now held in dstRegion's VSA memory until the
-			// scheduled time; it dies with the VSA.
-			inc := s.layer.Incarnation(dstRegion)
-			hold := deliverAt - s.k.Now()
-			if hold < 0 {
-				hold = 0
-			}
-			s.at(dstRegion, sim.Add(s.k.Now(), hold), func() {
-				if s.layer.Incarnation(dstRegion) != inc {
-					// The holding VSA failed or restarted before the
-					// scheduled delivery time; the held message dies with
-					// its memory.
-					s.recordDrop(protoKind, metrics.DropVSAReset)
-					return
-				}
-				if !s.layer.DeliverToVSA(dstRegion, level, del) {
-					s.recordDrop(protoKind, metrics.DropDeadVSA)
-					return
-				}
-				s.recordDelivery(protoKind)
-			})
-		}, func(cause metrics.DropCause) {
-			// The protocol message died in the geocast substrate; attribute
-			// it at the proto level too so each per-kind send resolves to a
-			// delivery or a named drop.
-			s.recordDrop(protoKind, cause)
-		})
+		entry := batchEntry{del: del, level: level, kind: protoKind}
+		if s.batch {
+			s.enqueue(srcRegion, dstRegion, deliverAt, entry)
+			continue
+		}
+		s.recordFrame(s.h.Graph().Distance(srcRegion, dstRegion))
+		err := s.dispatch(srcRegion, dstRegion, deliverAt, []batchEntry{entry})
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// enqueue adds one cluster message to the (src, dst, due) frame under
+// construction, opening the frame — and scheduling its end-of-instant
+// flush — if this is the bucket's first message. Kernel events at one
+// timestamp run in schedule order, so every same-instant send for this
+// edge and round enqueued before the flush rides the same frame; a send
+// arriving after the flush (possible when a delivery handler itself sends
+// at the same instant) deterministically opens a second frame.
+func (s *Service) enqueue(srcRegion, dstRegion geo.RegionID, deliverAt sim.Time, e batchEntry) {
+	key := batchKey{src: srcRegion, dst: dstRegion, due: deliverAt}
+	if q, ok := s.pending[key]; ok {
+		s.pending[key] = append(q, e)
+		return
+	}
+	s.pending[key] = []batchEntry{e}
+	s.at(srcRegion, s.k.Now(), func() {
+		entries := s.pending[key]
+		delete(s.pending, key)
+		if len(entries) == 0 {
+			return
+		}
+		s.recordFrame(s.h.Graph().Distance(srcRegion, dstRegion))
+		if err := s.dispatch(srcRegion, dstRegion, deliverAt, entries); err != nil {
+			// The sending VSA died between enqueue and flush (same
+			// instant); the whole frame dies unsent, and so does every
+			// message riding it.
+			s.recordFrameDrop(metrics.DropDeadVSA)
+			for _, e := range entries {
+				s.recordDrop(e.kind, metrics.DropDeadVSA)
+			}
+		}
+	})
+}
+
+// dispatch sends one wire frame to dstRegion's VSA and holds it there
+// until the scheduled time. The frame resolves to exactly one FrameKind
+// delivery or drop: delivered when the holding VSA's memory survives until
+// the due time, dropped when the substrate loses it or the holder
+// fails/restarts first. Each message riding the frame then resolves its
+// own "proto/" kind the same way the unbatched path always has.
+func (s *Service) dispatch(srcRegion, dstRegion geo.RegionID, deliverAt sim.Time, entries []batchEntry) error {
+	return s.gc.SendTracked(srcRegion, dstRegion, func() {
+		// The frame is now held in dstRegion's VSA memory until the
+		// scheduled time; it dies with the VSA.
+		inc := s.layer.Incarnation(dstRegion)
+		hold := deliverAt - s.k.Now()
+		if hold < 0 {
+			hold = 0
+		}
+		s.at(dstRegion, sim.Add(s.k.Now(), hold), func() {
+			if s.layer.Incarnation(dstRegion) != inc {
+				// The holding VSA failed or restarted before the
+				// scheduled delivery time; the held frame dies with its
+				// memory.
+				s.recordFrameDrop(metrics.DropVSAReset)
+				for _, e := range entries {
+					s.recordDrop(e.kind, metrics.DropVSAReset)
+				}
+				return
+			}
+			s.recordFrameDelivery()
+			for _, e := range entries {
+				if !s.layer.DeliverToVSA(dstRegion, e.level, e.del) {
+					s.recordDrop(e.kind, metrics.DropDeadVSA)
+					continue
+				}
+				s.recordDelivery(e.kind)
+			}
+		})
+	}, func(cause metrics.DropCause) {
+		// The frame died in the geocast substrate; attribute it and every
+		// message riding it so each per-kind send resolves to a delivery
+		// or a named drop.
+		s.recordFrameDrop(cause)
+		for _, e := range entries {
+			s.recordDrop(e.kind, cause)
+		}
+	})
 }
 
 // ClientToCluster sends from a client to a level-0 cluster in its own or a
@@ -278,6 +385,33 @@ func (s *Service) record(kind string, hops int) {
 			hops = 0
 		}
 		s.ledger.RecordMessage("proto/"+kind, hops)
+	}
+}
+
+// recordFrame charges one wire frame. Frames are accounted only when
+// frame accounting is on (batching, or WithFrameAccounting) so default
+// configurations keep their historical ledger totals.
+func (s *Service) recordFrame(hops int) {
+	if s.ledger != nil && s.frames {
+		if hops < 0 {
+			hops = 0
+		}
+		s.ledger.RecordMessage(FrameKind, hops)
+	}
+}
+
+// recordFrameDelivery and recordFrameDrop resolve a charged frame; they
+// gate on the same flag as recordFrame so the FrameKind row conserves
+// exactly (sent == delivered + dropped) whether or not it exists.
+func (s *Service) recordFrameDelivery() {
+	if s.frames {
+		s.recordDelivery(FrameKind)
+	}
+}
+
+func (s *Service) recordFrameDrop(cause metrics.DropCause) {
+	if s.frames {
+		s.recordDrop(FrameKind, cause)
 	}
 }
 

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/tracker"
+)
+
+// runBatchWorkload drives an identical k-object workload — lockstep moves
+// so the per-object cascades coincide in time, then a find per object —
+// and returns the final ledger snapshot and found count.
+func runBatchWorkload(t *testing.T, cfg Config) (metrics.Snapshot, int) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []interface{ MoveTo(geo.RegionID) error }{s.Evader()}
+	for obj := tracker.ObjectID(1); obj < 4; obj++ {
+		ev, err := s.AddObject(obj, cfg.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Tiling()
+	for _, to := range []geo.RegionID{g.RegionAt(1, 0), g.RegionAt(1, 1), g.RegionAt(2, 1)} {
+		for _, ev := range evs {
+			if err := ev.MoveTo(to); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for obj := tracker.ObjectID(0); obj < 4; obj++ {
+		if _, err := s.FindObject(g.RegionAt(7, 7), obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Ledger().Snapshot(), len(s.Founds())
+}
+
+// TestBatchingReducesFrames pins the batching win and its safety: the same
+// k-object workload run batched and unbatched produces identical protocol
+// traffic and identical find results, while the batched run puts strictly
+// fewer wire frames on the ledger than k independent sends — the lockstep
+// cascades share (edge, round) buckets.
+func TestBatchingReducesFrames(t *testing.T) {
+	base := Config{Width: 8, AlwaysAliveVSAs: true, Start: 0}
+	plain := base
+	plain.CountFrames = true
+	batched := base
+	batched.BatchCgcast = true
+
+	plainSnap, plainFound := runBatchWorkload(t, plain)
+	batchSnap, batchFound := runBatchWorkload(t, batched)
+
+	if plainFound != 4 || batchFound != 4 {
+		t.Fatalf("founds: plain %d, batched %d, want 4 each", plainFound, batchFound)
+	}
+	// Protocol behavior is untouched: every "proto/" kind has identical
+	// send and delivery counts in both runs.
+	for kind, sent := range plainSnap.MsgCount {
+		if len(kind) > 6 && kind[:6] == "proto/" {
+			if got := batchSnap.MsgCount[kind]; got != sent {
+				t.Errorf("%s sent: plain %d, batched %d", kind, sent, got)
+			}
+			if want, got := plainSnap.Delivered[kind], batchSnap.Delivered[kind]; got != want {
+				t.Errorf("%s delivered: plain %d, batched %d", kind, want, got)
+			}
+		}
+	}
+
+	plainFrames := plainSnap.MsgCount[cgcast.FrameKind]
+	batchFrames := batchSnap.MsgCount[cgcast.FrameKind]
+	if plainFrames == 0 || batchFrames == 0 {
+		t.Fatalf("frame accounting missing: plain %d, batched %d", plainFrames, batchFrames)
+	}
+	if batchFrames >= plainFrames {
+		t.Fatalf("batching saved nothing: %d frames batched vs %d unbatched", batchFrames, plainFrames)
+	}
+
+	// The frame kind conserves exactly in both modes: every charged frame
+	// resolved to a delivery or a named drop.
+	for name, snap := range map[string]metrics.Snapshot{"plain": plainSnap, "batched": batchSnap} {
+		var dropped int64
+		for _, n := range snap.Drops[cgcast.FrameKind] {
+			dropped += n
+		}
+		if snap.MsgCount[cgcast.FrameKind] != snap.Delivered[cgcast.FrameKind]+dropped {
+			t.Errorf("%s: frame ledger does not conserve: sent %d, delivered %d, dropped %d",
+				name, snap.MsgCount[cgcast.FrameKind], snap.Delivered[cgcast.FrameKind], dropped)
+		}
+	}
+}
+
+// TestDefaultConfigRecordsNoFrames guards the ledger compatibility
+// contract: without BatchCgcast or CountFrames, the frame kind must not
+// appear — historical totals (TotalMessages, experiment tables) depend on
+// it.
+func TestDefaultConfigRecordsNoFrames(t *testing.T) {
+	s, err := New(Config{Width: 4, AlwaysAliveVSAs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.MoveStats(s.Tiling().RegionAt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Ledger().Snapshot()
+	if n := snap.MsgCount[cgcast.FrameKind]; n != 0 {
+		t.Fatalf("default config recorded %d frames", n)
+	}
+	if n := snap.Delivered[cgcast.FrameKind]; n != 0 {
+		t.Fatalf("default config recorded %d frame deliveries", n)
+	}
+}

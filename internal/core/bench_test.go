@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/core"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/tracker"
+)
+
+// BenchmarkMultiObject measures the service at production fan-out: k
+// tracked objects multiplexed over one 16x16 hierarchy with batched
+// C-gcast. One iteration attaches k objects (k concurrent grow cascades),
+// runs three rounds of concurrent sampled moves, and one round of
+// concurrent sampled finds. Beyond ns/op it reports:
+//
+//	objects/s    — attach throughput: k objects over the attach+settle wall clock
+//	bytes/region — mean settled EncodeRegion size (the per-region object
+//	               tables; quiescence eviction keeps this proportional to
+//	               the objects actually rooted through each region)
+//	frames/round — ledger cgcast frames per settle round (batching pays
+//	               one frame per edge per round, not one per object)
+//
+// Each fan-out level runs twice — batched and unbatched (frame accounting
+// only) — so the ratio of the two frames/round readings is the measured
+// batching gain. cmd/bench parses these into BENCH_8.json as the
+// multi-object scaling curve and gates on the gain at the largest k (frame
+// counts are deterministic, so the gate holds even at -benchtime 1x).
+func BenchmarkMultiObject(b *testing.B) {
+	for _, k := range []int{100, 1000, 10000} {
+		for _, mode := range []string{"batched", "unbatched"} {
+			batch := mode == "batched"
+			b.Run(fmt.Sprintf("objects=%d/%s", k, mode), func(b *testing.B) {
+				var objsPerSec, bytesPerRegion, framesPerRound float64
+				for i := 0; i < b.N; i++ {
+					o, bpr, fpr := multiObjectIteration(b, k, batch)
+					objsPerSec, bytesPerRegion, framesPerRound = o, bpr, fpr
+				}
+				b.ReportMetric(objsPerSec, "objects/s")
+				b.ReportMetric(bytesPerRegion, "bytes/region")
+				b.ReportMetric(framesPerRound, "frames/round")
+			})
+		}
+	}
+}
+
+// multiObjectIteration runs one full fan-out workload and returns the three
+// reported metrics.
+func multiObjectIteration(b *testing.B, k int, batch bool) (objsPerSec, bytesPerRegion, framesPerRound float64) {
+	b.Helper()
+	const side = 16
+	svc, err := core.New(core.Config{
+		Width:           side,
+		AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(side*side/2 + side/2),
+		Seed:            11,
+		BatchCgcast:     batch,
+		CountFrames:     !batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Attach phase: k-1 extra objects scattered deterministically, one
+	// settle absorbing all concurrent grow cascades.
+	attachStart := time.Now()
+	evaders := map[tracker.ObjectID]*evader.Evader{tracker.DefaultObject: svc.Evader()}
+	regions := svc.Tiling().NumRegions()
+	for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
+		ev, err := svc.AddObject(obj, geo.RegionID((int(obj)*37)%regions))
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaders[obj] = ev
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	objsPerSec = float64(k) / time.Since(attachStart).Seconds()
+	rounds := 1
+
+	// Move phase: three rounds of concurrent sampled moves.
+	sample := sampleObjects(k, 64)
+	for round := 0; round < 3; round++ {
+		for _, obj := range sample {
+			ev := evaders[obj]
+			nbrs := svc.Tiling().Neighbors(ev.Region())
+			if err := ev.MoveTo(nbrs[(int(obj)+round)%len(nbrs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := svc.Settle(); err != nil {
+			b.Fatal(err)
+		}
+		rounds++
+	}
+
+	// Find phase: concurrent finds for the sampled objects from one corner.
+	ids := make([]tracker.FindID, 0, len(sample))
+	for _, obj := range sample {
+		id, err := svc.FindObject(geo.RegionID(0), obj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	rounds++
+	for _, id := range ids {
+		if !svc.FindDone(id) {
+			b.Fatalf("find %d never completed", id)
+		}
+	}
+
+	var stateBytes int
+	aut := svc.Network().Automaton()
+	for u := 0; u < regions; u++ {
+		stateBytes += len(aut.EncodeRegion(geo.RegionID(u)))
+	}
+	bytesPerRegion = float64(stateBytes) / float64(regions)
+	framesPerRound = float64(svc.Ledger().Snapshot().MsgCount[cgcast.FrameKind]) / float64(rounds)
+	return objsPerSec, bytesPerRegion, framesPerRound
+}
+
+// sampleObjects picks a deterministic spread of n object ids out of k
+// (including the default object when it lands on stride 0).
+func sampleObjects(k, n int) []tracker.ObjectID {
+	if n > k {
+		n = k
+	}
+	out := make([]tracker.ObjectID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, tracker.ObjectID(i*k/n))
+	}
+	return out
+}

@@ -69,6 +69,17 @@ type Config struct {
 	// heads (doubling message work), and the replica speaks for the
 	// cluster while the primary head's VSA is down.
 	ReplicatedHeads bool
+	// BatchCgcast coalesces same-instant cluster-to-cluster traffic per
+	// (source region, destination region, delivery round) into one wire
+	// frame, so k objects multiplexed over one hierarchy pay one frame per
+	// edge per round instead of k. Protocol semantics and per-message
+	// "proto/" accounting are unchanged; frames appear in the ledger under
+	// cgcast.FrameKind.
+	BatchCgcast bool
+	// CountFrames records cgcast.FrameKind ledger entries without enabling
+	// batching (one frame per message-target send) — the unbatched side of
+	// a batching comparison. Implied by BatchCgcast.
+	CountFrames bool
 	// FormulaGeometry uses the paper's closed-form grid parameters
 	// (§II-B) for the C-gcast schedule instead of measuring the tight ones
 	// — measurement is exhaustive and O(clusters · regions · members), so
@@ -241,6 +252,11 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	if cfg.ReplicatedHeads {
 		cgOpts = append(cgOpts, cgcast.WithReplication())
 	}
+	if cfg.BatchCgcast {
+		cgOpts = append(cgOpts, cgcast.WithBatching())
+	} else if cfg.CountFrames {
+		cgOpts = append(cgOpts, cgcast.WithFrameAccounting())
+	}
 	cg, err := cgcast.New(h, s.layer, gc, vb, s.geom, s.ledger, cgOpts...)
 	if err != nil {
 		return nil, err
@@ -404,6 +420,17 @@ func (s *Service) AddObject(obj tracker.ObjectID, start geo.RegionID) (*evader.E
 	}
 	s.net.AttachObject(obj, ev.Region)
 	return ev, nil
+}
+
+// RemoveObject stops tracking an object added with AddObject: its tracking
+// path is dismantled through the normal shrink cascade, and once the
+// network settles every region's per-object state and encoding are back at
+// their pre-object baseline (the quiescence eviction rule).
+func (s *Service) RemoveObject(obj tracker.ObjectID) error {
+	if obj == tracker.DefaultObject {
+		return errors.New("core: object 0 is the primary evader and cannot be removed")
+	}
+	return s.net.RemoveObject(obj)
 }
 
 // FindObject issues a find for one of several tracked objects.

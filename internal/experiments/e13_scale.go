@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/core"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/lookahead"
+	"vinestalk/internal/tracker"
+)
+
+// E13Scale drives the §VII multiple-objects extension at production
+// fan-out: up to 10^5 objects multiplexed over one hierarchy, attached in
+// waves of concurrent grow cascades, then exercised with concurrent moves
+// and concurrent finds. At this scale the paper's per-object claims are
+// checked by sampling, and the engineering claims of the fan-out work are
+// measured directly:
+//
+//   - sampled Theorem 4.8: for a fixed sample of objects, the settled
+//     per-object state vector look-aheads to atomicMoveSeq of that
+//     object's trail — fan-out does not perturb any object's structure;
+//   - Theorem 4.9 shape: the sampled objects walk identical routes at
+//     every k, so their measured per-move work must be identical across
+//     the sweep (independence), and each concurrent-move round must
+//     settle within the non-amortized one-move bound O(D·(δ+e)) — k-way
+//     fan-out stretches neither the work nor the time of a move;
+//   - batched C-gcast pays per (edge, round), not per object: the run
+//     repeats unbatched (frame accounting only), and the batched run must
+//     use strictly fewer wire frames, with the gain growing with k;
+//   - region state stays proportional to rooted objects: mean settled
+//     EncodeRegion size is reported per k (quiescence eviction keeps the
+//     tables compact; see DESIGN.md §8).
+func E13Scale(env Env) (*Result, error) {
+	counts := []int{1_000, 10_000, 100_000}
+	if env.Quick {
+		counts = []int{200, 1_000}
+	}
+	res := &Result{Table: Table{
+		ID:    "E13",
+		Title: "multi-object tracking at production fan-out (§VII)",
+		Claim: "10^4+ objects over one hierarchy: per-object structures stay independent (Thm 4.8/4.9 sampled), " +
+			"batched C-gcast pays per edge-round instead of per object",
+		Columns: []string{"objects", "frames batched", "frames unbatched", "frame gain",
+			"bytes/region", "move work/step", "round time max", "finds ok", "Thm 4.8 samples"},
+	}}
+
+	type point struct {
+		k            int
+		stats        scaleStats
+		plainFrames  int64
+		bytesPerReg  float64
+		moveWorkStep float64
+	}
+	points, err := cells(env, counts, func(k int) (point, error) {
+		batched, err := runScaleWorkload(env, k, true)
+		if err != nil {
+			return point{}, fmt.Errorf("k=%d batched: %w", k, err)
+		}
+		plain, err := runScaleWorkload(env, k, false)
+		if err != nil {
+			return point{}, fmt.Errorf("k=%d unbatched: %w", k, err)
+		}
+		return point{
+			k:            k,
+			stats:        batched,
+			plainFrames:  plain.frames,
+			bytesPerReg:  batched.bytesPerRegion,
+			moveWorkStep: float64(batched.moveWork) / float64(batched.moveSteps),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, p := range points {
+		gain := float64(p.plainFrames) / float64(p.stats.frames)
+		res.Table.AddRow(p.k, p.stats.frames, p.plainFrames, gain, p.bytesPerReg, p.moveWorkStep,
+			p.stats.roundMax, fmt.Sprintf("%d/%d", p.stats.findsOK, p.stats.findsAll),
+			fmt.Sprintf("%d/%d", p.stats.thm48OK, p.stats.thm48All))
+	}
+
+	for _, p := range points {
+		res.check(fmt.Sprintf("k=%d: sampled Theorem 4.8 holds", p.k),
+			p.stats.thm48OK == p.stats.thm48All, "%d/%d sampled objects look-ahead to their atomicMoveSeq",
+			p.stats.thm48OK, p.stats.thm48All)
+		res.check(fmt.Sprintf("k=%d: concurrent finds object-accurate", p.k),
+			p.stats.findsOK == p.stats.findsAll, "%d/%d", p.stats.findsOK, p.stats.findsAll)
+		res.check(fmt.Sprintf("k=%d: batching beats %d independent sends", p.k, p.k),
+			p.stats.frames < p.plainFrames, "%d frames batched vs %d unbatched",
+			p.stats.frames, p.plainFrames)
+		// Non-amortized Theorem 4.9 time bound for one move, applied to a
+		// whole concurrent round: moves are independent, so fan-out must not
+		// stretch the settle window past the single-move bound.
+		d := scaleSide - 1
+		bound := 8 * time.Duration(d) * scaleUnit
+		res.check(fmt.Sprintf("k=%d: move rounds within one-move bound", p.k),
+			p.stats.roundMax <= bound, "slowest round %v <= 8·D·(δ+e) = %v",
+			p.stats.roundMax.Round(time.Millisecond), bound)
+	}
+	// Theorem 4.9 independence: the sampled objects start at the same
+	// regions and walk the same routes at every k, so their measured move
+	// work is the same numbers regardless of how many other objects share
+	// the hierarchy.
+	minW, maxW := points[0].stats.moveWork, points[0].stats.moveWork
+	for _, p := range points[1:] {
+		if p.stats.moveWork < minW {
+			minW = p.stats.moveWork
+		}
+		if p.stats.moveWork > maxW {
+			maxW = p.stats.moveWork
+		}
+	}
+	res.check("per-move work independent of fan-out", minW == maxW,
+		"sampled move work %d..%d across k sweep", minW, maxW)
+	// The batching win must grow with fan-out: more objects share each
+	// (edge, round), so the frame gain at the largest k exceeds the gain at
+	// the smallest.
+	first, last := points[0], points[len(points)-1]
+	gainFirst := float64(first.plainFrames) / float64(first.stats.frames)
+	gainLast := float64(last.plainFrames) / float64(last.stats.frames)
+	res.check("frame gain grows with fan-out", gainLast > gainFirst,
+		"gain %.2fx at k=%d vs %.2fx at k=%d", gainFirst, first.k, gainLast, last.k)
+	return res, nil
+}
+
+const (
+	scaleSide = 16                    // grid side of every E13 cell
+	scaleUnit = 15 * time.Millisecond // default δ+e of core.Config
+	scaleWave = 5_000                 // objects attached per settle wave
+)
+
+// scaleStats is one E13 run's measured outcome.
+type scaleStats struct {
+	frames         int64         // cgcast.FrameKind messages over the whole run
+	moveWork       int64         // proto hop work of the move rounds
+	moveSteps      int           // sampled moves performed
+	roundMax       time.Duration // slowest concurrent-move round (virtual)
+	findsOK        int
+	findsAll       int
+	thm48OK        int
+	thm48All       int
+	bytesPerRegion float64 // mean settled EncodeRegion size
+}
+
+// runScaleWorkload attaches k objects in waves, runs two concurrent-move
+// rounds and one concurrent-find round over a fixed 32-object sample, and
+// returns the measured stats. batch selects batched C-gcast; the unbatched
+// run still counts frames (one per message-target send) so the two runs
+// compare the same quantity.
+func runScaleWorkload(env Env, k int, batch bool) (scaleStats, error) {
+	svc, err := env.newService(core.Config{
+		Width:           scaleSide,
+		AlwaysAliveVSAs: true,
+		Start:           centerRegion(scaleSide),
+		Seed:            11,
+		BatchCgcast:     batch,
+		CountFrames:     !batch,
+	})
+	if err != nil {
+		return scaleStats{}, err
+	}
+	regions := svc.Tiling().NumRegions()
+
+	// Attach in waves: each wave is a burst of concurrent grow cascades,
+	// settled before the next, bounding the events per settle at any k.
+	evaders := map[tracker.ObjectID]*evader.Evader{tracker.DefaultObject: svc.Evader()}
+	for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
+		ev, err := svc.AddObject(obj, geo.RegionID((int(obj)*37)%regions))
+		if err != nil {
+			return scaleStats{}, err
+		}
+		evaders[obj] = ev
+		if int(obj)%scaleWave == 0 {
+			if err := svc.Settle(); err != nil {
+				return scaleStats{}, err
+			}
+		}
+	}
+	if err := svc.Settle(); err != nil {
+		return scaleStats{}, err
+	}
+
+	// The sample is the same fixed object ids at every k — same start
+	// regions, same routes — so sampled measurements are comparable (and
+	// for work, equal) across the sweep.
+	sample := make([]tracker.ObjectID, 0, 32)
+	for i := 0; i < 32 && i < k; i++ {
+		sample = append(sample, tracker.ObjectID(i))
+	}
+
+	var st scaleStats
+	beforeMoves := svc.Ledger().Snapshot()
+	for round := 0; round < 2; round++ {
+		start := svc.Kernel().Now()
+		for _, obj := range sample {
+			ev := evaders[obj]
+			nbrs := svc.Tiling().Neighbors(ev.Region())
+			if err := ev.MoveTo(nbrs[(int(obj)+round)%len(nbrs)]); err != nil {
+				return scaleStats{}, err
+			}
+			st.moveSteps++
+		}
+		if err := svc.Settle(); err != nil {
+			return scaleStats{}, err
+		}
+		if elapsed := time.Duration(svc.Kernel().Now() - start); elapsed > st.roundMax {
+			st.roundMax = elapsed
+		}
+	}
+	st.moveWork = protoWork(svc.Ledger().Snapshot().Sub(beforeMoves))
+
+	// Concurrent finds for every sampled object from one corner, all in
+	// flight in the same settle window.
+	ids := make(map[tracker.FindID]tracker.ObjectID, len(sample))
+	for _, obj := range sample {
+		id, err := svc.FindObject(geo.RegionID(0), obj)
+		if err != nil {
+			return scaleStats{}, err
+		}
+		ids[id] = obj
+	}
+	if err := svc.Settle(); err != nil {
+		return scaleStats{}, err
+	}
+	st.findsAll = len(ids)
+	for _, r := range svc.Founds() {
+		if obj, ok := ids[r.ID]; ok && r.FoundAt == evaders[obj].Region() {
+			st.findsOK++
+		}
+	}
+
+	// Sampled Theorem 4.8: each sampled object's settled state vector
+	// look-aheads to the atomic spec of its own trail.
+	for _, obj := range sample {
+		st.thm48All++
+		want, err := lookahead.AtomicMoveSeq(svc.Hierarchy(), evaders[obj].Trail())
+		if err != nil {
+			return scaleStats{}, err
+		}
+		got := lookahead.LookAhead(lookahead.CaptureObject(svc.Network(), obj))
+		if lookahead.Equal(got, want) == "" {
+			st.thm48OK++
+		}
+	}
+
+	var stateBytes int
+	aut := svc.Network().Automaton()
+	for u := 0; u < regions; u++ {
+		stateBytes += len(aut.EncodeRegion(geo.RegionID(u)))
+	}
+	st.bytesPerRegion = float64(stateBytes) / float64(regions)
+	st.frames = svc.Ledger().Snapshot().MsgCount[cgcast.FrameKind]
+	return st, nil
+}

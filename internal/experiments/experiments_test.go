@@ -65,8 +65,8 @@ func TestAllListsUniqueIDs(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 19 {
-		t.Errorf("expected 19 experiments, got %d", len(seen))
+	if len(seen) != 20 {
+		t.Errorf("expected 20 experiments, got %d", len(seen))
 	}
 }
 

@@ -141,6 +141,35 @@ func TestKernelAndRouteCacheExperimentsByteIdentical(t *testing.T) {
 	}
 }
 
+// The multi-object experiment exercises every per-object surface at once —
+// the sorted object table, per-object eviction, object-addressed finds —
+// with k up to 4 concurrent objects. Its rendered table must be
+// byte-identical across the worker and shard matrix: any nondeterminism in
+// the per-region object tables (iteration order, eviction timing, batched
+// frame ordering) would perturb the measured work columns and surface as a
+// byte difference here.
+func TestMultiObjectExperimentByteIdentical(t *testing.T) {
+	run := func(workers, shards int) string {
+		var b strings.Builder
+		if err := RunAll(&b, Options{Quick: true, Only: []string{"E8"}, Parallel: workers, Shards: shards}); err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		return b.String()
+	}
+	sequential := run(1, 1)
+	if got := run(8, 1); got != sequential {
+		t.Errorf("E8 output at 8 workers differs from sequential run:\n--- parallel 1\n%s\n--- parallel 8\n%s",
+			sequential, got)
+	}
+	if got := run(1, 8); got != sequential {
+		t.Errorf("E8 output at 8 shards differs from 1 shard:\n--- shards 1\n%s\n--- shards 8\n%s",
+			sequential, got)
+	}
+	if got := run(8, 8); got != sequential {
+		t.Error("E8 output at 8 workers x 8 shards differs from sequential single-shard run")
+	}
+}
+
 // BenchmarkQuickSuiteSpeedup measures wall-clock of the full quick suite
 // at increasing worker counts; on multi-core hardware the 4+-worker runs
 // should complete at least ~2x faster than sequential.

@@ -161,6 +161,7 @@ func All() []Experiment {
 		{ID: "E10", Name: "value of the virtual-node layer under client mobility (§I)", Run: E10WhyVSA},
 		{ID: "E11", Name: "adversarial schedules: jitter, churn, crashes (§VI, Thm 4.8)", Run: E11Adversarial},
 		{ID: "E12", Name: "full stack on the replicated VSA emulation (§II-C, Thm 5.1)", Run: E12FullStack},
+		{ID: "E13", Name: "multi-object tracking at production fan-out (§VII)", Run: E13Scale},
 		{ID: "A1", Name: "ablation: hierarchy base r", Run: A1BaseSweep},
 		{ID: "A2", Name: "ablation: clusterhead placement", Run: A2HeadPlacement},
 		{ID: "A3", Name: "ablation: timer slack above condition (1)", Run: A3ScheduleSlack},

@@ -18,6 +18,7 @@ func (a *benchApp) NewAutomaton(u geo.RegionID, host vsa.Host) vsa.Automaton {
 	return &recAut{app: &recApp{}}
 }
 func (a *benchApp) OnStart(n *Node)               {}
+func (a *benchApp) OnIdle(n *Node)                {}
 func (a *benchApp) HandleEffect(n *Node, eff any) {}
 func (a *benchApp) DeliverFrame(n *Node, kind string, payload []byte) {
 	a.done <- struct{}{}

@@ -67,6 +67,13 @@ type App interface {
 	// DeliverFrame hands the node one frame that reached its due time —
 	// typically decoded and fed to the automaton's Deliver.
 	DeliverFrame(n *Node, kind string, payload []byte)
+
+	// OnIdle runs on the node goroutine after the node has drained every
+	// input already sitting in its mailbox — the end of one processing
+	// burst. Apps that buffer per-burst work (e.g. coalescing the burst's
+	// outbound messages into batched frames) flush it here; apps with
+	// nothing to flush implement it as a no-op.
+	OnIdle(n *Node)
 }
 
 // Config sizes a Service.

@@ -64,6 +64,7 @@ func (a *recApp) NewAutomaton(u geo.RegionID, host vsa.Host) vsa.Automaton {
 }
 
 func (a *recApp) OnStart(n *Node)               {}
+func (a *recApp) OnIdle(n *Node)                {}
 func (a *recApp) HandleEffect(n *Node, eff any) {}
 func (a *recApp) DeliverFrame(n *Node, kind string, payload []byte) {
 	a.mu.Lock()

@@ -76,12 +76,27 @@ func (n *Node) run() {
 	defer n.svc.wg.Done()
 	defer n.stopWallTimers()
 	n.svc.app.OnStart(n)
+	n.svc.app.OnIdle(n)
 	for {
 		select {
 		case <-n.dead:
 			return
 		case m := <-n.mb:
 			n.dispatch(m)
+			// Drain whatever already queued behind it without blocking, then
+			// let the app flush per-burst buffered work (batched frames).
+		drain:
+			for {
+				select {
+				case <-n.dead:
+					return
+				case m := <-n.mb:
+					n.dispatch(m)
+				default:
+					break drain
+				}
+			}
+			n.svc.app.OnIdle(n)
 		}
 	}
 }

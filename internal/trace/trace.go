@@ -41,13 +41,25 @@ func OpFind(id int64) uint64 { return opClassFind<<opClassShift | uint64(id)&opS
 // epoch (the grow/shrink cascade triggered by an object region change).
 func OpMove(seq uint64) uint64 { return opClassMove<<opClassShift | seq&opSeqMask }
 
-// OpString renders an operation id ("find#12", "move#3"); empty for 0.
+// OpMoveFor is OpMove for one of several tracked objects: the object id
+// occupies bits [32,60) and the object's own epoch counter the low 32, so
+// concurrent cascades of different objects never share an operation id.
+// OpMoveFor(0, seq) == OpMove(seq) — single-object traces are unchanged.
+func OpMoveFor(obj int32, seq uint64) uint64 {
+	return opClassMove<<opClassShift | uint64(uint32(obj))<<32 | seq&0xFFFFFFFF
+}
+
+// OpString renders an operation id ("find#12", "move#3", "obj2/move#3");
+// empty for 0.
 func OpString(op uint64) string {
 	seq := op & opSeqMask
 	switch op >> opClassShift {
 	case opClassFind:
 		return fmt.Sprintf("find#%d", seq)
 	case opClassMove:
+		if obj := seq >> 32; obj != 0 {
+			return fmt.Sprintf("obj%d/move#%d", obj, seq&0xFFFFFFFF)
+		}
 		return fmt.Sprintf("move#%d", seq)
 	case 0:
 		if op == 0 {

@@ -155,8 +155,8 @@ func (a *Automaton) TimerFire(u geo.RegionID, id vsa.TimerID, at sim.Time) {
 	if pr == nil {
 		return
 	}
-	st, ok := pr.objs[obj]
-	if !ok {
+	st := pr.objs.get(obj)
+	if st == nil {
 		return
 	}
 	slot := st.slot(kind)
@@ -176,6 +176,10 @@ func (a *Automaton) TimerFire(u geo.RegionID, id vsa.TimerID, at sim.Time) {
 	case timerNbrLease:
 		st.onNbrLeaseExpired()
 	}
+	// A fired timer may have completed the object's teardown (e.g. the
+	// shrink send clearing the last pointer): evict the vector if it
+	// quiesced.
+	pr.maybeEvict(st)
 }
 
 // ResetRegion implements vsa.Automaton: every process hosted at u returns
@@ -200,7 +204,7 @@ func (a *Automaton) dropRegionState(u geo.RegionID) {
 		return
 	}
 	for _, level := range d.levels {
-		d.byLevel[level].objs = make(map[ObjectID]*objState)
+		d.byLevel[level].objs.clear()
 	}
 }
 

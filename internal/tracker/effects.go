@@ -87,7 +87,7 @@ func (n *Network) execSend(e sendEffect) {
 		return
 	}
 	n.tr.Emit(trace.Event{
-		At: n.k.Now(), Kind: "send", Op: n.opFor(e.Kind, e.Body), Obj: int32(e.Obj),
+		At: n.k.Now(), Kind: "send", Op: n.opFor(e.Obj, e.Kind, e.Body), Obj: int32(e.Obj),
 		Msg: e.Kind, From: int32(e.From), To: int32(e.To), Region: -1,
 		Level: int16(n.h.Level(e.From)),
 	})
@@ -111,7 +111,7 @@ func (n *Network) execRecv(e recvNoteEffect) {
 		var op uint64
 		if env, ok := e.Del.Payload.(envelope); ok {
 			obj = int32(env.Obj)
-			op = n.opFor(e.Del.Kind, env.Body)
+			op = n.opFor(env.Obj, e.Del.Kind, env.Body)
 		}
 		n.tr.Emit(trace.Event{
 			At: n.k.Now(), Kind: "recv", Op: op, Obj: obj, Msg: e.Del.Kind,

@@ -3,7 +3,6 @@ package tracker
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"vinestalk/internal/geo"
 	"vinestalk/internal/hier"
@@ -17,15 +16,41 @@ import (
 // (part of the machine state), and timer deadlines are the recorded
 // absolute times.
 //
+// Version 2 is the compact object-major layout: the per-process object
+// table is already sorted, so encoding is a single linear pass, and the
+// common case (an on-path object with no armed timers and no pending
+// finds) costs 21 bytes instead of version 1's fixed 56 — unarmed timer
+// slots and the empty pending set are elided behind a flags byte.
+//
 // Layout (big-endian):
 //
-//	u16 version | u16 numLevels
+//	u16 version(=2) | u16 numLevels
 //	per level:  u16 level | u32 numObjs
 //	per object: i32 obj | i32 c | i32 p | i32 nbrptup | i32 nbrptdown
-//	            i64 timer | i64 nbrTimeout | i64 lease | i64 nbrLease
-//	            u32 numPending | per pending: i64 findID | i32 origin
+//	            u8 flags    (bit 0..3: timer/nbrTimeout/lease/nbrLease
+//	                         armed; bit 4: pending finds follow)
+//	            per armed slot, in bit order: i64 deadline
+//	            if bit 4:   u32 numPending (≥1) | per pending: i64 findID
+//	                        | i32 origin
+//
+// Version 1 (fixed-width: all four i64 deadlines plus a u32 pending count
+// per object) is still accepted by DecodeRegion, so checkpoints taken
+// before the upgrade replay; re-encoding always produces version 2.
 
-const regionStateVersion = 1
+const (
+	regionStateVersion   = 2
+	regionStateVersionV1 = 1
+)
+
+// encFlag bits of the version-2 per-object flags byte.
+const (
+	encFlagTimer      = 1 << 0
+	encFlagNbrTimeout = 1 << 1
+	encFlagLease      = 1 << 2
+	encFlagNbrLease   = 1 << 3
+	encFlagPending    = 1 << 4
+	encFlagReserved   = 0xFF &^ (encFlagTimer | encFlagNbrTimeout | encFlagLease | encFlagNbrLease | encFlagPending)
+)
 
 // EncodeRegion implements vsa.Automaton.
 func (a *Automaton) EncodeRegion(u geo.RegionID) []byte {
@@ -39,27 +64,36 @@ func (a *Automaton) EncodeRegion(u geo.RegionID) []byte {
 	for _, level := range d.levels {
 		pr := d.byLevel[level]
 		buf = binary.BigEndian.AppendUint16(buf, uint16(level))
-		objs := make([]ObjectID, 0, len(pr.objs))
-		for obj := range pr.objs {
-			objs = append(objs, obj)
-		}
-		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(objs)))
-		for _, obj := range objs {
-			st := pr.objs[obj]
-			buf = binary.BigEndian.AppendUint32(buf, uint32(obj))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(pr.objs.len()))
+		// The table is sorted by object id: one pass, no sort, no map range.
+		for _, st := range pr.objs.s {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(st.obj))
 			buf = binary.BigEndian.AppendUint32(buf, uint32(st.c))
 			buf = binary.BigEndian.AppendUint32(buf, uint32(st.p))
 			buf = binary.BigEndian.AppendUint32(buf, uint32(st.nbrptup))
 			buf = binary.BigEndian.AppendUint32(buf, uint32(st.nbrptdown))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(st.timer.at))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(st.nbrTimeout.at))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(st.lease.at))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(st.nbrLease.at))
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.pending)))
-			for _, p := range st.pending {
-				buf = binary.BigEndian.AppendUint64(buf, uint64(p.ID))
-				buf = binary.BigEndian.AppendUint32(buf, uint32(p.Origin))
+			var flags byte
+			slots := [4]sim.Time{st.timer.at, st.nbrTimeout.at, st.lease.at, st.nbrLease.at}
+			for i, at := range slots {
+				if at != sim.Forever {
+					flags |= 1 << i
+				}
+			}
+			if len(st.pending) > 0 {
+				flags |= encFlagPending
+			}
+			buf = append(buf, flags)
+			for _, at := range slots {
+				if at != sim.Forever {
+					buf = binary.BigEndian.AppendUint64(buf, uint64(at))
+				}
+			}
+			if len(st.pending) > 0 {
+				buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.pending)))
+				for _, p := range st.pending {
+					buf = binary.BigEndian.AppendUint64(buf, uint64(p.ID))
+					buf = binary.BigEndian.AppendUint32(buf, uint32(p.Origin))
+				}
 			}
 		}
 	}
@@ -88,6 +122,16 @@ type decoder struct {
 	buf []byte
 	off int
 	err error
+}
+
+func (r *decoder) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
 }
 
 func (r *decoder) u16() uint16 {
@@ -120,6 +164,18 @@ func (r *decoder) u64() uint64 {
 	return v
 }
 
+// bytes reads n raw bytes without copying (callers that retain the slice
+// hold a view of the input buffer).
+func (r *decoder) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
 func (r *decoder) fail() {
 	if r.err == nil {
 		r.err = fmt.Errorf("tracker: truncated region state at offset %d", r.off)
@@ -134,8 +190,9 @@ func (r *decoder) remaining() int { return len(r.buf) - r.off }
 // remaining bytes is rejected up front, so a crafted frame cannot force a
 // huge allocation.
 const (
-	encObjMinSize  = 5*4 + 4*8 + 4 // pointers + timers + pending count
-	encPendingSize = 8 + 4         // findID + origin
+	encObjMinSize   = 5*4 + 1       // v2: object id + pointers + flags byte
+	encObjMinSizeV1 = 5*4 + 4*8 + 4 // v1: pointers + timers + pending count
+	encPendingSize  = 8 + 4         // findID + origin
 )
 
 // decodeTimer reads one timer deadline, rejecting negative values: the
@@ -149,6 +206,16 @@ func (r *decoder) decodeTimer() sim.Time {
 	return at
 }
 
+// decodeArmedTimer reads one version-2 armed deadline: finite (the encoder
+// elides unarmed slots, so a written ∞ is non-canonical) and non-negative.
+func (r *decoder) decodeArmedTimer() sim.Time {
+	at := r.decodeTimer()
+	if r.err == nil && at == sim.Forever {
+		r.err = fmt.Errorf("tracker: armed timer slot carries ∞ at offset %d", r.off)
+	}
+	return at
+}
+
 // DecodeRegion implements vsa.Automaton: it replaces region u's machine
 // state with a previously encoded value. Host timers are deliberately not
 // touched — the decoded deadlines are authoritative and host wakeups are
@@ -158,9 +225,12 @@ func (r *decoder) decodeTimer() sim.Time {
 // The input is untrusted (a networked host receives checkpoints over the
 // wire): length-prefixed counts are bounded against the remaining bytes
 // before any allocation, canonical form is enforced (levels in host order,
-// object ids strictly ascending, deadlines non-negative), and nothing is
-// committed until the whole frame parses — so every accepted frame is one
-// EncodeRegion could have produced, byte for byte.
+// object ids strictly ascending, deadlines non-negative, no reserved flag
+// bits, armed slots finite, a pending section only when non-empty), and
+// nothing is committed until the whole frame parses — so every accepted
+// version-2 frame is one EncodeRegion could have produced, byte for byte.
+// Version-1 frames are accepted for pre-upgrade checkpoints and re-encode
+// to the equivalent version-2 form.
 func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 	d, ok := a.regions[u]
 	if !ok {
@@ -170,8 +240,14 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 		return fmt.Errorf("tracker: region %v hosts no processes", u)
 	}
 	r := &decoder{buf: state}
-	if v := r.u16(); r.err == nil && v != regionStateVersion {
-		return fmt.Errorf("tracker: region state version %d, want %d", v, regionStateVersion)
+	version := r.u16()
+	if r.err == nil && version != regionStateVersion && version != regionStateVersionV1 {
+		return fmt.Errorf("tracker: region state version %d, want %d or %d",
+			version, regionStateVersion, regionStateVersionV1)
+	}
+	objMinSize := encObjMinSize
+	if version == regionStateVersionV1 {
+		objMinSize = encObjMinSizeV1
 	}
 	numLevels := int(r.u16())
 	if r.err == nil && numLevels != len(d.levels) {
@@ -179,7 +255,7 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 	}
 	type decodedProc struct {
 		pr   *Process
-		objs map[ObjectID]*objState
+		objs []*objState
 	}
 	decoded := make([]decodedProc, 0, numLevels)
 	for i := 0; i < numLevels && r.err == nil; i++ {
@@ -192,10 +268,13 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 			return fmt.Errorf("tracker: region %v state names level %d, which it does not host", u, level)
 		}
 		numObjs := int(r.u32())
-		if r.err == nil && numObjs > r.remaining()/encObjMinSize {
+		if r.err == nil && numObjs > r.remaining()/objMinSize {
 			return fmt.Errorf("tracker: region %v state claims %d objects with %d bytes left", u, numObjs, r.remaining())
 		}
-		objs := make(map[ObjectID]*objState, numObjs)
+		var objs []*objState
+		if numObjs > 0 {
+			objs = make([]*objState, 0, numObjs)
+		}
 		prevObj := ObjectID(0)
 		for j := 0; j < numObjs && r.err == nil; j++ {
 			obj := ObjectID(r.u32())
@@ -211,23 +290,47 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 				nbrptup:   hier.ClusterID(r.u32()),
 				nbrptdown: hier.ClusterID(r.u32()),
 			}
-			st.timer = timerSlot{st: st, kind: timerGrowShrink, at: r.decodeTimer()}
-			st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: r.decodeTimer()}
-			st.lease = timerSlot{st: st, kind: timerLease, at: r.decodeTimer()}
-			st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: r.decodeTimer()}
-			numPending := int(r.u32())
-			if r.err == nil && numPending > r.remaining()/encPendingSize {
-				return fmt.Errorf("tracker: region %v state claims %d pending finds with %d bytes left", u, numPending, r.remaining())
+			slots := [4]sim.Time{sim.Forever, sim.Forever, sim.Forever, sim.Forever}
+			hasPending := false
+			if version == regionStateVersionV1 {
+				for s := range slots {
+					slots[s] = r.decodeTimer()
+				}
+				hasPending = true // v1 always carries the pending count
+			} else {
+				flags := r.u8()
+				if r.err == nil && flags&encFlagReserved != 0 {
+					return fmt.Errorf("tracker: region %v state object %d has reserved flag bits %#x", u, obj, flags)
+				}
+				for s := range slots {
+					if flags&(1<<s) != 0 {
+						slots[s] = r.decodeArmedTimer()
+					}
+				}
+				hasPending = flags&encFlagPending != 0
 			}
-			if numPending > 0 {
-				st.pending = make([]FindPayload, 0, numPending)
+			st.timer = timerSlot{st: st, kind: timerGrowShrink, at: slots[0]}
+			st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: slots[1]}
+			st.lease = timerSlot{st: st, kind: timerLease, at: slots[2]}
+			st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: slots[3]}
+			if hasPending {
+				numPending := int(r.u32())
+				if r.err == nil && version == regionStateVersion && numPending == 0 {
+					return fmt.Errorf("tracker: region %v state object %d flags pending finds but carries none", u, obj)
+				}
+				if r.err == nil && numPending > r.remaining()/encPendingSize {
+					return fmt.Errorf("tracker: region %v state claims %d pending finds with %d bytes left", u, numPending, r.remaining())
+				}
+				if numPending > 0 {
+					st.pending = make([]FindPayload, 0, numPending)
+				}
+				for p := 0; p < numPending && r.err == nil; p++ {
+					id := FindID(r.u64())
+					origin := geo.RegionID(r.u32())
+					st.pending = append(st.pending, FindPayload{ID: id, Origin: origin})
+				}
 			}
-			for p := 0; p < numPending && r.err == nil; p++ {
-				id := FindID(r.u64())
-				origin := geo.RegionID(r.u32())
-				st.pending = append(st.pending, FindPayload{ID: id, Origin: origin})
-			}
-			objs[obj] = st
+			objs = append(objs, st)
 		}
 		decoded = append(decoded, decodedProc{pr: pr, objs: objs})
 	}
@@ -237,9 +340,10 @@ func (a *Automaton) DecodeRegion(u geo.RegionID, state []byte) error {
 	if r.off != len(state) {
 		return fmt.Errorf("tracker: %d trailing bytes in region %v state", len(state)-r.off, u)
 	}
-	// Commit only after a fully successful parse.
+	// Commit only after a fully successful parse. The objects decoded in
+	// strictly ascending order are exactly the sorted table invariant.
 	for _, dp := range decoded {
-		dp.pr.objs = dp.objs
+		dp.pr.objs = objTable{s: dp.objs}
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package tracker
+
+import (
+	"bytes"
+	"testing"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+)
+
+// liveObjects sums the per-process object tables across the whole machine
+// (primaries and backups) — the footprint the quiescence eviction bounds.
+func liveObjects(a *Automaton) int {
+	total := 0
+	for _, pr := range a.procs {
+		total += pr.LiveObjects()
+	}
+	for _, pr := range a.backups {
+		if pr != nil {
+			total += pr.LiveObjects()
+		}
+	}
+	return total
+}
+
+// TestStaleEnvelopeDoesNotAllocateState is the regression test for the
+// object-state leak: a message for an unknown object whose payload implies
+// no structure (all pointers stay nil, no timers armed, nothing pending)
+// must not leave a persistent state vector behind. Before the quiescence
+// eviction, every such envelope — e.g. a chaos-delayed shrink replayed to
+// a region the object never legitimately rooted through — grew the
+// process's object table forever.
+func TestStaleEnvelopeDoesNotAllocateState(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	f.settle()
+	aut := f.net.Automaton()
+
+	// A mid-hierarchy process far from the evader's path.
+	var pr *Process
+	for _, cand := range aut.procs {
+		if cand.Level() == 1 {
+			if c, p, _, _ := cand.Pointers(); c == hier.NoCluster && p == hier.NoCluster {
+				pr = cand
+				break
+			}
+		}
+	}
+	if pr == nil {
+		t.Fatal("no off-path level-1 process found")
+	}
+	nbrs := f.h.Nbrs(pr.Cluster())
+	if len(nbrs) == 0 {
+		t.Fatal("process has no neighbor clusters")
+	}
+	from := nbrs[0]
+
+	const ghost = ObjectID(99)
+	structureFree := []cgcast.Delivery{
+		{Kind: KindShrink, Payload: envelope{Obj: ghost}, From: from, FromRegion: f.h.Head(from)},
+		{Kind: KindShrinkUpd, Payload: envelope{Obj: ghost}, From: from, FromRegion: f.h.Head(from)},
+		{Kind: KindFindQuery, Payload: envelope{Obj: ghost}, From: from, FromRegion: f.h.Head(from)},
+		{Kind: KindFindAck, Payload: envelope{Obj: ghost, Body: hier.NoCluster}, From: from, FromRegion: f.h.Head(from)},
+	}
+	for _, d := range structureFree {
+		beforeLive := liveObjects(aut)
+		beforeTable := pr.LiveObjects()
+		// Replay the envelope twice: the "dropped then replayed" shape of
+		// the bug report.
+		pr.receive(d)
+		pr.receive(d)
+		f.settle()
+		if got := pr.LiveObjects(); got != beforeTable {
+			t.Errorf("%s for unknown object grew len(pr.objs): %d -> %d", d.Kind, beforeTable, got)
+		}
+		if got := liveObjects(aut); got != beforeLive {
+			t.Errorf("%s for unknown object grew machine-wide state: %d -> %d", d.Kind, beforeLive, got)
+		}
+	}
+}
+
+// TestChurnEvictsToBaseline is the acceptance check for the lifecycle fix:
+// an object that is created, tracked through several moves, found, and
+// then removed leaves no residue — every region's EncodeRegion bytes and
+// the machine-wide live-object count return exactly to the pre-object
+// baseline.
+func TestChurnEvictsToBaseline(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	f.settle()
+	aut := f.net.Automaton()
+
+	baselineLive := liveObjects(aut)
+	baselineEnc := make(map[geo.RegionID][]byte, f.tiling.NumRegions())
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		baselineEnc[geo.RegionID(u)] = aut.EncodeRegion(geo.RegionID(u))
+	}
+
+	const obj = ObjectID(7)
+	ev := addSecondEvader(t, f, obj, geo.RegionID(10))
+	f.settle()
+	for _, to := range []geo.RegionID{11, 15, 14} {
+		if err := ev.MoveTo(to); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+	}
+	if _, err := f.net.FindObject(geo.RegionID(0), obj); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	if got := liveObjects(aut); got <= baselineLive {
+		t.Fatalf("tracked object holds no state: live %d, baseline %d", got, baselineLive)
+	}
+
+	if err := f.net.RemoveObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+
+	if got := liveObjects(aut); got != baselineLive {
+		t.Fatalf("after removal live objects = %d, want baseline %d", got, baselineLive)
+	}
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		region := geo.RegionID(u)
+		if got := aut.EncodeRegion(region); !bytes.Equal(got, baselineEnc[region]) {
+			t.Errorf("region %v encoding did not return to baseline: %d bytes vs %d",
+				region, len(got), len(baselineEnc[region]))
+		}
+	}
+
+	// Removing an unknown object is an error, not a panic.
+	if err := f.net.RemoveObject(ObjectID(1234)); err == nil {
+		t.Error("RemoveObject of unattached object succeeded")
+	}
+}

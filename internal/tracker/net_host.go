@@ -33,6 +33,7 @@ type NetHost struct {
 	unit  sim.Time
 	delta sim.Time
 	hb    *HeartbeatConfig
+	batch bool
 	aCfg  automatonConfig
 
 	svc *nethost.Service
@@ -61,6 +62,12 @@ type NetConfig struct {
 	Heartbeat sim.Time
 	// Schedule overrides the default grow/shrink schedule (validated).
 	Schedule *Schedule
+	// Batch coalesces each node's outbound cluster messages per
+	// (destination, due time) across one processing burst into single
+	// KindClusterBatch wire frames — the multi-object fan-out
+	// optimization. Off, every message is its own frame (the historical
+	// format); batched frames from a Batch peer still decode either way.
+	Batch bool
 	// OnFound is invoked once per completed find (off the node goroutines'
 	// critical state, but concurrently with them).
 	OnFound func(FindResult)
@@ -86,6 +93,7 @@ func NewNetHost(h *hier.Hierarchy, cfg NetConfig) (*NetHost, error) {
 		sched:   sched,
 		unit:    cfg.Unit,
 		delta:   cfg.Delta,
+		batch:   cfg.Batch,
 		onFound: cfg.OnFound,
 		objAt:   make(map[ObjectID]geo.RegionID),
 		started: make(map[FindID]sim.Time),
@@ -113,10 +121,31 @@ func (nh *NetHost) Attach(svc *nethost.Service) { nh.svc = svc }
 func (nh *NetHost) Hierarchy() *hier.Hierarchy { return nh.h }
 
 // netRegionState is the per-node client state (Node.State): the §IV-A
-// client algorithm's detection flags for the region's co-located sensor.
+// client algorithm's detection flags for the region's co-located sensor,
+// plus — under NetConfig.Batch — the burst's outbound frame buffer.
 // Node-goroutine only.
 type netRegionState struct {
 	here map[ObjectID]bool
+
+	// pend buffers this burst's outbound cluster messages per
+	// (destination, due) bucket; pendIdx indexes buckets for O(1) append
+	// while pend keeps insertion order, so flushes are deterministic.
+	pend    []*pendBatch
+	pendIdx map[pendKey]int
+}
+
+// pendKey buckets outbound messages that can share one wire frame.
+type pendKey struct {
+	to  geo.RegionID
+	due sim.Time
+}
+
+// pendBatch is one frame under construction.
+type pendBatch struct {
+	to   geo.RegionID
+	due  sim.Time
+	hops int
+	msgs []ClusterMsgFrame
 }
 
 func regionState(n *nethost.Node) *netRegionState {
@@ -126,6 +155,20 @@ func regionState(n *nethost.Node) *netRegionState {
 		n.State = st
 	}
 	return st
+}
+
+// addPending buffers one encoded cluster message for the burst's flush.
+func (st *netRegionState) addPending(to geo.RegionID, due sim.Time, hops int, m ClusterMsgFrame) {
+	key := pendKey{to: to, due: due}
+	if st.pendIdx == nil {
+		st.pendIdx = make(map[pendKey]int)
+	}
+	if i, ok := st.pendIdx[key]; ok {
+		st.pend[i].msgs = append(st.pend[i].msgs, m)
+		return
+	}
+	st.pendIdx[key] = len(st.pend)
+	st.pend = append(st.pend, &pendBatch{to: to, due: due, hops: hops, msgs: []ClusterMsgFrame{m}})
 }
 
 // --- nethost.App ---
@@ -177,6 +220,12 @@ func (nh *NetHost) HandleEffect(n *nethost.Node, effect any) {
 			return
 		}
 		due := n.Now() + cgcast.ScheduleDelayIn(nh.h, nh.geom, nh.unit, e.From, e.To)
+		if nh.batch {
+			// Buffered until the burst's OnIdle: every same-(destination,
+			// round) message of this burst rides one frame.
+			regionState(n).addPending(to, due, nh.hops(n.Region(), to), ClusterMsgFrame{Kind: e.Kind, Payload: payload})
+			return
+		}
 		n.Send(to, due, e.Kind, nh.hops(n.Region(), to), payload)
 	case foundEffect:
 		u := nh.h.Head(e.From)
@@ -191,10 +240,54 @@ func (nh *NetHost) HandleEffect(n *nethost.Node, effect any) {
 	}
 }
 
+// OnIdle implements nethost.App: flush the burst's buffered outbound
+// messages. Multi-message buckets become one KindClusterBatch frame;
+// singletons keep the plain per-message format (no container overhead, and
+// peers without batch support still decode them).
+func (nh *NetHost) OnIdle(n *nethost.Node) {
+	if !nh.batch {
+		return
+	}
+	st, ok := n.State.(*netRegionState)
+	if !ok || len(st.pend) == 0 {
+		return
+	}
+	for _, b := range st.pend {
+		if len(b.msgs) == 1 {
+			n.Send(b.to, b.due, b.msgs[0].Kind, b.hops, b.msgs[0].Payload)
+			continue
+		}
+		payload, err := EncodeClusterBatch(b.msgs)
+		if err != nil {
+			continue
+		}
+		n.Send(b.to, b.due, KindClusterBatch, b.hops, payload)
+	}
+	st.pend = nil
+	st.pendIdx = nil
+}
+
 // DeliverFrame implements nethost.App: decode one due frame and feed it to
 // the region's machine — or, for found broadcasts, to the region's client.
 // The bytes are untrusted; a frame that fails the wire codec is dropped.
+// Batched frames unpack into their member messages, each delivered exactly
+// as if it had arrived alone.
 func (nh *NetHost) DeliverFrame(n *nethost.Node, kind string, payload []byte) {
+	if kind == KindClusterBatch {
+		msgs, err := DecodeClusterBatch(payload)
+		if err != nil {
+			return
+		}
+		for _, m := range msgs {
+			if m.Kind == KindClusterBatch {
+				// No nested batches: the encoder never produces them, so a
+				// frame that contains one is hostile.
+				return
+			}
+			nh.DeliverFrame(n, m.Kind, m.Payload)
+		}
+		return
+	}
 	level, del, err := DecodeClusterMsg(kind, payload)
 	if err != nil {
 		return

@@ -80,7 +80,10 @@ type Network struct {
 	evaderAt map[ObjectID]func() geo.RegionID
 	findObj  map[FindID]ObjectID
 	tr       *trace.Tracer
-	moveSeq  uint64 // move-epoch counter for trace op correlation
+	// moveEpochs counts region changes per object for trace op
+	// correlation: concurrent cascades of different objects carry
+	// distinct OpMoveFor ids instead of sharing one global counter.
+	moveEpochs map[ObjectID]uint64
 
 	maxQueryLevel int   // highest level that ran a findquery since the last reset
 	growRecv      []int // grow receipts per level (Theorem 4.9 amortization)
@@ -178,17 +181,18 @@ func WithEmulation(delta, tRestart sim.Time) Option {
 func New(cg *cgcast.Service, geom hier.Geometry, opts ...Option) (*Network, error) {
 	h := cg.Hierarchy()
 	n := &Network{
-		cg:       cg,
-		h:        h,
-		k:        cg.Kernel(),
-		geom:     geom,
-		sched:    DefaultSchedule(geom, cg.Unit()),
-		clients:  make(map[vsa.ClientID]*Client),
-		inflight: make(map[Transit]int),
-		started:  make(map[FindID]sim.Time),
-		done:     make(map[FindID]bool),
-		evaderAt: make(map[ObjectID]func() geo.RegionID),
-		findObj:  make(map[FindID]ObjectID),
+		cg:         cg,
+		h:          h,
+		k:          cg.Kernel(),
+		geom:       geom,
+		sched:      DefaultSchedule(geom, cg.Unit()),
+		clients:    make(map[vsa.ClientID]*Client),
+		inflight:   make(map[Transit]int),
+		started:    make(map[FindID]sim.Time),
+		done:       make(map[FindID]bool),
+		evaderAt:   make(map[ObjectID]func() geo.RegionID),
+		findObj:    make(map[FindID]ObjectID),
+		moveEpochs: make(map[ObjectID]uint64),
 	}
 	for _, o := range opts {
 		o.apply(n)
@@ -298,7 +302,7 @@ func (n *Network) sendFromClient(obj ObjectID, id vsa.ClientID, to hier.ClusterI
 			region = int32(c.region)
 		}
 		n.tr.Emit(trace.Event{
-			At: n.k.Now(), Kind: "send", Op: n.opFor(kind, body), Obj: int32(obj),
+			At: n.k.Now(), Kind: "send", Op: n.opFor(obj, kind, body), Obj: int32(obj),
 			Msg: kind, From: -1, To: int32(to), Region: region, Level: -1,
 		})
 	}
@@ -307,19 +311,25 @@ func (n *Network) sendFromClient(obj ObjectID, id vsa.ClientID, to hier.ClusterI
 
 // opFor derives the trace operation id a protocol message belongs to:
 // find-family messages carrying payloads correlate to their find id, and
-// grow/shrink-family messages correlate to the current move epoch (the
-// cascade triggered by the object's most recent region change).
-func (n *Network) opFor(kind string, body any) uint64 {
+// grow/shrink-family messages correlate to the sending object's current
+// move epoch (the cascade triggered by that object's most recent region
+// change).
+func (n *Network) opFor(obj ObjectID, kind string, body any) uint64 {
 	switch kind {
 	case KindFind, KindFound:
 		if ps, ok := body.([]FindPayload); ok && len(ps) > 0 {
 			return trace.OpFind(int64(ps[0].ID))
 		}
 	case KindGrow, KindGrowNbr, KindGrowPar, KindShrink, KindShrinkUpd:
-		return trace.OpMove(n.moveSeq)
+		return trace.OpMoveFor(int32(obj), n.moveEpochs[obj])
 	}
 	return 0
 }
+
+// MoveEpoch returns the object's current move-epoch counter (the number of
+// region entries its GPS sink has reported). The cascade triggered by the
+// latest entry is traced under trace.OpMoveFor(obj, MoveEpoch(obj)).
+func (n *Network) MoveEpoch(obj ObjectID) uint64 { return n.moveEpochs[obj] }
 
 // noteDelivered removes a delivered message from the in-transit registry.
 func (n *Network) noteDelivered(d cgcast.Delivery, to hier.ClusterID) {
@@ -389,6 +399,22 @@ func (n *Network) AttachObject(obj ObjectID, at func() geo.RegionID) {
 	n.evaderAt[obj] = at
 }
 
+// RemoveObject stops tracking an object: its current region's clients get
+// a left input — dismantling the tracking path through the normal shrink
+// cascade — and the object's GPS attachment is dropped. Once the cascade
+// settles, the per-object quiescence rule has evicted every state vector
+// the object occupied, returning region state and encodings to their
+// pre-object baseline.
+func (n *Network) RemoveObject(obj ObjectID) error {
+	at, ok := n.evaderAt[obj]
+	if !ok {
+		return fmt.Errorf("tracker: object %v not attached", obj)
+	}
+	delete(n.evaderAt, obj)
+	n.handleObjectEvent(obj, at(), false)
+	return nil
+}
+
 // HandleEvaderEvent delivers a GPS detection input to the clients of region
 // u (paper §III: move on entry, left on exit). Wire it as the evader.Sink.
 func (n *Network) HandleEvaderEvent(u geo.RegionID, entered bool) {
@@ -397,9 +423,9 @@ func (n *Network) HandleEvaderEvent(u geo.RegionID, entered bool) {
 
 func (n *Network) handleObjectEvent(obj ObjectID, u geo.RegionID, entered bool) {
 	if entered {
-		// A new move epoch: the grow/shrink cascade this region change
-		// triggers is correlated under OpMove(moveSeq).
-		n.moveSeq++
+		// A new move epoch for this object: the grow/shrink cascade the
+		// region change triggers is correlated under OpMoveFor(obj, epoch).
+		n.moveEpochs[obj]++
 	}
 	for _, id := range n.cg.Layer().ClientsIn(u) {
 		if c, ok := n.clients[id]; ok {

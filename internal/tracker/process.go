@@ -1,6 +1,8 @@
 package tracker
 
 import (
+	"sort"
+
 	"vinestalk/internal/cgcast"
 	"vinestalk/internal/geo"
 	"vinestalk/internal/hier"
@@ -30,8 +32,56 @@ type Process struct {
 	level  int
 	backup bool // replica at the alternate head (§VII quorum extension)
 
-	objs map[ObjectID]*objState
+	objs objTable
 }
+
+// objTable is the per-process object-state table: object-major, sorted by
+// ObjectID, looked up by binary search. A sorted slice instead of a map
+// keeps the encode/decode/replication path linear in live objects with no
+// per-iteration sort or map-range allocation, and — together with the
+// quiescence eviction below — makes a process's footprint proportional to
+// the objects currently rooted through it, not the objects ever seen.
+// Entries are pointers because timerSlot wakeups hold *objState backrefs.
+type objTable struct {
+	s []*objState
+}
+
+// search returns the index of obj, or the insertion index and false.
+func (t *objTable) search(obj ObjectID) (int, bool) {
+	i := sort.Search(len(t.s), func(i int) bool { return t.s[i].obj >= obj })
+	return i, i < len(t.s) && t.s[i].obj == obj
+}
+
+// get returns the state vector for obj, or nil.
+func (t *objTable) get(obj ObjectID) *objState {
+	if i, ok := t.search(obj); ok {
+		return t.s[i]
+	}
+	return nil
+}
+
+// insert adds a state vector at its sorted position (obj must be absent).
+func (t *objTable) insert(st *objState) {
+	i, _ := t.search(st.obj)
+	t.s = append(t.s, nil)
+	copy(t.s[i+1:], t.s[i:])
+	t.s[i] = st
+}
+
+// remove evicts obj's state vector, if present.
+func (t *objTable) remove(obj ObjectID) {
+	if i, ok := t.search(obj); ok {
+		copy(t.s[i:], t.s[i+1:])
+		t.s[len(t.s)-1] = nil
+		t.s = t.s[:len(t.s)-1]
+	}
+}
+
+// len returns the number of live state vectors.
+func (t *objTable) len() int { return len(t.s) }
+
+// clear drops every state vector.
+func (t *objTable) clear() { t.s = nil }
 
 // objState is one object's Fig. 2 state vector at this process. Field
 // names mirror the figure: c (child pointer), p (path parent), nbrptup and
@@ -102,32 +152,57 @@ func newProcess(aut *Automaton, id hier.ClusterID, region geo.RegionID) *Process
 		id:     id,
 		region: region,
 		level:  aut.h.Level(id),
-		objs:   make(map[ObjectID]*objState),
 	}
 }
 
 // emit hands an effect to the host on behalf of this process's region.
 func (pr *Process) emit(eff any) { pr.aut.host.Emit(pr.region, eff) }
 
-// state returns (lazily creating) the state vector for one object.
+// state returns (lazily creating) the state vector for one object. The
+// created vector is exactly the quiescent/initial state, which is what
+// makes the eviction in maybeEvict semantics-preserving: evict-then-
+// recreate is indistinguishable from having kept the vector around.
 func (pr *Process) state(obj ObjectID) *objState {
-	st, ok := pr.objs[obj]
-	if !ok {
-		st = &objState{
-			pr:        pr,
-			obj:       obj,
-			c:         hier.NoCluster,
-			p:         hier.NoCluster,
-			nbrptup:   hier.NoCluster,
-			nbrptdown: hier.NoCluster,
-		}
-		st.timer = timerSlot{st: st, kind: timerGrowShrink, at: sim.Forever}
-		st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: sim.Forever}
-		st.lease = timerSlot{st: st, kind: timerLease, at: sim.Forever}
-		st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: sim.Forever}
-		pr.objs[obj] = st
+	if st := pr.objs.get(obj); st != nil {
+		return st
 	}
+	st := &objState{
+		pr:        pr,
+		obj:       obj,
+		c:         hier.NoCluster,
+		p:         hier.NoCluster,
+		nbrptup:   hier.NoCluster,
+		nbrptdown: hier.NoCluster,
+	}
+	st.timer = timerSlot{st: st, kind: timerGrowShrink, at: sim.Forever}
+	st.nbrTimeout = timerSlot{st: st, kind: timerNbrTimeout, at: sim.Forever}
+	st.lease = timerSlot{st: st, kind: timerLease, at: sim.Forever}
+	st.nbrLease = timerSlot{st: st, kind: timerNbrLease, at: sim.Forever}
+	pr.objs.insert(st)
 	return st
+}
+
+// quiescent reports whether the state vector equals the initial state: all
+// four pointers nil, no pending find, and no armed timer of any kind. A
+// quiescent vector carries no information the lazily-created initial state
+// would not reproduce.
+func (st *objState) quiescent() bool {
+	return st.c == hier.NoCluster && st.p == hier.NoCluster &&
+		st.nbrptup == hier.NoCluster && st.nbrptdown == hier.NoCluster &&
+		len(st.pending) == 0 &&
+		!st.timer.Armed() && !st.nbrTimeout.Armed() &&
+		!st.lease.Armed() && !st.nbrLease.Armed()
+}
+
+// maybeEvict drops the state vector if it has quiesced — the object is no
+// longer rooted through this process, so its row leaves the table (and the
+// region encoding) until a future message legitimately re-creates it. The
+// hooks sit at the end of every input action (receive, TimerFire), the
+// only places a vector can transition into quiescence.
+func (pr *Process) maybeEvict(st *objState) {
+	if st.quiescent() {
+		pr.objs.remove(st.obj)
+	}
 }
 
 // slot returns the timer slot of the given kind, or nil.
@@ -148,13 +223,13 @@ func (st *objState) slot(kind timerKind) *timerSlot {
 // reset returns the process to its initial state (VSA failure/restart),
 // clearing armed deadlines through the host.
 func (pr *Process) reset() {
-	for _, st := range pr.objs {
+	for _, st := range pr.objs.s {
 		st.timer.Clear()
 		st.nbrTimeout.Clear()
 		st.lease.Clear()
 		st.nbrLease.Clear()
 	}
-	pr.objs = make(map[ObjectID]*objState)
+	pr.objs.clear()
 }
 
 // Cluster returns the cluster this process tracks for.
@@ -173,17 +248,22 @@ func (pr *Process) Pointers() (c, p, up, down hier.ClusterID) {
 
 // PointersFor returns the pointer vector for one tracked object.
 func (pr *Process) PointersFor(obj ObjectID) (c, p, up, down hier.ClusterID) {
-	st, ok := pr.objs[obj]
-	if !ok {
+	st := pr.objs.get(obj)
+	if st == nil {
 		return hier.NoCluster, hier.NoCluster, hier.NoCluster, hier.NoCluster
 	}
 	return st.c, st.p, st.nbrptup, st.nbrptdown
 }
 
+// LiveObjects returns how many objects currently hold a state vector at
+// this process — the quantity the quiescence eviction keeps proportional
+// to objects rooted through the process.
+func (pr *Process) LiveObjects() int { return pr.objs.len() }
+
 // Busy reports whether the process holds move-related obligations (an
 // armed grow/shrink timer for any object); used for quiescence detection.
 func (pr *Process) Busy() bool {
-	for _, st := range pr.objs {
+	for _, st := range pr.objs.s {
 		if st.timer.Armed() {
 			return true
 		}
@@ -231,6 +311,10 @@ func (pr *Process) receive(d cgcast.Delivery) {
 	// TIOA semantics: any newly-enabled find output fires (zero-time local
 	// steps), so re-evaluate after every state change.
 	st.evaluateFind()
+	// A message that implied no structure (e.g. a shrink for an unknown
+	// object, or a stale replayed frame) leaves the lazily-created vector
+	// quiescent — evict it so such traffic never allocates persistent state.
+	pr.maybeEvict(st)
 }
 
 // send emits a protocol message about this object.

@@ -80,17 +80,17 @@ func TestMoveSpanCorrelatesCascade(t *testing.T) {
 	f := newFixture(t, fixtureConfig{side: 4, start: 0, alwaysUp: true,
 		netOptions: []Option{WithTracer(tr)}})
 	f.settle()
-	epochsBefore := f.net.moveSeq
+	epochsBefore := f.net.MoveEpoch(DefaultObject)
 
 	if err := f.ev.MoveTo(f.tiling.RegionAt(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	f.settle()
 
-	if f.net.moveSeq != epochsBefore+1 {
-		t.Fatalf("moveSeq = %d, want %d", f.net.moveSeq, epochsBefore+1)
+	if got := f.net.MoveEpoch(DefaultObject); got != epochsBefore+1 {
+		t.Fatalf("MoveEpoch = %d, want %d", got, epochsBefore+1)
 	}
-	span := tr.Span(trace.OpMove(f.net.moveSeq))
+	span := tr.Span(trace.OpMove(f.net.MoveEpoch(DefaultObject)))
 	if len(span) == 0 {
 		t.Fatal("move epoch produced no correlated events")
 	}
@@ -107,5 +107,48 @@ func TestMoveSpanCorrelatesCascade(t *testing.T) {
 	}
 	if !sawGrow {
 		t.Error("move span contains no grow message")
+	}
+}
+
+// Concurrent move cascades of different objects get distinct operation
+// ids: each object's span contains only its own move-family traffic. With
+// the old global move counter, object A's cascade would be correlated
+// under whatever epoch object B's later region change had bumped the
+// counter to.
+func TestMoveSpansSeparateConcurrentObjects(t *testing.T) {
+	tr := trace.New(8192)
+	f := newFixture(t, fixtureConfig{side: 4, start: 0, alwaysUp: true,
+		netOptions: []Option{WithTracer(tr)}})
+	ev2 := addSecondEvader(t, f, 1, f.tiling.RegionAt(3, 3))
+	f.settle()
+
+	// Move both objects in the same settle window so their cascades are in
+	// flight concurrently.
+	if err := f.ev.MoveTo(f.tiling.RegionAt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev2.MoveTo(f.tiling.RegionAt(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+
+	for obj, want := range map[ObjectID]int32{DefaultObject: int32(DefaultObject), 1: 1} {
+		op := trace.OpMoveFor(int32(obj), f.net.MoveEpoch(obj))
+		span := tr.Span(op)
+		if len(span) == 0 {
+			t.Fatalf("object %v's move epoch produced no correlated events", obj)
+		}
+		for _, e := range span {
+			if e.Obj != want {
+				t.Errorf("object %v's move span contains another object's event: %+v", obj, e)
+			}
+		}
+	}
+	// The two ops differ even though both objects are on their first
+	// post-settle epoch.
+	a := trace.OpMoveFor(int32(DefaultObject), f.net.MoveEpoch(DefaultObject))
+	b := trace.OpMoveFor(1, f.net.MoveEpoch(1))
+	if a == b {
+		t.Fatalf("objects share one move op id %d", a)
 	}
 }
