@@ -8,33 +8,43 @@
 // benchmarks and parses the standard benchmark output generically: every
 // "<value> <unit>" pair on a benchmark line is captured, with the standard
 // ns/op, B/op, and allocs/op promoted to fields and every custom
-// b.ReportMetric unit (events/s, objects/s, bytes/region, frames/round)
-// kept in a per-benchmark metrics map. From those it computes the
-// cached-vs-uncached failover speedup, the shard-scaling curve (events/sec
-// at K ∈ {1,2,4,8} on a -shard-grid² grid), and the multi-object scaling
-// curve (objects/sec, bytes/region, frames/round, and the
-// batched-vs-unbatched frame gain at each fan-out), and writes a JSON
-// report (default BENCH_8.json):
+// b.ReportMetric unit (events/s, objects/s, bytes/region, frames/round,
+// balance, contention) kept in a per-benchmark metrics map. From those it
+// computes the cached-vs-uncached failover speedup, the shard-scaling
+// curve (events/sec and load-balance ratio at K ∈ {1,2,4,8} on a
+// -shard-grid² grid), the object-sharded cascade curve (events/sec and
+// head contention per event), the multi-object scaling curve (objects/sec,
+// bytes/region, frames/round, and the batched-vs-unbatched frame gain at
+// each fan-out), and the bulk-attach speedup (bulk ÷ sequential objects/s
+// at 10⁴ clustered objects), and writes a JSON report (default
+// BENCH_9.json):
 //
 //	{
 //	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
 //	  "benchmarks": [{"name", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op", "metrics": {unit: value}}, …],
 //	  "failover_speedup": …,       // uncached ns/op ÷ cached ns/op
-//	  "shard_scaling": [{"k", "events_per_sec"}, …],
+//	  "shard_scaling": [{"k", "events_per_sec", "balance"}, …],
 //	  "shard_speedup_k8": …,       // events/s at K=8 ÷ events/s at K=1
+//	  "obj_cascade_scaling": [{"k", "events_per_sec", "contention"}, …],
 //	  "multi_object_scaling": [{"objects", "objects_per_sec", "bytes_per_region",
 //	                            "frames_per_round", "batch_frame_gain"}, …],
-//	  "batch_frame_gain": …        // unbatched ÷ batched frames/round at the largest fan-out
+//	  "batch_frame_gain": …,       // unbatched ÷ batched frames/round at the largest fan-out
+//	  "bulk_attach_speedup": …     // bulk ÷ sequential attach objects/s at 10⁴ clustered
 //	}
 //
 // The run fails (non-zero exit) if the failover speedup falls below
 // -min-speedup (default 2), the K=8 shard speedup falls below
-// -min-shard-speedup (default 2), or the batched C-gcast frame gain at the
-// largest fan-out falls below -min-batch-gain (default 2). The first two
-// are timing ratios and are disabled for single-iteration smoke runs;
-// frame counts are deterministic, so the batch-gain gate holds even at
-// -benchtime 1x — batching that fails to beat k independent sends by 2x is
-// a regression, not a tuning matter.
+// -min-shard-speedup (default 2), the batched C-gcast frame gain at the
+// largest fan-out falls below -min-batch-gain (default 2), the bulk-attach
+// speedup falls below -min-attach-speedup (default 5), or the multi-object
+// objects/s curve decreases by more than -monotone-tolerance between
+// fan-out levels (default 0.8; 0 disables — single-iteration wall-clock
+// readings carry ±15% noise, so the gate allows that much regression
+// before calling the curve non-monotone). The failover and shard gates are
+// timing ratios and are disabled for single-iteration smoke runs; frame
+// counts are deterministic, so the batch-gain gate holds even at
+// -benchtime 1x, and the attach speedup's 3× margin over its gate keeps it
+// meaningful there too.
 package main
 
 import (
@@ -57,7 +67,7 @@ import (
 var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast",
 	"vinestalk/internal/nethost", "vinestalk/internal/core"}
 
-const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling|BenchmarkMultiObject)$"
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling|BenchmarkObjectShardedCascade|BenchmarkMultiObject|BenchmarkBulkAttach)$"
 
 // result is one parsed benchmark line: the standard columns as fields,
 // every custom b.ReportMetric unit in Metrics.
@@ -70,10 +80,23 @@ type result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// shardPoint is one point of the shard-scaling curve.
+// shardPoint is one point of the shard-scaling curve. Balance is the
+// max/min ratio of executed events across shards — the diagnostic for
+// non-monotonic scaling (an unbalanced partition caps the barrier rounds
+// at the slowest shard).
 type shardPoint struct {
 	K            int     `json:"k"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	Balance      float64 `json:"balance,omitempty"`
+}
+
+// objCascadePoint is one point of the object-sharded cascade curve:
+// independent objects' cascades on K shards, with the shared-root
+// interference reported as contention per executed event.
+type objCascadePoint struct {
+	K            int     `json:"k"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Contention   float64 `json:"contention"`
 }
 
 // multiPoint is one point of the multi-object scaling curve (from the
@@ -86,26 +109,32 @@ type multiPoint struct {
 	BatchFrameGain float64 `json:"batch_frame_gain"`
 }
 
-// report is the BENCH_8.json document.
+// report is the BENCH_9.json document.
 type report struct {
-	GoVersion          string       `json:"go_version"`
-	GOMAXPROCS         int          `json:"gomaxprocs"`
-	Benchtime          string       `json:"benchtime"`
-	ShardGrid          int          `json:"shard_grid"`
-	SuiteWallClockSec  float64      `json:"suite_wall_clock_sec"`
-	Benchmarks         []result     `json:"benchmarks"`
-	FailoverSpeedup    float64      `json:"failover_speedup"`
-	ShardScaling       []shardPoint `json:"shard_scaling,omitempty"`
-	ShardSpeedupK8     float64      `json:"shard_speedup_k8,omitempty"`
-	MultiObjectScaling []multiPoint `json:"multi_object_scaling,omitempty"`
-	BatchFrameGain     float64      `json:"batch_frame_gain,omitempty"`
+	GoVersion          string            `json:"go_version"`
+	GOMAXPROCS         int               `json:"gomaxprocs"`
+	Benchtime          string            `json:"benchtime"`
+	ShardGrid          int               `json:"shard_grid"`
+	SuiteWallClockSec  float64           `json:"suite_wall_clock_sec"`
+	Benchmarks         []result          `json:"benchmarks"`
+	FailoverSpeedup    float64           `json:"failover_speedup"`
+	ShardScaling       []shardPoint      `json:"shard_scaling,omitempty"`
+	ShardSpeedupK8     float64           `json:"shard_speedup_k8,omitempty"`
+	ObjCascadeScaling  []objCascadePoint `json:"obj_cascade_scaling,omitempty"`
+	MultiObjectScaling []multiPoint      `json:"multi_object_scaling,omitempty"`
+	BatchFrameGain     float64           `json:"batch_frame_gain,omitempty"`
+	BulkAttachSpeedup  float64           `json:"bulk_attach_speedup,omitempty"`
 }
 
-// shardName extracts K from "BenchmarkShardedScaling/K=8"; multiName
-// extracts the fan-out and mode from "BenchmarkMultiObject/objects=1000/batched".
+// shardName extracts K from "BenchmarkShardedScaling/K=8"; cascadeName the
+// same from the object-cascade curve; multiName extracts the fan-out and
+// mode from "BenchmarkMultiObject/objects=1000/batched"; attachName the
+// fan-out and attach path from "BenchmarkBulkAttach/objects=10000/bulk".
 var (
-	shardName = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
-	multiName = regexp.MustCompile(`^BenchmarkMultiObject/objects=(\d+)/(batched|unbatched)$`)
+	shardName   = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
+	cascadeName = regexp.MustCompile(`^BenchmarkObjectShardedCascade/K=(\d+)$`)
+	multiName   = regexp.MustCompile(`^BenchmarkMultiObject/objects=(\d+)/(batched|unbatched)$`)
+	attachName  = regexp.MustCompile(`^BenchmarkBulkAttach/objects=(\d+)/(sequential|bulk)$`)
 )
 
 // parseBenchLine parses one standard `go test -bench -benchmem` output
@@ -152,11 +181,13 @@ func parseBenchLine(line string) (result, bool) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
 	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 2, "fail unless 8 shards beat 1 shard by this events/s factor")
 	minBatchGain := flag.Float64("min-batch-gain", 2, "fail unless batched C-gcast beats unbatched by this frames/round factor at the largest fan-out")
+	minAttachSpeedup := flag.Float64("min-attach-speedup", 5, "fail unless bulk attach beats sequential attach by this objects/s factor at 10^4 clustered objects")
+	monotoneTolerance := flag.Float64("monotone-tolerance", 0.8, "fail if multi-object objects/s drops below this fraction of the previous fan-out level (0 disables)")
 	shardGrid := flag.Int("shard-grid", 2048, "grid side for the shard-scaling benchmark (smoke runs use a small one)")
 	flag.Parse()
 
@@ -189,6 +220,7 @@ func main() {
 	}
 	multi := make(map[int]*multiCell)
 	var multiKs []int
+	var attachSeq, attachBulk float64
 	for _, line := range strings.Split(buf.String(), "\n") {
 		r, ok := parseBenchLine(strings.TrimSpace(line))
 		if !ok {
@@ -197,7 +229,20 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		if sm := shardName.FindStringSubmatch(r.Name); sm != nil {
 			k, _ := strconv.Atoi(sm[1])
-			rep.ShardScaling = append(rep.ShardScaling, shardPoint{K: k, EventsPerSec: r.Metrics["events/s"]})
+			rep.ShardScaling = append(rep.ShardScaling, shardPoint{
+				K: k, EventsPerSec: r.Metrics["events/s"], Balance: r.Metrics["balance"]})
+		}
+		if cm := cascadeName.FindStringSubmatch(r.Name); cm != nil {
+			k, _ := strconv.Atoi(cm[1])
+			rep.ObjCascadeScaling = append(rep.ObjCascadeScaling, objCascadePoint{
+				K: k, EventsPerSec: r.Metrics["events/s"], Contention: r.Metrics["contention"]})
+		}
+		if am := attachName.FindStringSubmatch(r.Name); am != nil {
+			if am[2] == "bulk" {
+				attachBulk = r.Metrics["objects/s"]
+			} else {
+				attachSeq = r.Metrics["objects/s"]
+			}
 		}
 		if mm := multiName.FindStringSubmatch(r.Name); mm != nil {
 			k, _ := strconv.Atoi(mm[1])
@@ -260,6 +305,9 @@ func main() {
 		rep.MultiObjectScaling = append(rep.MultiObjectScaling, p)
 		rep.BatchFrameGain = p.BatchFrameGain // curve is in ascending k; last wins
 	}
+	if attachSeq > 0 && attachBulk > 0 {
+		rep.BulkAttachSpeedup = attachBulk / attachSeq
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -271,8 +319,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid, batch frame gain %.1fx)\n",
-		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid, rep.BatchFrameGain)
+	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid, batch frame gain %.1fx, bulk attach %.1fx)\n",
+		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid, rep.BatchFrameGain, rep.BulkAttachSpeedup)
 
 	if rep.FailoverSpeedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: failover speedup %.2fx below required %.2fx\n",
@@ -288,5 +336,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: batched C-gcast frame gain %.2fx below required %.2fx\n",
 			rep.BatchFrameGain, *minBatchGain)
 		os.Exit(1)
+	}
+	if rep.BulkAttachSpeedup < *minAttachSpeedup {
+		fmt.Fprintf(os.Stderr, "bench: bulk attach speedup %.2fx below required %.2fx\n",
+			rep.BulkAttachSpeedup, *minAttachSpeedup)
+		os.Exit(1)
+	}
+	if *monotoneTolerance > 0 {
+		for i := 1; i < len(rep.MultiObjectScaling); i++ {
+			prev, cur := rep.MultiObjectScaling[i-1], rep.MultiObjectScaling[i]
+			if cur.ObjectsPerSec < prev.ObjectsPerSec**monotoneTolerance {
+				fmt.Fprintf(os.Stderr, "bench: attach throughput regresses with fan-out: %.0f objects/s at k=%d vs %.0f at k=%d (tolerance %.2f)\n",
+					cur.ObjectsPerSec, cur.Objects, prev.ObjectsPerSec, prev.Objects, *monotoneTolerance)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -160,6 +160,14 @@ func New(h *hier.Hierarchy, layer *vsa.Layer, gc *geocast.Service, vb *vbcast.Se
 // Replicated reports whether head replication is enabled.
 func (s *Service) Replicated() bool { return s.replicate }
 
+// Batching reports whether same-instant frame coalescing is enabled.
+func (s *Service) Batching() bool { return s.batch }
+
+// Ledger returns the metrics ledger the service records into (possibly
+// nil). Bulk operations that multiply a representative's accounting
+// (tracker bulk attach) snapshot and merge through it.
+func (s *Service) Ledger() *metrics.Ledger { return s.ledger }
+
 // Copies returns the number of head regions a message to cluster c is
 // delivered to under the current configuration.
 func (s *Service) Copies(c hier.ClusterID) int {

@@ -27,11 +27,14 @@ import (
 //
 // Each fan-out level runs twice — batched and unbatched (frame accounting
 // only) — so the ratio of the two frames/round readings is the measured
-// batching gain. cmd/bench parses these into BENCH_8.json as the
-// multi-object scaling curve and gates on the gain at the largest k (frame
-// counts are deterministic, so the gate holds even at -benchtime 1x).
+// batching gain. cmd/bench parses these into BENCH_9.json as the
+// multi-object scaling curve, gates on the gain at the largest k (frame
+// counts are deterministic, so the gate holds even at -benchtime 1x), and
+// gates objects/s monotone non-decreasing across the fan-out levels — the
+// bulk-attach promise that amortizing cascades over co-located objects only
+// gets better as the population grows.
 func BenchmarkMultiObject(b *testing.B) {
-	for _, k := range []int{100, 1000, 10000} {
+	for _, k := range []int{1000, 10000, 100000} {
 		for _, mode := range []string{"batched", "unbatched"} {
 			batch := mode == "batched"
 			b.Run(fmt.Sprintf("objects=%d/%s", k, mode), func(b *testing.B) {
@@ -46,6 +49,68 @@ func BenchmarkMultiObject(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkBulkAttach is the tentpole's head-to-head: k objects clustered
+// into a handful of regions (the path-dedup sweet spot — a parking lot, a
+// depot), attached either one grow cascade at a time (sequential) or in one
+// AttachObjects pass (bulk). Both sides end in the identical settled
+// machine (TestBulkAttachMatchesSequential* prove byte-identity), so
+// objects/s is the only honest difference. cmd/bench computes the ratio
+// into BENCH_9.json as bulk_attach_speedup and gates it ≥ 5× by default.
+func BenchmarkBulkAttach(b *testing.B) {
+	const k = 10000
+	for _, mode := range []string{"sequential", "bulk"} {
+		b.Run(fmt.Sprintf("objects=%d/%s", k, mode), func(b *testing.B) {
+			var objsPerSec float64
+			for i := 0; i < b.N; i++ {
+				objsPerSec = bulkAttachIteration(b, k, mode == "bulk")
+			}
+			b.ReportMetric(objsPerSec, "objects/s")
+		})
+	}
+}
+
+// bulkAttachIteration attaches k objects clustered into 8 regions via the
+// requested path and returns attach throughput over the attach+settle wall
+// clock.
+func bulkAttachIteration(b *testing.B, k int, bulk bool) float64 {
+	b.Helper()
+	const side = 16
+	svc, err := core.New(core.Config{
+		Width:           side,
+		AlwaysAliveVSAs: true,
+		Start:           geo.RegionID(side*side/2 + side/2),
+		Seed:            11,
+		BatchCgcast:     true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clusters := []geo.RegionID{9, 21, 100, 130, 177, 200, 233, 250}
+	start := time.Now()
+	if bulk {
+		placements := make([]core.ObjectPlacement, k)
+		for i := range placements {
+			placements[i] = core.ObjectPlacement{
+				Obj:   tracker.ObjectID(i + 1),
+				Start: clusters[i%len(clusters)],
+			}
+		}
+		if _, err := svc.AddObjects(placements); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			if _, err := svc.AddObject(tracker.ObjectID(i+1), clusters[i%len(clusters)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := svc.Settle(); err != nil {
+		b.Fatal(err)
+	}
+	return float64(k) / time.Since(start).Seconds()
 }
 
 // multiObjectIteration runs one full fan-out workload and returns the three
@@ -65,16 +130,24 @@ func multiObjectIteration(b *testing.B, k int, batch bool) (objsPerSec, bytesPer
 		b.Fatal(err)
 	}
 
-	// Attach phase: k-1 extra objects scattered deterministically, one
-	// settle absorbing all concurrent grow cascades.
+	// Attach phase: k-1 extra objects scattered deterministically over every
+	// region, planted in one bulk pass (one grow cascade per distinct start
+	// region, splice for the rest).
 	attachStart := time.Now()
 	evaders := map[tracker.ObjectID]*evader.Evader{tracker.DefaultObject: svc.Evader()}
 	regions := svc.Tiling().NumRegions()
+	placements := make([]core.ObjectPlacement, 0, k-1)
 	for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
-		ev, err := svc.AddObject(obj, geo.RegionID((int(obj)*37)%regions))
-		if err != nil {
-			b.Fatal(err)
-		}
+		placements = append(placements, core.ObjectPlacement{
+			Obj:   obj,
+			Start: geo.RegionID((int(obj) * 37) % regions),
+		})
+	}
+	added, err := svc.AddObjects(placements)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for obj, ev := range added {
 		evaders[obj] = ev
 	}
 	if err := svc.Settle(); err != nil {

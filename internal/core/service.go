@@ -293,6 +293,16 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 	if cfg.Emulation != nil {
 		netOpts = append(netOpts, tracker.WithEmulation(cfg.Emulation.Delta, cfg.Emulation.TRestart))
 	}
+	// Object-sharded scheduling: every per-object cascade send is keyed by
+	// the shard owning the object's current head region (router load
+	// vector + head-region contention counter), and bulk-attach table
+	// splices fan out across the same partition.
+	netOpts = append(netOpts,
+		tracker.WithObjectSendNote(func(obj tracker.ObjectID, cur, dst geo.RegionID, due sim.Time) {
+			s.router.NoteObject(int64(obj), s.part.ShardOf(cur), int32(dst), due)
+		}),
+		tracker.WithSpliceSharding(s.part.K(), s.part.ShardOf),
+	)
 	net, err := tracker.New(cg, s.geom, netOpts...)
 	if err != nil {
 		return nil, err
@@ -420,6 +430,42 @@ func (s *Service) AddObject(obj tracker.ObjectID, start geo.RegionID) (*evader.E
 	}
 	s.net.AttachObject(obj, ev.Region)
 	return ev, nil
+}
+
+// ObjectPlacement names one object of a bulk attach.
+type ObjectPlacement struct {
+	Obj   tracker.ObjectID
+	Start geo.RegionID
+}
+
+// AddObjects starts tracking k additional objects in one bulk pass
+// (tracker.Network.AttachObjects): the grow cascade runs once per distinct
+// start region and every co-located object is spliced into the settled
+// path's tables, so attach cost scales with distinct (region → root) paths
+// instead of objects, while the resulting automaton state — and every
+// region's canonical encoding — is byte-identical to attaching the objects
+// one at a time with AddObject and settling. It runs the kernel internally,
+// so call it at a settled instant; unavailable with heartbeats or under
+// emulation. The returned evaders are driven like any other (MoveTo,
+// evader.Walker).
+func (s *Service) AddObjects(placements []ObjectPlacement) (map[tracker.ObjectID]*evader.Evader, error) {
+	specs := make([]tracker.AttachSpec, len(placements))
+	evs := make(map[tracker.ObjectID]*evader.Evader, len(placements))
+	for i, p := range placements {
+		if p.Obj == tracker.DefaultObject {
+			return nil, errors.New("core: object 0 is the primary evader; pick nonzero ids")
+		}
+		ev, err := evader.NewPlaced(s.tiling, p.Start, s.net.SinkFor(p.Obj))
+		if err != nil {
+			return nil, err
+		}
+		evs[p.Obj] = ev
+		specs[i] = tracker.AttachSpec{Obj: p.Obj, At: p.Start, Where: ev.Region}
+	}
+	if err := s.net.AttachObjects(specs); err != nil {
+		return nil, err
+	}
+	return evs, nil
 }
 
 // RemoveObject stops tracking an object added with AddObject: its tracking

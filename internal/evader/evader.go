@@ -58,20 +58,33 @@ type Evader struct {
 // New places the evader at start and delivers the initial move input. The
 // sink must be non-nil.
 func New(tiling geo.Tiling, start geo.RegionID, sink Sink) (*Evader, error) {
+	e, err := NewPlaced(tiling, start, sink)
+	if err != nil {
+		return nil, err
+	}
+	sink(start, EventMove)
+	return e, nil
+}
+
+// NewPlaced places the evader at start WITHOUT delivering the initial move
+// input: the caller plants the equivalent detection state out of band. The
+// bulk-attach path (tracker.Network.AttachObjects) uses it — one grow
+// cascade per distinct start region stands in for every object placed
+// there, so the per-object GPS inputs must not fire. Subsequent MoveTo
+// calls report normally.
+func NewPlaced(tiling geo.Tiling, start geo.RegionID, sink Sink) (*Evader, error) {
 	if !tiling.Contains(start) {
 		return nil, fmt.Errorf("evader: start region %v outside tiling", start)
 	}
 	if sink == nil {
 		return nil, fmt.Errorf("evader: nil sink")
 	}
-	e := &Evader{
+	return &Evader{
 		tiling: tiling,
 		region: start,
 		sink:   sink,
 		trail:  []geo.RegionID{start},
-	}
-	sink(start, EventMove)
-	return e, nil
+	}, nil
 }
 
 // Region returns the evader's current region.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -13,12 +14,20 @@ import (
 )
 
 // E13Scale drives the §VII multiple-objects extension at production
-// fan-out: up to 10^5 objects multiplexed over one hierarchy, attached in
-// waves of concurrent grow cascades, then exercised with concurrent moves
-// and concurrent finds. At this scale the paper's per-object claims are
-// checked by sampling, and the engineering claims of the fan-out work are
-// measured directly:
+// fan-out: up to 10^6 objects multiplexed over one hierarchy, planted by
+// one bulk attach (core.Service.AddObjects — one grow cascade per distinct
+// start region, splice for every co-located object), then exercised with
+// concurrent moves and concurrent finds. At this scale the paper's
+// per-object claims are checked by sampling, and the engineering claims of
+// the fan-out work are measured directly:
 //
+//   - bulk attach ≡ sequential: at the smallest k the whole sweep is run
+//     both ways and every region's canonical encoding must match byte for
+//     byte — the license for using the bulk path at the ks where
+//     sequential attach is no longer feasible (attach *throughput* is
+//     wall-clock and lives in BENCH_9.json, not here: these tables render
+//     byte-identically at any worker count, so every column is virtual-
+//     time or count valued);
 //   - sampled Theorem 4.8: for a fixed sample of objects, the settled
 //     per-object state vector look-aheads to atomicMoveSeq of that
 //     object's trail — fan-out does not perturb any object's structure;
@@ -27,6 +36,10 @@ import (
 //     the sweep (independence), and each concurrent-move round must
 //     settle within the non-amortized one-move bound O(D·(δ+e)) — k-way
 //     fan-out stretches neither the work nor the time of a move;
+//   - head-region contention: sim.Router's object profile counts how often
+//     a head region's delivery round switches objects during the
+//     concurrent move/find phases — the interference term that bounds
+//     object-sharded speedup (DESIGN.md §8);
 //   - batched C-gcast pays per (edge, round), not per object: the run
 //     repeats unbatched (frame accounting only), and the batched run must
 //     use strictly fewer wire frames, with the gain growing with k;
@@ -34,17 +47,18 @@ import (
 //     EncodeRegion size is reported per k (quiescence eviction keeps the
 //     tables compact; see DESIGN.md §8).
 func E13Scale(env Env) (*Result, error) {
-	counts := []int{1_000, 10_000, 100_000}
+	counts := []int{1_000, 10_000, 100_000, 1_000_000}
 	if env.Quick {
 		counts = []int{200, 1_000}
 	}
 	res := &Result{Table: Table{
 		ID:    "E13",
 		Title: "multi-object tracking at production fan-out (§VII)",
-		Claim: "10^4+ objects over one hierarchy: per-object structures stay independent (Thm 4.8/4.9 sampled), " +
-			"batched C-gcast pays per edge-round instead of per object",
+		Claim: "10^6 objects over one hierarchy via bulk attach: per-object structures stay independent " +
+			"(Thm 4.8/4.9 sampled), batched C-gcast pays per edge-round instead of per object",
 		Columns: []string{"objects", "frames batched", "frames unbatched", "frame gain",
-			"bytes/region", "move work/step", "round time max", "finds ok", "Thm 4.8 samples"},
+			"bytes/region", "move work/step", "round time max", "head contention",
+			"finds ok", "Thm 4.8 samples"},
 	}}
 
 	type point struct {
@@ -78,9 +92,20 @@ func E13Scale(env Env) (*Result, error) {
 	for _, p := range points {
 		gain := float64(p.plainFrames) / float64(p.stats.frames)
 		res.Table.AddRow(p.k, p.stats.frames, p.plainFrames, gain, p.bytesPerReg, p.moveWorkStep,
-			p.stats.roundMax, fmt.Sprintf("%d/%d", p.stats.findsOK, p.stats.findsAll),
+			p.stats.roundMax, p.stats.contention,
+			fmt.Sprintf("%d/%d", p.stats.findsOK, p.stats.findsAll),
 			fmt.Sprintf("%d/%d", p.stats.thm48OK, p.stats.thm48All))
 	}
+
+	// Bulk ≡ sequential, proven where sequential is still affordable: the
+	// smallest k is attached both ways and every region's canonical encoding
+	// must match byte for byte.
+	eqK := counts[0]
+	same, detail, err := bulkMatchesSequential(env, eqK)
+	if err != nil {
+		return nil, err
+	}
+	res.check(fmt.Sprintf("k=%d: bulk attach byte-identical to sequential", eqK), same, "%s", detail)
 
 	for _, p := range points {
 		res.check(fmt.Sprintf("k=%d: sampled Theorem 4.8 holds", p.k),
@@ -129,7 +154,6 @@ func E13Scale(env Env) (*Result, error) {
 const (
 	scaleSide = 16                    // grid side of every E13 cell
 	scaleUnit = 15 * time.Millisecond // default δ+e of core.Config
-	scaleWave = 5_000                 // objects attached per settle wave
 )
 
 // scaleStats is one E13 run's measured outcome.
@@ -138,6 +162,7 @@ type scaleStats struct {
 	moveWork       int64         // proto hop work of the move rounds
 	moveSteps      int           // sampled moves performed
 	roundMax       time.Duration // slowest concurrent-move round (virtual)
+	contention     uint64        // head-round object switches (move+find phases)
 	findsOK        int
 	findsAll       int
 	thm48OK        int
@@ -145,11 +170,25 @@ type scaleStats struct {
 	bytesPerRegion float64 // mean settled EncodeRegion size
 }
 
-// runScaleWorkload attaches k objects in waves, runs two concurrent-move
-// rounds and one concurrent-find round over a fixed 32-object sample, and
-// returns the measured stats. batch selects batched C-gcast; the unbatched
-// run still counts frames (one per message-target send) so the two runs
-// compare the same quantity.
+// scalePlacements is the E13 population: k-1 extra objects scattered
+// deterministically over every region (37 is coprime to the region count,
+// so all distinct paths are exercised).
+func scalePlacements(k, regions int) []core.ObjectPlacement {
+	placements := make([]core.ObjectPlacement, 0, k-1)
+	for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
+		placements = append(placements, core.ObjectPlacement{
+			Obj:   obj,
+			Start: geo.RegionID((int(obj) * 37) % regions),
+		})
+	}
+	return placements
+}
+
+// runScaleWorkload attaches k objects in one bulk pass, runs two
+// concurrent-move rounds and one concurrent-find round over a fixed
+// 32-object sample, and returns the measured stats. batch selects batched
+// C-gcast; the unbatched run still counts frames (one per message-target
+// send) so the two runs compare the same quantity.
 func runScaleWorkload(env Env, k int, batch bool) (scaleStats, error) {
 	svc, err := env.newService(core.Config{
 		Width:           scaleSide,
@@ -164,24 +203,22 @@ func runScaleWorkload(env Env, k int, batch bool) (scaleStats, error) {
 	}
 	regions := svc.Tiling().NumRegions()
 
-	// Attach in waves: each wave is a burst of concurrent grow cascades,
-	// settled before the next, bounding the events per settle at any k.
+	var st scaleStats
 	evaders := map[tracker.ObjectID]*evader.Evader{tracker.DefaultObject: svc.Evader()}
-	for obj := tracker.ObjectID(1); int(obj) < k; obj++ {
-		ev, err := svc.AddObject(obj, geo.RegionID((int(obj)*37)%regions))
-		if err != nil {
-			return scaleStats{}, err
-		}
-		evaders[obj] = ev
-		if int(obj)%scaleWave == 0 {
-			if err := svc.Settle(); err != nil {
-				return scaleStats{}, err
-			}
-		}
+	added, err := svc.AddObjects(scalePlacements(k, regions))
+	if err != nil {
+		return scaleStats{}, err
 	}
 	if err := svc.Settle(); err != nil {
 		return scaleStats{}, err
 	}
+	for obj, ev := range added {
+		evaders[obj] = ev
+	}
+	// Contention is measured over the concurrent phases only: the attach is
+	// one cascade per region, so its profile says nothing about how live
+	// objects' cascades collide on shared head regions.
+	svc.Router().ResetObjectProfile()
 
 	// The sample is the same fixed object ids at every k — same start
 	// regions, same routes — so sampled measurements are comparable (and
@@ -191,7 +228,6 @@ func runScaleWorkload(env Env, k int, batch bool) (scaleStats, error) {
 		sample = append(sample, tracker.ObjectID(i))
 	}
 
-	var st scaleStats
 	beforeMoves := svc.Ledger().Snapshot()
 	for round := 0; round < 2; round++ {
 		start := svc.Kernel().Now()
@@ -253,5 +289,58 @@ func runScaleWorkload(env Env, k int, batch bool) (scaleStats, error) {
 	}
 	st.bytesPerRegion = float64(stateBytes) / float64(regions)
 	st.frames = svc.Ledger().Snapshot().MsgCount[cgcast.FrameKind]
+	st.contention = svc.Router().HeadContention()
 	return st, nil
+}
+
+// bulkMatchesSequential attaches the same k-object population through
+// core.Service.AddObjects and through k sequential AddObject calls, settles
+// both, and compares every region's canonical encoding byte for byte.
+func bulkMatchesSequential(env Env, k int) (bool, string, error) {
+	build := func() (*core.Service, error) {
+		return env.newService(core.Config{
+			Width:           scaleSide,
+			AlwaysAliveVSAs: true,
+			Start:           centerRegion(scaleSide),
+			Seed:            11,
+			BatchCgcast:     true,
+		})
+	}
+	bulk, err := build()
+	if err != nil {
+		return false, "", err
+	}
+	regions := bulk.Tiling().NumRegions()
+	placements := scalePlacements(k, regions)
+	if _, err := bulk.AddObjects(placements); err != nil {
+		return false, "", err
+	}
+	if err := bulk.Settle(); err != nil {
+		return false, "", err
+	}
+
+	seq, err := build()
+	if err != nil {
+		return false, "", err
+	}
+	for _, p := range placements {
+		if _, err := seq.AddObject(p.Obj, p.Start); err != nil {
+			return false, "", err
+		}
+	}
+	if err := seq.Settle(); err != nil {
+		return false, "", err
+	}
+
+	diff := 0
+	autB, autS := bulk.Network().Automaton(), seq.Network().Automaton()
+	for u := 0; u < regions; u++ {
+		if !bytes.Equal(autB.EncodeRegion(geo.RegionID(u)), autS.EncodeRegion(geo.RegionID(u))) {
+			diff++
+		}
+	}
+	if diff > 0 {
+		return false, fmt.Sprintf("%d/%d region encodings differ", diff, regions), nil
+	}
+	return true, fmt.Sprintf("all %d region encodings byte-identical across %d objects", regions, k), nil
 }

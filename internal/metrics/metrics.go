@@ -192,6 +192,37 @@ func (l *Ledger) Snapshot() Snapshot {
 	return s
 }
 
+// AddSnapshot merges a snapshot delta into the ledger, scaled by times.
+// Bulk operations that execute one representative's work and account the
+// rest by multiplication (tracker bulk attach: one grow cascade per distinct
+// start region stands in for every object placed there) use it to keep the
+// ledger identical to having run each operation individually. Latency
+// histograms are untouched — only counter maps merge.
+func (l *Ledger) AddSnapshot(diff Snapshot, times int64) {
+	if times == 0 {
+		return
+	}
+	for k, v := range diff.MsgCount {
+		l.msgCount[k] += v * times
+	}
+	for k, v := range diff.HopWork {
+		l.hopWork[k] += v * times
+	}
+	for k, v := range diff.Delivered {
+		l.delivered[k] += v * times
+	}
+	for k, m := range diff.Drops {
+		for c, v := range m {
+			dm, ok := l.drops[k]
+			if !ok {
+				dm = make(map[DropCause]int64)
+				l.drops[k] = dm
+			}
+			dm[c] += v * times
+		}
+	}
+}
+
 // Reset clears all recorded data.
 func (l *Ledger) Reset() {
 	l.msgCount = make(map[string]int64)

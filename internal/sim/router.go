@@ -24,6 +24,25 @@ type Router struct {
 	local   uint64
 	minLead Time
 	haveX   bool
+
+	// Object-keyed scheduling profile (§VII multiple objects): every
+	// per-object cascade delivery is additionally accounted against the
+	// shard owning the object's current head region — the shard the event
+	// would run on under an object-sharded Sharded deployment — and
+	// against the destination head region's delivery round, to measure
+	// how often cascades of *different* objects collide there (the
+	// Mohamed & Robert "dynamic tree" interference term; independent
+	// objects' events commute, so only these collisions serialize).
+	objLoad    []uint64            // deliveries per home shard
+	headLast   map[headRound]int64 // (dst region, round) → last object
+	contention uint64              // object switches within one head round
+}
+
+// headRound identifies one delivery round at one head region: all
+// same-instant deliveries to the region form one round of its schedule.
+type headRound struct {
+	region int32
+	due    Time
 }
 
 // NewRouter wraps kernel k with a router over `shards` shards (≥ 1).
@@ -31,7 +50,13 @@ func NewRouter(k *Kernel, shards int) *Router {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Router{k: k, kShards: shards, pair: make([]uint64, shards*shards)}
+	return &Router{
+		k:        k,
+		kShards:  shards,
+		pair:     make([]uint64, shards*shards),
+		objLoad:  make([]uint64, shards),
+		headLast: make(map[headRound]int64),
+	}
 }
 
 // At schedules fn at absolute time due as a delivery from shard `from` to
@@ -93,3 +118,64 @@ func (r *Router) PairCount(from, to int) uint64 {
 // the measured lookahead: the conservative barrier is sound for any
 // δ ≤ this value.
 func (r *Router) MinCrossLead() (Time, bool) { return r.minLead, r.haveX }
+
+// NoteObject accounts one per-object cascade delivery without scheduling
+// it: the tracker stack routes the delivery itself through At (transport
+// granularity), and calls NoteObject with the protocol-level key — the
+// object, the shard `home` owning the object's current head region (the
+// shard its cascade work belongs to under object-sharded execution), the
+// destination head region, and the delivery due time. Two consecutive
+// deliveries into the same (dstRegion, due) round from different objects
+// count one contention event: the head region must interleave two objects'
+// cascades inside one round, which is exactly the work that cannot
+// parallelize across object shards.
+func (r *Router) NoteObject(obj int64, home int, dstRegion int32, due Time) {
+	r.objLoad[r.clamp(home)]++
+	key := headRound{region: dstRegion, due: due}
+	if last, ok := r.headLast[key]; ok && last != obj {
+		r.contention++
+	}
+	r.headLast[key] = obj
+}
+
+// ObjectAt is NoteObject combined with At: it schedules fn as an
+// object-keyed delivery, for programs that drive per-object cascade events
+// through the router directly.
+func (r *Router) ObjectAt(obj int64, home int, dstRegion int32, from, to int, due Time, fn func()) Event {
+	r.NoteObject(obj, home, dstRegion, due)
+	return r.At(from, to, due, fn)
+}
+
+// ObjectShardLoad returns the per-home-shard object-keyed delivery counts
+// (index = shard). The spread of this vector is the available object
+// parallelism: disjoint home shards' cascades commute (Theorem 4.9).
+func (r *Router) ObjectShardLoad() []uint64 {
+	out := make([]uint64, len(r.objLoad))
+	copy(out, r.objLoad)
+	return out
+}
+
+// ObjectEvents returns the total object-keyed deliveries noted.
+func (r *Router) ObjectEvents() uint64 {
+	var n uint64
+	for _, v := range r.objLoad {
+		n += v
+	}
+	return n
+}
+
+// HeadContention returns how many times a head region's delivery round
+// switched between different objects — the serialized fraction of
+// multi-object work (the Mohamed & Robert interference term).
+func (r *Router) HeadContention() uint64 { return r.contention }
+
+// ResetObjectProfile clears the object-keyed accounting (load vector,
+// contention counter, and round memory), so a phase's profile can be
+// measured in isolation.
+func (r *Router) ResetObjectProfile() {
+	for i := range r.objLoad {
+		r.objLoad[i] = 0
+	}
+	r.headLast = make(map[headRound]int64)
+	r.contention = 0
+}

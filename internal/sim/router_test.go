@@ -47,3 +47,51 @@ func TestRouterClampsShardIndices(t *testing.T) {
 		t.Fatal("shards<1 must clamp to 1")
 	}
 }
+
+// NoteObject's contention counter fires only when consecutive deliveries
+// into the same (head region, due) round come from different objects —
+// same object re-delivering, different rounds, or different regions never
+// count. ObjectAt must both note and schedule.
+func TestRouterObjectProfile(t *testing.T) {
+	k := New(1)
+	r := NewRouter(k, 4)
+	due := 5 * time.Millisecond
+
+	r.NoteObject(1, 0, 9, due)  // first into the round: no contention
+	r.NoteObject(1, 0, 9, due)  // same object again: none
+	r.NoteObject(2, 1, 9, due)  // object switch: contention
+	r.NoteObject(2, 1, 9, due)  // stays on 2: none
+	r.NoteObject(1, 0, 9, due)  // switch back: contention
+	r.NoteObject(1, 0, 21, due) // different region: fresh round, none
+	r.NoteObject(2, 1, 9, 2*due)
+	r.NoteObject(3, -5, 9, 2*due) // home clamps to 0; switch: contention
+
+	if got := r.HeadContention(); got != 3 {
+		t.Fatalf("HeadContention()=%d, want 3", got)
+	}
+	if got := r.ObjectEvents(); got != 8 {
+		t.Fatalf("ObjectEvents()=%d, want 8", got)
+	}
+	if load := r.ObjectShardLoad(); load[0] != 5 || load[1] != 3 || load[2] != 0 {
+		t.Fatalf("ObjectShardLoad()=%v, want [5 3 0 0]", load)
+	}
+
+	ran := false
+	r.ObjectAt(7, 2, 9, 0, 1, due, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("ObjectAt did not schedule its event")
+	}
+	if r.ObjectEvents() != 9 || r.CrossCount() != 1 {
+		t.Fatalf("after ObjectAt: events=%d cross=%d, want 9/1", r.ObjectEvents(), r.CrossCount())
+	}
+
+	r.ResetObjectProfile()
+	if r.ObjectEvents() != 0 || r.HeadContention() != 0 {
+		t.Fatal("ResetObjectProfile left state behind")
+	}
+	r.NoteObject(1, 0, 9, due) // round memory cleared: no contention vs old last
+	if r.HeadContention() != 0 {
+		t.Fatal("round memory survived reset")
+	}
+}

@@ -1,0 +1,279 @@
+package tracker
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"vinestalk/internal/cgcast"
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/metrics"
+)
+
+// The bulk-attach equivalence property: AttachObjects(k) followed by a full
+// settle yields exactly the state — every region's canonical v2 encoding,
+// byte for byte — and exactly the ledger (under CountFrames accounting)
+// that k sequential attaches produce. This is what lets every Theorem
+// 4.8/4.9 checker carry over to bulk-attached populations unchanged.
+
+// bulkPlacements is a mixed workload over a w×h tiling: a heavy cluster in
+// one region (the path-dedup case bulk attach optimizes), a second smaller
+// cluster, and a scattered tail.
+func bulkPlacements(regions int) []AttachSpec {
+	var specs []AttachSpec
+	next := ObjectID(1)
+	for i := 0; i < 10; i++ {
+		specs = append(specs, AttachSpec{Obj: next, At: geo.RegionID(9 % regions)})
+		next++
+	}
+	for i := 0; i < 5; i++ {
+		specs = append(specs, AttachSpec{Obj: next, At: geo.RegionID(21 % regions)})
+		next++
+	}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, AttachSpec{Obj: next, At: geo.RegionID((i * 17) % regions)})
+		next++
+	}
+	return specs
+}
+
+// attachSequentially replays specs through the one-at-a-time path: a real
+// evader per object (its GPS move input fires at once), hooks registered,
+// then one settle — the same shape core.Service.AddObject + Settle drives.
+func attachSequentially(t *testing.T, f *fixture, specs []AttachSpec) map[ObjectID]*evader.Evader {
+	t.Helper()
+	evs := make(map[ObjectID]*evader.Evader, len(specs))
+	for _, sp := range specs {
+		ev, err := evader.New(f.tiling, sp.At, f.net.SinkFor(sp.Obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.net.AttachObject(sp.Obj, ev.Region)
+		evs[sp.Obj] = ev
+	}
+	f.settle()
+	return evs
+}
+
+// attachBulk replays specs through AttachObjects, with evaders placed
+// silently (NewPlaced) so the bulk path is the only detection source.
+func attachBulk(t *testing.T, f *fixture, specs []AttachSpec) map[ObjectID]*evader.Evader {
+	t.Helper()
+	evs := make(map[ObjectID]*evader.Evader, len(specs))
+	withHooks := make([]AttachSpec, len(specs))
+	for i, sp := range specs {
+		ev, err := evader.NewPlaced(f.tiling, sp.At, f.net.SinkFor(sp.Obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[sp.Obj] = ev
+		withHooks[i] = AttachSpec{Obj: sp.Obj, At: sp.At, Where: ev.Region}
+	}
+	if err := f.net.AttachObjects(withHooks); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+	return evs
+}
+
+// assertSameMachine compares every region's canonical encoding and the
+// machine-wide live-object count between two fixtures.
+func assertSameMachine(t *testing.T, ctx string, seq, bulk *fixture) {
+	t.Helper()
+	if ls, lb := liveObjects(seq.net.Automaton()), liveObjects(bulk.net.Automaton()); ls != lb {
+		t.Errorf("%s: live objects differ: sequential %d, bulk %d", ctx, ls, lb)
+	}
+	regions := seq.h.Tiling().NumRegions()
+	diff := 0
+	for u := 0; u < regions; u++ {
+		region := geo.RegionID(u)
+		es := seq.net.Automaton().EncodeRegion(region)
+		eb := bulk.net.Automaton().EncodeRegion(region)
+		if !bytes.Equal(es, eb) {
+			diff++
+			if diff <= 3 {
+				t.Errorf("%s: region %v encoding differs (%d vs %d bytes)", ctx, region, len(es), len(eb))
+			}
+		}
+	}
+	if diff > 3 {
+		t.Errorf("%s: %d regions differ in total", ctx, diff)
+	}
+}
+
+// assertSameLedger compares the counter maps of two ledgers (latency
+// histograms excluded: virtual start times differ between the two attach
+// orders even though per-message accounting is identical).
+func assertSameLedger(t *testing.T, ctx string, seq, bulk *metrics.Ledger) {
+	t.Helper()
+	ss, sb := seq.Snapshot(), bulk.Snapshot()
+	if !reflect.DeepEqual(ss.MsgCount, sb.MsgCount) {
+		t.Errorf("%s: message counts differ:\nsequential %v\nbulk       %v", ctx, ss.MsgCount, sb.MsgCount)
+	}
+	if !reflect.DeepEqual(ss.HopWork, sb.HopWork) {
+		t.Errorf("%s: hop work differs:\nsequential %v\nbulk       %v", ctx, ss.HopWork, sb.HopWork)
+	}
+	if !reflect.DeepEqual(ss.Delivered, sb.Delivered) {
+		t.Errorf("%s: deliveries differ:\nsequential %v\nbulk       %v", ctx, ss.Delivered, sb.Delivered)
+	}
+	if !reflect.DeepEqual(ss.Drops, sb.Drops) {
+		t.Errorf("%s: drops differ:\nsequential %v\nbulk       %v", ctx, ss.Drops, sb.Drops)
+	}
+}
+
+func TestBulkAttachMatchesSequentialGrid(t *testing.T) {
+	cfg := fixtureConfig{side: 8, start: 0, alwaysUp: true,
+		cgOptions: []cgcast.Option{cgcast.WithFrameAccounting()}}
+	seq := newFixture(t, cfg)
+	bulk := newFixture(t, cfg)
+	specs := bulkPlacements(seq.tiling.NumRegions())
+
+	seqEvs := attachSequentially(t, seq, specs)
+	bulkEvs := attachBulk(t, bulk, specs)
+
+	assertSameMachine(t, "post-attach", seq, bulk)
+	assertSameLedger(t, "post-attach", seq.ledger, bulk.ledger)
+
+	// The equivalence must survive being *used*: identical moves and finds
+	// on both sides keep the machines byte-identical, and the finds land on
+	// the true regions — the spliced detection state behaves like the real
+	// thing.
+	for _, obj := range []ObjectID{1, 12, 20} {
+		target := seq.tiling.Neighbors(seqEvs[obj].Region())[0]
+		if err := seqEvs[obj].MoveTo(target); err != nil {
+			t.Fatal(err)
+		}
+		if err := bulkEvs[obj].MoveTo(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq.settle()
+	bulk.settle()
+	assertSameMachine(t, "post-move", seq, bulk)
+	assertSameLedger(t, "post-move", seq.ledger, bulk.ledger)
+
+	for _, obj := range []ObjectID{1, 11, 16, 23} {
+		origin := geo.RegionID(63)
+		ids, idb := mustFind(t, seq, origin, obj), mustFind(t, bulk, origin, obj)
+		seq.settle()
+		bulk.settle()
+		if !seq.net.FindDone(ids) || !bulk.net.FindDone(idb) {
+			t.Fatalf("find for object %d incomplete (seq %v, bulk %v)", obj, seq.net.FindDone(ids), bulk.net.FindDone(idb))
+		}
+	}
+	if len(seq.founds) != len(bulk.founds) {
+		t.Fatalf("found counts differ: sequential %d, bulk %d", len(seq.founds), len(bulk.founds))
+	}
+	for i := range seq.founds {
+		if seq.founds[i].FoundAt != bulk.founds[i].FoundAt || seq.founds[i].Object != bulk.founds[i].Object {
+			t.Errorf("found %d differs: sequential %+v, bulk %+v", i, seq.founds[i], bulk.founds[i])
+		}
+	}
+	assertSameMachine(t, "post-find", seq, bulk)
+	assertSameLedger(t, "post-find", seq.ledger, bulk.ledger)
+}
+
+func mustFind(t *testing.T, f *fixture, origin geo.RegionID, obj ObjectID) FindID {
+	t.Helper()
+	id, err := f.net.FindObject(origin, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestBulkAttachMatchesSequentialLandmark(t *testing.T) {
+	tl := geo.MustGridTiling(9, 9)
+	build := func() (*fixture, *hier.Hierarchy) {
+		h, err := hier.NewLandmark(tl, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newHierFixture(t, tl, h, 40, cgcast.WithFrameAccounting()), h
+	}
+	seq, _ := build()
+	bulk, _ := build()
+	seq.settle()
+	bulk.settle()
+	specs := bulkPlacements(tl.NumRegions())
+
+	attachSequentially(t, seq, specs)
+	attachBulk(t, bulk, specs)
+
+	assertSameMachine(t, "landmark post-attach", seq, bulk)
+	assertSameLedger(t, "landmark post-attach", seq.ledger, bulk.ledger)
+}
+
+// TestBulkAttachChurnEvictsToBaseline extends TestChurnEvictsToBaseline to
+// bulk-attached populations: after the whole batch is removed again, every
+// region's encoding and the machine-wide live-object count return byte-
+// exactly to the pre-batch baseline — splice rows obey the same quiescence
+// eviction as organically grown ones.
+func TestBulkAttachChurnEvictsToBaseline(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	f.settle()
+	aut := f.net.Automaton()
+
+	baselineLive := liveObjects(aut)
+	baselineEnc := make(map[geo.RegionID][]byte, f.tiling.NumRegions())
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		baselineEnc[geo.RegionID(u)] = aut.EncodeRegion(geo.RegionID(u))
+	}
+
+	specs := []AttachSpec{
+		{Obj: 7, At: 10}, {Obj: 8, At: 10}, {Obj: 9, At: 10}, // clustered
+		{Obj: 11, At: 3}, {Obj: 12, At: 12}, // scattered
+	}
+	evs := attachBulk(t, f, specs)
+	if got := liveObjects(aut); got <= baselineLive {
+		t.Fatalf("bulk attach planted no state: live %d, baseline %d", got, baselineLive)
+	}
+	// Exercise one of them so removal dismantles a *moved* structure too.
+	if err := evs[8].MoveTo(11); err != nil {
+		t.Fatal(err)
+	}
+	f.settle()
+
+	for _, sp := range specs {
+		if err := f.net.RemoveObject(sp.Obj); err != nil {
+			t.Fatal(err)
+		}
+		f.settle()
+	}
+	if got := liveObjects(aut); got != baselineLive {
+		t.Fatalf("after removal live objects = %d, want baseline %d", got, baselineLive)
+	}
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		region := geo.RegionID(u)
+		if got := aut.EncodeRegion(region); !bytes.Equal(got, baselineEnc[region]) {
+			t.Errorf("region %v encoding did not return to baseline: %d bytes vs %d",
+				region, len(got), len(baselineEnc[region]))
+		}
+	}
+}
+
+func TestBulkAttachRejectsBadSpecs(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	f.settle()
+
+	if err := f.net.AttachObjects([]AttachSpec{{Obj: 1, At: 2}, {Obj: 1, At: 3}}); err == nil {
+		t.Error("duplicate object id accepted")
+	}
+	if err := f.net.AttachObjects([]AttachSpec{{Obj: DefaultObject, At: 2}}); err == nil {
+		t.Error("already-attached object accepted")
+	}
+	if err := f.net.AttachObjects([]AttachSpec{{Obj: 1, At: 9999}}); err == nil {
+		t.Error("out-of-tiling region accepted")
+	}
+	if err := f.net.AttachObjects(nil); err != nil {
+		t.Errorf("empty bulk attach should be a no-op, got %v", err)
+	}
+
+	hb := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true, heartbeat: 50 * time.Millisecond})
+	if err := hb.net.AttachObjects([]AttachSpec{{Obj: 1, At: 2}}); err == nil {
+		t.Error("bulk attach with heartbeats accepted")
+	}
+}

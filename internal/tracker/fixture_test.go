@@ -44,6 +44,7 @@ type fixtureConfig struct {
 	heartbeat  sim.Time
 	tRestart   sim.Time
 	netOptions []Option
+	cgOptions  []cgcast.Option
 }
 
 func newFixture(t testing.TB, cfg fixtureConfig) *fixture {
@@ -66,7 +67,7 @@ func newFixture(t testing.TB, cfg fixtureConfig) *fixture {
 	vb := vbcast.New(f.k, f.layer, delta, lagE, f.ledger)
 	gc := geocast.New(f.k, f.layer, f.h.Graph(), vb, f.ledger)
 	geom := hier.MeasureGeometry(f.h)
-	cg, err := cgcast.New(f.h, f.layer, gc, vb, geom, f.ledger)
+	cg, err := cgcast.New(f.h, f.layer, gc, vb, geom, f.ledger, cfg.cgOptions...)
 	if err != nil {
 		t.Fatal(err)
 	}

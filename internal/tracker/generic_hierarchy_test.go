@@ -23,7 +23,7 @@ import (
 // hierarchy, verifying that moves and finds work and the structure stays
 // sound.
 
-func newHierFixture(t *testing.T, tl geo.Tiling, h *hier.Hierarchy, start geo.RegionID) *fixture {
+func newHierFixture(t *testing.T, tl geo.Tiling, h *hier.Hierarchy, start geo.RegionID, cgOpts ...cgcast.Option) *fixture {
 	t.Helper()
 	f := &fixture{t: t, k: sim.New(42)}
 	if g, ok := tl.(*geo.GridTiling); ok {
@@ -35,7 +35,7 @@ func newHierFixture(t *testing.T, tl geo.Tiling, h *hier.Hierarchy, start geo.Re
 	vb := vbcast.New(f.k, f.layer, delta, lagE, f.ledger)
 	gc := geocast.New(f.k, f.layer, h.Graph(), vb, f.ledger)
 	geom := hier.MeasureGeometry(h)
-	cg, err := cgcast.New(h, f.layer, gc, vb, geom, f.ledger)
+	cg, err := cgcast.New(h, f.layer, gc, vb, geom, f.ledger, cgOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,31 @@ func (t *objTable) insert(st *objState) {
 	t.s[i] = st
 }
 
+// insertBatch splices rows — sorted ascending by obj, distinct, and all
+// absent from the table — in one backward merge pass: one slice grow and
+// O(n+k) moves instead of k binary searches with k O(n) shifts. This is the
+// bulk-attach fast path; a duplicate object is a caller bug and panics.
+func (t *objTable) insertBatch(rows []*objState) {
+	if len(rows) == 0 {
+		return
+	}
+	old := len(t.s)
+	t.s = append(t.s, rows...) // grow; tail is overwritten by the merge
+	i, j := old-1, len(rows)-1
+	for w := len(t.s) - 1; j >= 0; w-- {
+		if i >= 0 && t.s[i].obj == rows[j].obj {
+			panic("tracker: insertBatch object already present")
+		}
+		if i >= 0 && t.s[i].obj > rows[j].obj {
+			t.s[w] = t.s[i]
+			i--
+		} else {
+			t.s[w] = rows[j]
+			j--
+		}
+	}
+}
+
 // remove evicts obj's state vector, if present.
 func (t *objTable) remove(obj ObjectID) {
 	if i, ok := t.search(obj); ok {
