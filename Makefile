@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke shards-smoke multiobject-smoke bulkattach-smoke experiments experiments-quick chaos fuzz cover clean
+.PHONY: all build test test-short shuffle race vet lint bench bench-full bench-smoke nethost-smoke shards-smoke multiobject-smoke bulkattach-smoke paralleltracker-smoke experiments experiments-quick chaos fuzz cover clean
 
 all: build vet test
 
@@ -39,8 +39,9 @@ race:
 
 # Hot-path micro-benchmarks (event kernel, failover routing, networked-host
 # round trip, shard-scaling curve, object-sharded cascade curve,
-# multi-object fan-out, bulk-vs-sequential attach), recorded as
-# BENCH_9.json — suite wall-clock, ns/op, allocs/op, the cached-vs-uncached
+# multi-object fan-out, bulk-vs-sequential attach, parallel-tracker
+# scaling), recorded as
+# BENCH_10.json — suite wall-clock, ns/op, allocs/op, the cached-vs-uncached
 # failover speedup (the run fails below 2x), events/sec plus load-balance
 # ratio at K ∈ {1,2,4,8} shards on the 2048² grid (the run fails below
 # 1.5x at K=8 — sessions on this single-core box have measured 2.32x,
@@ -50,10 +51,13 @@ race:
 # frames/round at k ∈ {1e3, 1e4, 1e5}; the run fails unless batched C-gcast
 # beats unbatched by 2x in frames at the largest k, or if objects/s
 # regresses with fan-out beyond the noise tolerance), and the bulk-attach
-# speedup at 10⁴ clustered objects (the run fails below 5x). Future PRs
-# extend the trajectory by re-running this after touching a hot path.
+# speedup at 10⁴ clustered objects (the run fails below 5x), and the
+# parallel-tracker scaling curve (replica-stack tracker events/s at
+# K ∈ {1,2,4,8} engine shards over one full-population cascade round; the
+# run fails unless K=8 beats K=1 by 2x). Future PRs extend the trajectory
+# by re-running this after touching a hot path.
 bench:
-	$(GO) run ./cmd/bench -min-shard-speedup 1.5 -out BENCH_9.json
+	$(GO) run ./cmd/bench -min-shard-speedup 1.5 -out BENCH_10.json
 
 # Full benchmark sweep: one target per experiment table plus micro-benches.
 bench-full:
@@ -66,7 +70,7 @@ bench-full:
 # even here) plus the zero-allocation regression tests pinning the
 # steady-state claims.
 bench-smoke:
-	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -min-shard-speedup 0 -shard-grid 256 -out BENCH_9.json
+	$(GO) run ./cmd/bench -benchtime 1x -min-speedup 0 -min-shard-speedup 0 -min-partracker-speedup 0 -shard-grid 256 -partracker-objects 4096 -out BENCH_10.json
 	$(GO) test -run 'ZeroAlloc' -v ./internal/sim ./internal/geocast
 
 # Networked-host smoke: the nethost runtime and the tracker-over-nethost
@@ -110,6 +114,22 @@ bulkattach-smoke:
 	$(GO) test -race -run 'TestBulkAttachScaleSmoke|TestBulkAttachMatchesSequentialService' -v ./internal/core
 	$(GO) test -race -run 'TestBulkAttach' ./internal/tracker
 	$(GO) test -race -run 'TestObjectCascadeDeterministicAcrossShardCounts|TestRouterObjectProfile' ./internal/sim
+
+# Parallel-tracker smoke: the K-matrix byte-identity proofs (founds, region
+# encodings, and merged ledger identical at K ∈ {1,2,4,8} AND against the
+# sequential service; engine steps invariant in K), the shard-local ledger
+# merge property tests, the region-encoding merge codec, the bounded
+# head-round profile and the re-homing determinism tests, all under the
+# race detector — the replica stacks execute concurrently, so -race is the
+# confinement proof — plus the nethost conservation suite under -race
+# (the tracker's other concurrent runtime, kept honest by the same bar).
+paralleltracker-smoke:
+	$(GO) test -race -run 'TestParallelTracker' -v ./internal/core
+	$(GO) test -race -run 'TestLedgerMerge|TestMergedSnapshot' ./internal/metrics
+	$(GO) test -race -run 'TestMergedLedgerEqualsSharedE1E2' ./internal/experiments
+	$(GO) test -race -run 'TestMergeRegionEncodings' ./internal/tracker
+	$(GO) test -race -run 'TestRehomer|TestRouterHeadRoundsPruned' ./internal/sim
+	$(GO) test -race -run 'TestNetHostChaosConservation|TestNetHostStopMidFlightConservation' ./internal/tracker
 
 # Regenerate every paper claim (EXPERIMENTS.md tables).
 experiments:

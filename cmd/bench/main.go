@@ -15,9 +15,11 @@
 // -shard-grid² grid), the object-sharded cascade curve (events/sec and
 // head contention per event), the multi-object scaling curve (objects/sec,
 // bytes/region, frames/round, and the batched-vs-unbatched frame gain at
-// each fan-out), and the bulk-attach speedup (bulk ÷ sequential objects/s
-// at 10⁴ clustered objects), and writes a JSON report (default
-// BENCH_9.json):
+// each fan-out), the bulk-attach speedup (bulk ÷ sequential objects/s at
+// 10⁴ clustered objects), and the parallel-tracker scaling curve (events/s
+// on the replica-stack tracker at K ∈ {1,2,4,8} engine shards over a fixed
+// full-population cascade round), and writes a JSON report (default
+// BENCH_10.json):
 //
 //	{
 //	  "suite_wall_clock_sec": …,   // wall-clock of the whole bench run
@@ -29,22 +31,26 @@
 //	  "multi_object_scaling": [{"objects", "objects_per_sec", "bytes_per_region",
 //	                            "frames_per_round", "batch_frame_gain"}, …],
 //	  "batch_frame_gain": …,       // unbatched ÷ batched frames/round at the largest fan-out
-//	  "bulk_attach_speedup": …     // bulk ÷ sequential attach objects/s at 10⁴ clustered
+//	  "bulk_attach_speedup": …,    // bulk ÷ sequential attach objects/s at 10⁴ clustered
+//	  "parallel_tracker_scaling": [{"k", "events_per_sec"}, …],
+//	  "parallel_speedup_k8": …     // parallel tracker events/s at K=8 ÷ K=1
 //	}
 //
 // The run fails (non-zero exit) if the failover speedup falls below
 // -min-speedup (default 2), the K=8 shard speedup falls below
-// -min-shard-speedup (default 2), the batched C-gcast frame gain at the
-// largest fan-out falls below -min-batch-gain (default 2), the bulk-attach
-// speedup falls below -min-attach-speedup (default 5), or the multi-object
+// -min-shard-speedup (default 2), the K=8 parallel-tracker speedup falls
+// below -min-partracker-speedup (default 2), the batched C-gcast frame
+// gain at the largest fan-out falls below -min-batch-gain (default 2), the
+// bulk-attach speedup falls below -min-attach-speedup (default 5), or the
+// multi-object
 // objects/s curve decreases by more than -monotone-tolerance between
 // fan-out levels (default 0.8; 0 disables — single-iteration wall-clock
 // readings carry ±15% noise, so the gate allows that much regression
-// before calling the curve non-monotone). The failover and shard gates are
-// timing ratios and are disabled for single-iteration smoke runs; frame
-// counts are deterministic, so the batch-gain gate holds even at
-// -benchtime 1x, and the attach speedup's 3× margin over its gate keeps it
-// meaningful there too.
+// before calling the curve non-monotone). The failover, shard, and
+// parallel-tracker gates are timing ratios and are disabled for
+// single-iteration smoke runs; frame counts are deterministic, so the
+// batch-gain gate holds even at -benchtime 1x, and the attach speedup's 3×
+// margin over its gate keeps it meaningful there too.
 package main
 
 import (
@@ -67,7 +73,7 @@ import (
 var benchPackages = []string{"vinestalk/internal/sim", "vinestalk/internal/geocast",
 	"vinestalk/internal/nethost", "vinestalk/internal/core"}
 
-const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling|BenchmarkObjectShardedCascade|BenchmarkMultiObject|BenchmarkBulkAttach)$"
+const benchPattern = "^(BenchmarkKernelScheduleCancel|BenchmarkKernelChurn|BenchmarkGeocastFailover|BenchmarkNetHostRoundTrip|BenchmarkFrameCodec|BenchmarkShardedScaling|BenchmarkObjectShardedCascade|BenchmarkMultiObject|BenchmarkBulkAttach|BenchmarkParallelTracker)$"
 
 // result is one parsed benchmark line: the standard columns as fields,
 // every custom b.ReportMetric unit in Metrics.
@@ -124,6 +130,11 @@ type report struct {
 	MultiObjectScaling []multiPoint      `json:"multi_object_scaling,omitempty"`
 	BatchFrameGain     float64           `json:"batch_frame_gain,omitempty"`
 	BulkAttachSpeedup  float64           `json:"bulk_attach_speedup,omitempty"`
+	// ParallelTrackerScaling is the replica-stack parallel tracker's
+	// events/s at each engine shard count on the fixed full-population
+	// cascade workload; ParallelSpeedupK8 is the K=8 ÷ K=1 ratio.
+	ParallelTrackerScaling []shardPoint `json:"parallel_tracker_scaling,omitempty"`
+	ParallelSpeedupK8      float64      `json:"parallel_speedup_k8,omitempty"`
 }
 
 // shardName extracts K from "BenchmarkShardedScaling/K=8"; cascadeName the
@@ -131,10 +142,11 @@ type report struct {
 // mode from "BenchmarkMultiObject/objects=1000/batched"; attachName the
 // fan-out and attach path from "BenchmarkBulkAttach/objects=10000/bulk".
 var (
-	shardName   = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
-	cascadeName = regexp.MustCompile(`^BenchmarkObjectShardedCascade/K=(\d+)$`)
-	multiName   = regexp.MustCompile(`^BenchmarkMultiObject/objects=(\d+)/(batched|unbatched)$`)
-	attachName  = regexp.MustCompile(`^BenchmarkBulkAttach/objects=(\d+)/(sequential|bulk)$`)
+	shardName      = regexp.MustCompile(`^BenchmarkShardedScaling/K=(\d+)$`)
+	cascadeName    = regexp.MustCompile(`^BenchmarkObjectShardedCascade/K=(\d+)$`)
+	multiName      = regexp.MustCompile(`^BenchmarkMultiObject/objects=(\d+)/(batched|unbatched)$`)
+	attachName     = regexp.MustCompile(`^BenchmarkBulkAttach/objects=(\d+)/(sequential|bulk)$`)
+	parTrackerName = regexp.MustCompile(`^BenchmarkParallelTracker/K=(\d+)$`)
 )
 
 // parseBenchLine parses one standard `go test -bench -benchmem` output
@@ -181,7 +193,7 @@ func parseBenchLine(line string) (result, bool) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "output JSON path")
+	out := flag.String("out", "BENCH_10.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 1000x, 1x for smoke)")
 	minSpeedup := flag.Float64("min-speedup", 2, "fail unless cached failover routing beats uncached by this factor")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 2, "fail unless 8 shards beat 1 shard by this events/s factor")
@@ -189,12 +201,17 @@ func main() {
 	minAttachSpeedup := flag.Float64("min-attach-speedup", 5, "fail unless bulk attach beats sequential attach by this objects/s factor at 10^4 clustered objects")
 	monotoneTolerance := flag.Float64("monotone-tolerance", 0.8, "fail if multi-object objects/s drops below this fraction of the previous fan-out level (0 disables)")
 	shardGrid := flag.Int("shard-grid", 2048, "grid side for the shard-scaling benchmark (smoke runs use a small one)")
+	minParTrackerSpeedup := flag.Float64("min-partracker-speedup", 2, "fail unless the 8-shard parallel tracker beats 1 shard by this events/s factor")
+	parTrackerObjects := flag.Int("partracker-objects", 0, "object population for the parallel-tracker benchmark (0 = benchmark default; smoke runs use a small one)")
 	flag.Parse()
 
 	args := append([]string{"test", "-run", "^$", "-bench", benchPattern,
 		"-benchmem", "-benchtime", *benchtime, "-timeout", "60m"}, benchPackages...)
 	cmd := exec.Command("go", args...)
 	cmd.Env = append(os.Environ(), fmt.Sprintf("VINESTALK_SHARD_GRID=%d", *shardGrid))
+	if *parTrackerObjects > 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("VINESTALK_PARTRACKER_OBJECTS=%d", *parTrackerObjects))
+	}
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -231,6 +248,11 @@ func main() {
 			k, _ := strconv.Atoi(sm[1])
 			rep.ShardScaling = append(rep.ShardScaling, shardPoint{
 				K: k, EventsPerSec: r.Metrics["events/s"], Balance: r.Metrics["balance"]})
+		}
+		if pm := parTrackerName.FindStringSubmatch(r.Name); pm != nil {
+			k, _ := strconv.Atoi(pm[1])
+			rep.ParallelTrackerScaling = append(rep.ParallelTrackerScaling, shardPoint{
+				K: k, EventsPerSec: r.Metrics["events/s"]})
 		}
 		if cm := cascadeName.FindStringSubmatch(r.Name); cm != nil {
 			k, _ := strconv.Atoi(cm[1])
@@ -288,6 +310,18 @@ func main() {
 	if k1 > 0 && k8 > 0 {
 		rep.ShardSpeedupK8 = k8 / k1
 	}
+	var pt1, pt8 float64
+	for _, p := range rep.ParallelTrackerScaling {
+		switch p.K {
+		case 1:
+			pt1 = p.EventsPerSec
+		case 8:
+			pt8 = p.EventsPerSec
+		}
+	}
+	if pt1 > 0 && pt8 > 0 {
+		rep.ParallelSpeedupK8 = pt8 / pt1
+	}
 	for _, k := range multiKs {
 		cell := multi[k]
 		if !cell.hasBatched {
@@ -319,8 +353,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid, batch frame gain %.1fx, bulk attach %.1fx)\n",
-		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid, rep.BatchFrameGain, rep.BulkAttachSpeedup)
+	fmt.Printf("wrote %s (wall %.2fs, failover speedup %.1fx, shard speedup %.2fx at K=8 on %d² grid, batch frame gain %.1fx, bulk attach %.1fx, parallel tracker %.2fx at K=8)\n",
+		*out, wall.Seconds(), rep.FailoverSpeedup, rep.ShardSpeedupK8, *shardGrid, rep.BatchFrameGain, rep.BulkAttachSpeedup, rep.ParallelSpeedupK8)
 
 	if rep.FailoverSpeedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: failover speedup %.2fx below required %.2fx\n",
@@ -330,6 +364,11 @@ func main() {
 	if rep.ShardSpeedupK8 < *minShardSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: shard speedup %.2fx at K=8 below required %.2fx\n",
 			rep.ShardSpeedupK8, *minShardSpeedup)
+		os.Exit(1)
+	}
+	if rep.ParallelSpeedupK8 < *minParTrackerSpeedup {
+		fmt.Fprintf(os.Stderr, "bench: parallel tracker speedup %.2fx at K=8 below required %.2fx\n",
+			rep.ParallelSpeedupK8, *minParTrackerSpeedup)
 		os.Exit(1)
 	}
 	if rep.BatchFrameGain < *minBatchGain {

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	experiments [-quick] [-only E1,E4] [-csv results] [-json results]
-//	            [-parallel N] [-shards K] [-chaos-seed S]
+//	            [-parallel N] [-shards K] [-parallel-tracker K] [-chaos-seed S]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments and their sweep cells run on -parallel workers (default
@@ -39,6 +39,7 @@ func main() {
 	jsonDir := flag.String("json", "", "also write each result (table, checks, ledgers) as <dir>/<ID>.json")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "event-engine shard count per service (0 = 1)")
+	parTracker := flag.Int("parallel-tracker", 0, "parallel-tracker engine shard count K for E13 (0 = 4; valid: 1, 2, 4, 8)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "offset added to E11 fault-plan seeds")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,7 +69,8 @@ func main() {
 		Parallel:  *parallel,
 		ChaosSeed: *chaosSeed,
 		Shards:    *shards,
-	})
+
+		ParallelTracker: *parTracker})
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)

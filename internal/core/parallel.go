@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vinestalk/internal/evader"
+	"vinestalk/internal/geo"
+	"vinestalk/internal/hier"
+	"vinestalk/internal/metrics"
+	"vinestalk/internal/sim"
+	"vinestalk/internal/tracker"
+)
+
+// parallelHomeShards is the fixed logical home partition of the parallel
+// tracker: the grid is split into 8 row bands (geo.Partition) and every
+// object is homed on the band of its start region. The partition is
+// deliberately independent of the execution shard count K — logical shard l
+// executes on engine shard l·K/8 — so the object→home map, the cross-home
+// find rule, and therefore every observable are identical at every K.
+const parallelHomeShards = 8
+
+// ParallelService runs the tracking service of §VII multiple objects on a
+// sim.Sharded engine: K complete replica stacks — VSA layer, V-bcast,
+// geocast, C-gcast, tracker network, one client per region — each live on
+// one engine shard's kernel, and every tracked object's entire cascade runs
+// on the stack homing its start region. Disjoint objects' cascades commute
+// (Theorem 4.9, pinned by the PR-9 object-sharding proofs), so the union of
+// the K stacks' settled states is byte-identical to one stack tracking all
+// objects: Founds, merged region encodings (MergeRegionEncodings), and the
+// merged metrics ledger are all invariant in K.
+//
+// Global state is gone from the hot path by construction: each stack owns a
+// shard-local metrics.Ledger (merged deterministically on demand), its own
+// tracker maps, and its own kernel RNG stream (seeded seed + shard·0x9E37;
+// nothing on the cascade path draws from it — chaos, the one RNG consumer,
+// is rejected in this mode). The only cross-shard effect is the find input:
+// a find issued at region u for an object homed on another logical shard
+// travels as a δ-delayed Sharded.Send frame from u's shard to the home
+// shard. The δ charge depends only on the logical shards of origin and
+// home, never on K, keeping virtual-time observables K-invariant.
+//
+// Byte-identity caveat: two finds issued back-to-back at the same settled
+// instant from *different* logical shards to the same home may be delivered
+// in engine-frame order (due, source shard, seq), which can differ from
+// call order across K. Programs wanting bit-exact pending-find lists under
+// such collisions should issue same-instant finds from one logical shard,
+// or settle between them.
+type ParallelService struct {
+	cfg    Config
+	eng    *sim.Sharded
+	stacks []*Service
+	homes  *geo.Partition // logical 8-band home partition
+	tiling *geo.GridTiling
+	hier   *hier.Hierarchy
+
+	findSeq int64
+	findErr []error // one slot per engine shard; written only by that shard
+	objHome map[tracker.ObjectID]int
+}
+
+// NewParallel assembles the parallel tracker with cfg.ParallelTracker
+// engine shards. K must divide the fixed logical home partition (8), i.e.
+// K ∈ {1, 2, 4, 8}. Modes whose state cannot be shard-confined are
+// rejected: chaos (the shared-RNG consumer), emulation, heartbeats, and
+// tracer/OnFound callbacks (which would observe per-stack interleavings).
+func NewParallel(cfg Config) (*ParallelService, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	k := cfg.ParallelTracker
+	if k < 1 || parallelHomeShards%k != 0 {
+		return nil, fmt.Errorf("core: ParallelTracker must be one of {1, 2, 4, 8}, got %d", k)
+	}
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		return nil, errors.New("core: chaos draws from the shared RNG stream; unavailable with ParallelTracker")
+	}
+	if cfg.Emulation != nil {
+		return nil, errors.New("core: emulation is unavailable with ParallelTracker")
+	}
+	if cfg.Heartbeat > 0 {
+		return nil, errors.New("core: heartbeats are unavailable with ParallelTracker")
+	}
+	if cfg.Tracer != nil || cfg.OnFound != nil {
+		return nil, errors.New("core: Tracer/OnFound callbacks observe per-stack interleavings; unavailable with ParallelTracker")
+	}
+	tiling, err := geo.NewGridTiling(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hier.NewGrid(tiling, cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	if !tiling.Contains(cfg.Start) {
+		return nil, fmt.Errorf("core: start region %v outside the %dx%d grid", cfg.Start, cfg.Width, cfg.Height)
+	}
+	// One geometry for all stacks: measurement is the expensive part of
+	// assembly, and the stacks share the hierarchy byte for byte.
+	var geom hier.Geometry
+	if cfg.FormulaGeometry {
+		geom = hier.GridFormulas(cfg.Base, h.MaxLevel())
+	} else {
+		geom = hier.MeasureGeometry(h)
+	}
+
+	ps := &ParallelService{
+		cfg:     cfg,
+		eng:     sim.NewSharded(cfg.Seed, k, cfg.Delta, nil),
+		stacks:  make([]*Service, k),
+		homes:   geo.NewPartition(tiling, parallelHomeShards),
+		tiling:  tiling,
+		hier:    h,
+		findErr: make([]error, k),
+		objHome: map[tracker.ObjectID]int{tracker.DefaultObject: 0},
+	}
+	ps.objHome[tracker.DefaultObject] = ps.homes.ShardOf(cfg.Start)
+	home := ps.execOf(ps.objHome[tracker.DefaultObject])
+	scfg := cfg
+	scfg.ParallelTracker = 0
+	for i := range ps.stacks {
+		// Every stack gets its own tiling and hierarchy — identical by
+		// construction, but share-nothing: the hierarchy's routing graph
+		// memoizes BFS state, which engine rounds would otherwise race on.
+		// Only the geometry (plain read-only parameters) is shared.
+		st, err := geo.NewGridTiling(cfg.Width, cfg.Height)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := hier.NewGrid(st, cfg.Base)
+		if err != nil {
+			return nil, err
+		}
+		s, err := buildService(sh, scfg, buildParams{
+			kern:        ps.eng.Shard(i).Kernel(),
+			geom:        &geom,
+			placeEvader: i == home,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps.stacks[i] = s
+	}
+	return ps, nil
+}
+
+// execOf maps a logical home shard to the engine shard executing it.
+func (ps *ParallelService) execOf(logical int) int {
+	return logical * ps.eng.K() / parallelHomeShards
+}
+
+// alignedNow returns the latest stack clock — the instant new inputs are
+// issued at. After Settle every stack clock equals it.
+func (ps *ParallelService) alignedNow() sim.Time {
+	now := ps.stacks[0].kernel.Now()
+	for _, s := range ps.stacks[1:] {
+		if n := s.kernel.Now(); n > now {
+			now = n
+		}
+	}
+	return now
+}
+
+// K returns the engine shard count.
+func (ps *ParallelService) K() int { return ps.eng.K() }
+
+// Engine returns the conservative parallel engine.
+func (ps *ParallelService) Engine() *sim.Sharded { return ps.eng }
+
+// Stack returns replica stack i, for per-stack inspection in tests.
+func (ps *ParallelService) Stack(i int) *Service { return ps.stacks[i] }
+
+// Tiling returns the grid tiling.
+func (ps *ParallelService) Tiling() *geo.GridTiling { return ps.tiling }
+
+// Hierarchy returns the cluster hierarchy shared by every stack.
+func (ps *ParallelService) Hierarchy() *hier.Hierarchy { return ps.hier }
+
+// HomePartition returns the fixed logical home partition.
+func (ps *ParallelService) HomePartition() *geo.Partition { return ps.homes }
+
+// HomeOf returns the logical home shard of a tracked object.
+func (ps *ParallelService) HomeOf(obj tracker.ObjectID) (int, bool) {
+	l, ok := ps.objHome[obj]
+	return l, ok
+}
+
+// Evader returns the primary mobile object (homed with cfg.Start).
+func (ps *ParallelService) Evader() *evader.Evader {
+	return ps.stacks[ps.execOf(ps.objHome[tracker.DefaultObject])].ev
+}
+
+// Now returns the provably-reached engine time.
+func (ps *ParallelService) Now() sim.Time { return ps.eng.Now() }
+
+// Steps returns the total events processed across all stacks — the same
+// count the sequential service's kernel reports for the same program, at
+// every K (the event multiset is partitioned, not changed).
+func (ps *ParallelService) Steps() uint64 { return ps.eng.Steps() }
+
+// AddObjects bulk-attaches objects across the stacks: placements are split
+// by the engine shard of each start region's logical band (preserving slice
+// order within a shard) and each stack runs its tracker.AttachObjects group
+// concurrently — the stacks share no state, so the attach phase itself is
+// shard-parallel. Objects sharing a start region always land on one stack,
+// so per-region splice groups are identical at every K.
+func (ps *ParallelService) AddObjects(placements []ObjectPlacement) (map[tracker.ObjectID]*evader.Evader, error) {
+	byExec := make([][]ObjectPlacement, ps.eng.K())
+	for _, p := range placements {
+		if p.Obj == tracker.DefaultObject {
+			return nil, errors.New("core: object 0 is the primary evader; pick nonzero ids")
+		}
+		if _, dup := ps.objHome[p.Obj]; dup {
+			return nil, fmt.Errorf("core: object %d is already tracked", p.Obj)
+		}
+		l := ps.homes.ShardOf(p.Start)
+		ps.objHome[p.Obj] = l
+		e := ps.execOf(l)
+		byExec[e] = append(byExec[e], p)
+	}
+	groups := make([]map[tracker.ObjectID]*evader.Evader, ps.eng.K())
+	errs := make([]error, ps.eng.K())
+	var wg sync.WaitGroup
+	for e, group := range byExec {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(e int, group []ObjectPlacement) {
+			defer wg.Done()
+			groups[e], errs[e] = ps.stacks[e].AddObjects(group)
+		}(e, group)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	evs := make(map[tracker.ObjectID]*evader.Evader, len(placements))
+	for _, g := range groups {
+		for obj, ev := range g {
+			evs[obj] = ev
+		}
+	}
+	return evs, nil
+}
+
+// FindObject issues a find at region u for a tracked object. The input is
+// injected at the object's home stack: directly (a kernel insertion) when
+// u's logical shard is the home shard, and as a δ-delayed cross-shard
+// engine frame otherwise. The δ charge depends only on the two logical
+// shards, so find timing — and the recorded find latency, measured from
+// input execution — is identical at every K.
+func (ps *ParallelService) FindObject(u geo.RegionID, obj tracker.ObjectID) (tracker.FindID, error) {
+	lh, ok := ps.objHome[obj]
+	if !ok {
+		return 0, fmt.Errorf("core: object %d is not tracked", obj)
+	}
+	if !ps.tiling.Contains(u) {
+		return 0, fmt.Errorf("core: find region %v outside the %dx%d grid", u, ps.cfg.Width, ps.cfg.Height)
+	}
+	lu := ps.homes.ShardOf(u)
+	eu, eh := ps.execOf(lu), ps.execOf(lh)
+	due := ps.alignedNow()
+	if lu != lh {
+		due = sim.Add(due, ps.cfg.Delta)
+	}
+	ps.findSeq++
+	id := tracker.FindID(ps.findSeq)
+	target := ps.stacks[eh]
+	ps.eng.Shard(eu).Send(eh, due, func() {
+		if err := target.net.FindObjectAs(id, u, obj); err != nil && ps.findErr[eh] == nil {
+			ps.findErr[eh] = err
+		}
+	})
+	return id, nil
+}
+
+// Find issues a find for the primary object.
+func (ps *ParallelService) Find(u geo.RegionID) (tracker.FindID, error) {
+	return ps.FindObject(u, tracker.DefaultObject)
+}
+
+// FindDone reports whether the find has produced its found output.
+func (ps *ParallelService) FindDone(id tracker.FindID) bool {
+	for _, s := range ps.stacks {
+		if s.net.FindDone(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Settle drains the engine — all stacks run concurrently under the
+// conservative δ barrier — then aligns every stack clock to the latest one
+// and verifies each stack is move-quiescent. Errors raised inside deferred
+// find inputs surface here.
+func (ps *ParallelService) Settle() error {
+	ps.eng.Run()
+	ps.eng.RunUntil(ps.alignedNow())
+	for i, s := range ps.stacks {
+		if err := ps.findErr[i]; err != nil {
+			ps.findErr[i] = nil
+			return err
+		}
+		if !s.net.MoveQuiescent() {
+			return fmt.Errorf("core: stack %d drained but not move-quiescent", i)
+		}
+	}
+	return nil
+}
+
+// Founds returns every find result reported by any stack, in find-id order
+// (ids are issued globally, so this is issue order).
+func (ps *ParallelService) Founds() []tracker.FindResult {
+	var out []tracker.FindResult
+	for _, s := range ps.stacks {
+		out = append(out, s.founds...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ledgers returns the K shard-local metrics ledgers.
+func (ps *ParallelService) Ledgers() []*metrics.Ledger {
+	out := make([]*metrics.Ledger, len(ps.stacks))
+	for i, s := range ps.stacks {
+		out[i] = s.ledger
+	}
+	return out
+}
+
+// MergedLedger folds the shard-local ledgers into one (metrics.Ledger.Merge
+// — commutative, so the result is independent of stack order and of K).
+func (ps *ParallelService) MergedLedger() *metrics.Ledger {
+	m := metrics.NewLedger()
+	for _, s := range ps.stacks {
+		m.Merge(s.ledger)
+	}
+	return m
+}
+
+// EncodeRegion merges the K stacks' canonical encodings of region u into
+// the encoding a single stack tracking every object would produce.
+func (ps *ParallelService) EncodeRegion(u geo.RegionID) ([]byte, error) {
+	encs := make([][]byte, len(ps.stacks))
+	for i, s := range ps.stacks {
+		encs[i] = s.net.Automaton().EncodeRegion(u)
+	}
+	return tracker.MergeRegionEncodings(encs...)
+}

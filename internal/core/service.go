@@ -49,6 +49,16 @@ type Config struct {
 	// traffic profile and the measured δ-lookahead that the parallel
 	// engine (sim.Sharded) exploits for shard-confined programs.
 	Shards int
+	// ParallelTracker, when positive, selects the replica-stack parallel
+	// tracker (NewParallel): K complete tracker stacks run on the K shards
+	// of a sim.Sharded engine, objects are homed onto stacks by the logical
+	// shard of their start region, and cross-shard finds travel as
+	// δ-delayed engine frames. K must be one of {1, 2, 4, 8} (a divisor of
+	// the fixed logical home partition, so object→shard homing — and hence
+	// every observable — is identical at every K). New and NewWithHierarchy
+	// ignore the field: it is consumed by NewParallel, which builds each
+	// stack with a ParallelTracker=0 copy of the config.
+	ParallelTracker int
 	// Start region of the evader (default region 0).
 	Start geo.RegionID
 	// AlwaysAliveVSAs pins VSAs alive (the paper's correctness assumption).
@@ -144,6 +154,9 @@ func (c *Config) fillDefaults() error {
 	if c.Shards < 0 {
 		return errors.New("core: Shards must be positive")
 	}
+	if c.ParallelTracker < 0 {
+		return errors.New("core: ParallelTracker must be nonnegative")
+	}
 	if c.Emulation != nil {
 		if c.Emulation.TRestart == 0 {
 			c.Emulation.TRestart = 50 * time.Millisecond
@@ -201,6 +214,23 @@ func New(cfg Config) (*Service, error) {
 // head selectors, pre-validated clusterings). The config's Width, Height
 // and Base must describe the hierarchy's tiling.
 func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
+	return buildService(h, cfg, buildParams{placeEvader: true})
+}
+
+// buildParams are the assembly knobs NewParallel uses to embed a Service as
+// one replica stack of the parallel tracker: an externally owned kernel
+// (one engine shard's), a geometry computed once and shared across stacks,
+// and whether to place the primary evader (only the stack homing the start
+// region does; the others track object 0 lazily through cascade traffic).
+type buildParams struct {
+	kern        *sim.Kernel
+	geom        *hier.Geometry
+	placeEvader bool
+}
+
+// buildService assembles a tracking service on either its own kernel (the
+// sequential path) or a caller-supplied one (a parallel-engine shard).
+func buildService(h *hier.Hierarchy, cfg Config, p buildParams) (*Service, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -216,7 +246,11 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("core: start region %v outside the %dx%d grid", cfg.Start, cfg.Width, cfg.Height)
 	}
 
-	s := &Service{cfg: cfg, kernel: sim.New(cfg.Seed), tiling: tiling, hier: h}
+	kern := p.kern
+	if kern == nil {
+		kern = sim.New(cfg.Seed)
+	}
+	s := &Service{cfg: cfg, kernel: kern, tiling: tiling, hier: h}
 	s.part = geo.NewPartition(tiling, cfg.Shards)
 	s.router = sim.NewRouter(s.kernel, s.part.K())
 	route := func(from, to geo.RegionID, due sim.Time, fn func()) sim.Event {
@@ -243,7 +277,9 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 		vb.SetDelayModel(plan.DelayModel())
 		gc.SetLoss(plan.LossFunc(s.kernel))
 	}
-	if cfg.FormulaGeometry {
+	if p.geom != nil {
+		s.geom = *p.geom
+	} else if cfg.FormulaGeometry {
 		s.geom = hier.GridFormulas(cfg.Base, h.MaxLevel())
 	} else {
 		s.geom = hier.MeasureGeometry(h)
@@ -325,12 +361,14 @@ func NewWithHierarchy(h *hier.Hierarchy, cfg Config) (*Service, error) {
 		em.Boot()
 	}
 
-	ev, err := evader.New(tiling, cfg.Start, net.Sink())
-	if err != nil {
-		return nil, err
+	if p.placeEvader {
+		ev, err := evader.New(tiling, cfg.Start, net.Sink())
+		if err != nil {
+			return nil, err
+		}
+		s.ev = ev
+		net.AttachEvader(ev.Region)
 	}
-	s.ev = ev
-	net.AttachEvader(ev.Region)
 	if s.plan != nil {
 		// Churn client ids start above the stationary clients (one per
 		// region, ids 0..NumRegions-1).

@@ -16,6 +16,19 @@ type Env struct {
 	Workers   int   // sweep worker count; <= 0 means GOMAXPROCS
 	ChaosSeed int64 // offset added to fault-plan seeds (E11)
 	Shards    int   // core.Config.Shards for every assembled service; <= 0 means 1
+	// ParallelTracker is the engine shard count K for experiments that also
+	// drive the replica-stack parallel tracker (E13's "par events" column);
+	// <= 0 means 4. Must divide the fixed 8-band home partition, so valid
+	// values are 1, 2, 4, 8.
+	ParallelTracker int
+}
+
+// parallelK resolves the parallel-tracker shard count, defaulting to 4.
+func (env Env) parallelK() int {
+	if env.ParallelTracker > 0 {
+		return env.ParallelTracker
+	}
+	return 4
 }
 
 // newService assembles a tracking service with the environment's shard
@@ -25,6 +38,15 @@ type Env struct {
 func (env Env) newService(cfg core.Config) (*core.Service, error) {
 	cfg.Shards = env.Shards
 	return core.New(cfg)
+}
+
+// newParallel assembles a replica-stack parallel tracker at k engine
+// shards. The observables experiments read off it (founds, region
+// encodings, engine steps) are byte-identical at every valid k — see
+// core.NewParallel.
+func (env Env) newParallel(cfg core.Config, k int) (*core.ParallelService, error) {
+	cfg.ParallelTracker = k
+	return core.NewParallel(cfg)
 }
 
 // newServiceWithHierarchy is newService for caller-supplied hierarchies.

@@ -21,6 +21,10 @@ type Options struct {
 	Parallel  int      // sweep worker count; <= 0 means GOMAXPROCS
 	ChaosSeed int64    // offset added to fault-plan seeds (E11)
 	Shards    int      // event-engine shard count per service; <= 0 means 1
+	// ParallelTracker is the replica-stack parallel tracker's engine shard
+	// count for E13's "par events" column; <= 0 means 4. Valid values are
+	// 1, 2, 4, 8 (divisors of the fixed 8-band home partition).
+	ParallelTracker int
 }
 
 // RunAll executes the selected experiments, rendering each result to w and
@@ -41,7 +45,8 @@ func RunAll(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	env := Env{Quick: opts.Quick, Workers: opts.Parallel, ChaosSeed: opts.ChaosSeed, Shards: opts.Shards}
+	env := Env{Quick: opts.Quick, Workers: opts.Parallel, ChaosSeed: opts.ChaosSeed,
+		Shards: opts.Shards, ParallelTracker: opts.ParallelTracker}
 
 	// Each experiment renders into its own buffer inside the worker pool;
 	// the buffers are concatenated in presentation order afterwards.

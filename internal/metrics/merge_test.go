@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randLedger fills a ledger with a random but seeded mix of every record
+// type, so merge properties are exercised across all five tables.
+func randLedger(rng *rand.Rand) *Ledger {
+	l := NewLedger()
+	kinds := []string{"proto/grow", "proto/shrink", "vbcast", "cgcast/frame", "geocast"}
+	causes := []DropCause{DropLoss, DropDeadVSA, DropNoRoute}
+	lats := []string{"move", "find"}
+	for i, n := 0, 20+rng.Intn(60); i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			l.RecordMessage(kinds[rng.Intn(len(kinds))], rng.Intn(9))
+		case 1:
+			l.AddWork(kinds[rng.Intn(len(kinds))], rng.Intn(9))
+		case 2:
+			l.RecordDelivery(kinds[rng.Intn(len(kinds))])
+		case 3:
+			l.RecordDrop(kinds[rng.Intn(len(kinds))], causes[rng.Intn(len(causes))])
+		case 4:
+			l.RecordLatency(lats[rng.Intn(len(lats))], time.Duration(1+rng.Intn(1_000_000))*time.Microsecond)
+		}
+	}
+	return l
+}
+
+func exportJSON(t *testing.T, l *Ledger) string {
+	t.Helper()
+	b, err := json.Marshal(l.Export())
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return string(b)
+}
+
+// Merge must be commutative and associative on full random ledgers — the
+// property that makes the parallel tracker's merged snapshot independent of
+// stack order and of the shard count the events were split across.
+func TestLedgerMergeCommutativeAssociative(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		a, b, c := randLedger(rng), randLedger(rng), randLedger(rng)
+
+		ab := NewLedger()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := NewLedger()
+		ba.Merge(b)
+		ba.Merge(a)
+		if x, y := exportJSON(t, ab), exportJSON(t, ba); x != y {
+			t.Fatalf("trial %d: merge not commutative:\n a⊕b=%s\n b⊕a=%s", trial, x, y)
+		}
+
+		abc1 := NewLedger()
+		abc1.Merge(ab)
+		abc1.Merge(c)
+		bc := NewLedger()
+		bc.Merge(b)
+		bc.Merge(c)
+		abc2 := NewLedger()
+		abc2.Merge(a)
+		abc2.Merge(bc)
+		if x, y := exportJSON(t, abc1), exportJSON(t, abc2); x != y {
+			t.Fatalf("trial %d: merge not associative:\n (a⊕b)⊕c=%s\n a⊕(b⊕c)=%s", trial, x, y)
+		}
+	}
+}
+
+// Distributing one event stream over K shard-local ledgers and merging
+// must reproduce the shared ledger byte for byte — counters, drop causes,
+// and latency histograms included. This is the shard-confinement contract:
+// a commuting program may record each event on whichever shard runs it.
+func TestLedgerMergeEqualsShared(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		rng := rand.New(rand.NewSource(int64(shards) * 77))
+		shared := NewLedger()
+		local := make([]*Ledger, shards)
+		for i := range local {
+			local[i] = NewLedger()
+		}
+		both := func() []*Ledger { return []*Ledger{shared, local[rng.Intn(shards)]} }
+		kinds := []string{"proto/grow", "vbcast", "cgcast/frame"}
+		for i := 0; i < 500; i++ {
+			targets := both()
+			switch rng.Intn(5) {
+			case 0:
+				k, h := kinds[rng.Intn(len(kinds))], rng.Intn(7)
+				for _, l := range targets {
+					l.RecordMessage(k, h)
+				}
+			case 1:
+				k, h := kinds[rng.Intn(len(kinds))], rng.Intn(7)
+				for _, l := range targets {
+					l.AddWork(k, h)
+				}
+			case 2:
+				k := kinds[rng.Intn(len(kinds))]
+				for _, l := range targets {
+					l.RecordDelivery(k)
+				}
+			case 3:
+				k := kinds[rng.Intn(len(kinds))]
+				for _, l := range targets {
+					l.RecordDrop(k, DropLoss)
+				}
+			case 4:
+				d := time.Duration(1+rng.Intn(5_000_000)) * time.Microsecond
+				for _, l := range targets {
+					l.RecordLatency("move", d)
+				}
+			}
+		}
+		merged := NewLedger()
+		for _, l := range local {
+			merged.Merge(l)
+		}
+		if x, y := exportJSON(t, merged), exportJSON(t, shared); x != y {
+			t.Fatalf("shards=%d: merged != shared:\nmerged=%s\nshared=%s", shards, x, y)
+		}
+		if x, y := exportJSON(t, NewLedger()), exportJSON(t, func() *Ledger {
+			m := NewLedger()
+			m.Merge(nil)
+			m.Merge(NewLedger())
+			return m
+		}()); x != y {
+			t.Fatalf("merging nil/empty must be identity: %s vs %s", x, y)
+		}
+	}
+}
+
+// MergedSnapshot is the one-call form used by reporting code.
+func TestMergedSnapshot(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.RecordMessage("proto/grow", 3)
+	b.RecordMessage("proto/grow", 2)
+	b.RecordDelivery("vbcast")
+	snap := MergedSnapshot(a, b)
+	if snap.MsgCount["proto/grow"] != 2 {
+		t.Fatalf("merged msg count %d, want 2", snap.MsgCount["proto/grow"])
+	}
+	if snap.HopWork["proto/grow"] != 5 {
+		t.Fatalf("merged hop work %d, want 5", snap.HopWork["proto/grow"])
+	}
+	if snap.Delivered["vbcast"] != 1 {
+		t.Fatalf("merged delivered %d, want 1", snap.Delivered["vbcast"])
+	}
+}

@@ -223,6 +223,60 @@ func (l *Ledger) AddSnapshot(diff Snapshot, times int64) {
 	}
 }
 
+// Merge folds every record of o into l: message counts, hop work,
+// delivery and drop-cause counters add, and latency histograms merge
+// bucket-wise. All of those operations are associative and commutative,
+// so folding K shard-local ledgers in any grouping or order produces the
+// same ledger — and, for programs whose recording calls commute (disjoint
+// objects, disjoint regions), the same ledger a single shared instance
+// would have accumulated. This is the parallel-tracker contract: each
+// shard records into its own ledger with no mutex on the hot path, and
+// the merged result is compared byte-for-byte (via Export) against the
+// shared-ledger run. A nil o is a no-op; o itself is not modified.
+func (l *Ledger) Merge(o *Ledger) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.msgCount {
+		l.msgCount[k] += v
+	}
+	for k, v := range o.hopWork {
+		l.hopWork[k] += v
+	}
+	for k, v := range o.delivered {
+		l.delivered[k] += v
+	}
+	for k, m := range o.drops {
+		dm, ok := l.drops[k]
+		if !ok {
+			dm = make(map[DropCause]int64, len(m))
+			l.drops[k] = dm
+		}
+		for c, v := range m {
+			dm[c] += v
+		}
+	}
+	for k, h := range o.lat {
+		dst, ok := l.lat[k]
+		if !ok {
+			dst = NewHistogram()
+			l.lat[k] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
+// MergedSnapshot folds the given shard-local ledgers into one counter
+// snapshot without mutating any of them. For the full state including
+// histograms, Merge into a fresh ledger and Export it.
+func MergedSnapshot(ledgers ...*Ledger) Snapshot {
+	m := NewLedger()
+	for _, l := range ledgers {
+		m.Merge(l)
+	}
+	return m.Snapshot()
+}
+
 // Reset clears all recorded data.
 func (l *Ledger) Reset() {
 	l.msgCount = make(map[string]int64)

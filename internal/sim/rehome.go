@@ -1,0 +1,164 @@
+package sim
+
+// Rehomer is the contention-driven object→shard re-homing policy of the
+// object-sharded scheduling design (DESIGN.md §8/§9): an object whose
+// cascade deliveries keep landing on head regions owned by another shard
+// is re-homed to that shard once its current home is demonstrably
+// contended. The inputs are exactly the router's per-object note stream —
+// (object, home, destination head region, delivery round) plus the
+// round-switch events the contention counter already detects — so the
+// policy adds no instrumentation of its own.
+//
+// A decision fires for object o when both hold:
+//
+//   - persistence: the last StreakLen notes for o all addressed head
+//     regions owned by the same foreign shard s ≠ home(o) — a single
+//     boundary-grazing cascade does not move an object;
+//   - contention: the head-round switches attributed to home(o) since the
+//     start of the run exceed ContentionFloor — an uncontended home keeps
+//     its objects even if they wander (HeadContention is the Mohamed &
+//     Robert interference term; re-homing only pays where cascades of
+//     different objects actually collide).
+//
+// The policy is a deterministic pure function of the note stream. The
+// sequential router preserves that stream in global kernel order at every
+// router shard count, and the Rehomer carries its own region→shard map
+// (normally the K-invariant logical home partition of the parallel
+// tracker), so decisions are byte-identical across shard counts — the
+// determinism bar the parallel engine needs before it can apply them as
+// attach-time homing.
+type Rehomer struct {
+	shards          int
+	shardOf         func(int32) int
+	streakLen       int
+	contentionFloor uint64
+
+	objs      map[int64]*rehomeState
+	byHome    []uint64 // head-round switches attributed to the switching object's home
+	decisions []Rehoming
+
+	offStatic  uint64 // notes landing off the object's static (initial) home
+	offDynamic uint64 // notes landing off the object's current home
+}
+
+// Rehoming is one re-homing decision, in decision order.
+type Rehoming struct {
+	Seq  uint64 // 1-based decision number
+	Obj  int64
+	From int // home shard before
+	To   int // home shard after (the foreign head's shard)
+	At   Time
+}
+
+// rehomeState is the per-object policy state.
+type rehomeState struct {
+	home       int
+	staticHome int
+	streakTo   int // foreign shard of the current streak
+	streak     int // consecutive notes landing on streakTo
+}
+
+// NewRehomer builds the policy for `shards` home shards. shardOf maps a
+// head region to its owning shard (clamped into range, mirroring
+// geo.Partition.ShardOf); streakLen (≥ 1) is the persistence requirement
+// and contentionFloor the home-contention threshold that arms re-homing.
+func NewRehomer(shards int, shardOf func(int32) int, streakLen int, contentionFloor uint64) *Rehomer {
+	if shards < 1 {
+		shards = 1
+	}
+	if streakLen < 1 {
+		streakLen = 1
+	}
+	return &Rehomer{
+		shards:          shards,
+		shardOf:         shardOf,
+		streakLen:       streakLen,
+		contentionFloor: contentionFloor,
+		objs:            make(map[int64]*rehomeState),
+		byHome:          make([]uint64, shards),
+	}
+}
+
+func (rh *Rehomer) clamp(s int) int {
+	if s < 0 || s >= rh.shards {
+		return 0
+	}
+	return s
+}
+
+// note consumes one per-object delivery (see Router.NoteObject) and
+// returns the object's current home shard, re-homing it first if the
+// decision rule fires. switched reports that this note switched its head
+// round to a different object — the contention event, charged against the
+// noting object's current home.
+//
+// The object's static home is the shard of the FIRST destination the
+// stream reports for it — a pure function of the note stream, never of the
+// router's own shard count — so decisions are byte-identical at every
+// router configuration replaying the same program.
+func (rh *Rehomer) note(obj int64, dstRegion int32, due Time, switched bool) int {
+	dst := rh.clamp(rh.shardOf(dstRegion))
+	st, ok := rh.objs[obj]
+	if !ok {
+		st = &rehomeState{home: dst, staticHome: dst}
+		rh.objs[obj] = st
+	}
+	if dst != st.staticHome {
+		rh.offStatic++
+	}
+	if switched {
+		rh.byHome[st.home]++
+	}
+	if dst == st.home {
+		st.streak = 0
+		return st.home
+	}
+	rh.offDynamic++
+	if dst == st.streakTo {
+		st.streak++
+	} else {
+		st.streakTo = dst
+		st.streak = 1
+	}
+	if st.streak >= rh.streakLen && rh.byHome[st.home] > rh.contentionFloor {
+		rh.decisions = append(rh.decisions, Rehoming{
+			Seq: uint64(len(rh.decisions) + 1), Obj: obj, From: st.home, To: dst, At: due,
+		})
+		st.home = dst
+		st.streak = 0
+	}
+	return st.home
+}
+
+// Home returns the object's current home shard and whether the policy has
+// seen the object at all.
+func (rh *Rehomer) Home(obj int64) (int, bool) {
+	st, ok := rh.objs[obj]
+	if !ok {
+		return 0, false
+	}
+	return st.home, true
+}
+
+// Decisions returns every re-homing decision taken so far, in order.
+func (rh *Rehomer) Decisions() []Rehoming {
+	return append([]Rehoming(nil), rh.decisions...)
+}
+
+// OffHomeStatic returns how many notes landed on a head region outside the
+// object's static home shard (the shard of its first noted destination) —
+// the cross-shard cascade traffic a fixed attach-time homing would pay.
+func (rh *Rehomer) OffHomeStatic() uint64 { return rh.offStatic }
+
+// OffHomeDynamic returns how many notes landed outside the object's
+// current (re-homed) home shard — the traffic remaining after the policy's
+// decisions. OffHomeDynamic ≤ OffHomeStatic whenever the policy only moves
+// objects toward where their cascades run.
+func (rh *Rehomer) OffHomeDynamic() uint64 { return rh.offDynamic }
+
+// HomeContention returns the head-round switches attributed to each home
+// shard (index = shard) — the per-home slice of the router's contention
+// counter that the decision rule thresholds on.
+func (rh *Rehomer) HomeContention() []uint64 {
+	return append([]uint64(nil), rh.byHome...)
+}

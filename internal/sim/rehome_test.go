@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// bandOf8 is the fixed 8-band region→shard map the parallel tracker homes
+// objects with (256 regions, 32 per band).
+func bandOf8(rg int32) int {
+	b := int(rg) / 32
+	if b < 0 {
+		return 0
+	}
+	if b > 7 {
+		return 7
+	}
+	return b
+}
+
+// rehomeNote is one step of a synthetic cascade program.
+type rehomeNote struct {
+	obj int64
+	dst int32
+	due Time
+}
+
+// wanderProgram builds a deterministic note stream: objects 1..objs each
+// start in their own band and from round `driftAt` onward keep delivering
+// into band 7's head regions, colliding there within shared rounds (the
+// contention the policy thresholds on).
+func wanderProgram(objs, rounds, driftAt int) []rehomeNote {
+	var prog []rehomeNote
+	for r := 0; r < rounds; r++ {
+		due := time.Duration(r+1) * time.Millisecond
+		for o := 1; o <= objs; o++ {
+			dst := int32((o * 32) % 256) // home band of object o
+			if r >= driftAt {
+				dst = 224 + int32(r%4) // band 7, shared rounds → switches
+			}
+			prog = append(prog, rehomeNote{obj: int64(o), dst: dst, due: due})
+		}
+	}
+	return prog
+}
+
+// Re-homing decisions must be a pure function of the note stream: replaying
+// the same program through routers of every shard count — the knob that
+// changes nothing about kernel order — yields byte-equal decision lists.
+func TestRehomerDeterministicAcrossRouterShards(t *testing.T) {
+	prog := wanderProgram(6, 40, 10)
+	var want []Rehoming
+	for i, shards := range []int{1, 2, 4, 8} {
+		k := New(1)
+		r := NewRouter(k, shards)
+		rh := NewRehomer(8, bandOf8, 3, 2)
+		r.SetRehomer(rh)
+		for _, n := range prog {
+			// The router-side home argument is shard-count dependent on
+			// purpose: the policy must ignore it.
+			r.NoteObject(n.obj, int(n.dst)%shards, n.dst, n.due)
+		}
+		got := rh.Decisions()
+		if len(got) == 0 {
+			t.Fatalf("shards=%d: drifting program produced no re-homing decisions", shards)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: decisions diverge:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// The decision rule needs both legs: persistence (a streak of foreign
+// deliveries) and contention (the home's switch count past the floor).
+func TestRehomerThresholds(t *testing.T) {
+	due := func(i int) Time { return time.Duration(i+1) * time.Millisecond }
+
+	// No contention: a long foreign streak alone never re-homes.
+	rh := NewRehomer(8, bandOf8, 3, 0)
+	rh.note(1, 0, due(0), false) // static home = band 0
+	for i := 1; i <= 10; i++ {
+		rh.note(1, 240, due(i), false) // band 7, no switches anywhere
+	}
+	if d := rh.Decisions(); len(d) != 0 {
+		t.Fatalf("re-homed with zero home contention: %+v", d)
+	}
+	if h, ok := rh.Home(1); !ok || h != 0 {
+		t.Fatalf("Home(1)=%d,%v, want 0,true", h, ok)
+	}
+
+	// Contention but no persistence: alternating bands never build a streak.
+	rh = NewRehomer(8, bandOf8, 3, 1)
+	rh.note(2, 0, due(0), false)
+	for i := 1; i <= 12; i++ {
+		dst := int32(240) // band 7
+		if i%2 == 0 {
+			dst = 200 // band 6
+		}
+		rh.note(2, dst, due(i), true) // every note a switch on home 0
+	}
+	if d := rh.Decisions(); len(d) != 0 {
+		t.Fatalf("re-homed without a persistent streak: %+v", d)
+	}
+
+	// Both legs: streakLen foreign notes after the floor is passed re-home,
+	// and the decision carries the right endpoints.
+	rh = NewRehomer(8, bandOf8, 3, 2)
+	rh.note(3, 0, due(0), false)
+	rh.note(3, 0, due(1), true)
+	rh.note(3, 0, due(2), true)
+	rh.note(3, 0, due(3), true) // byHome[0] = 3 > floor 2
+	for i := 4; i <= 6; i++ {
+		rh.note(3, 240, due(i), false)
+	}
+	d := rh.Decisions()
+	if len(d) != 1 || d[0].Obj != 3 || d[0].From != 0 || d[0].To != 7 || d[0].Seq != 1 {
+		t.Fatalf("decisions %+v, want one 0→7 re-homing of object 3", d)
+	}
+	if h, _ := rh.Home(3); h != 7 {
+		t.Fatalf("Home(3)=%d after re-homing, want 7", h)
+	}
+	// After re-homing, band-7 deliveries are on-home: dynamic off-home
+	// traffic stops accruing while static keeps counting.
+	offD, offS := rh.OffHomeDynamic(), rh.OffHomeStatic()
+	rh.note(3, 241, due(7), false)
+	if rh.OffHomeDynamic() != offD {
+		t.Fatal("on-home delivery counted as dynamic off-home")
+	}
+	if rh.OffHomeStatic() != offS+1 {
+		t.Fatal("off-static delivery not counted")
+	}
+	if rh.OffHomeDynamic() > rh.OffHomeStatic() {
+		t.Fatal("dynamic off-home exceeded static off-home")
+	}
+	if hc := rh.HomeContention(); hc[0] != 3 {
+		t.Fatalf("HomeContention[0]=%d, want 3", hc[0])
+	}
+}
+
+// A drifting population's dynamic off-home traffic must come out strictly
+// below the static baseline — the payoff claim of contention-driven
+// re-homing — and the router integration must feed the policy the same
+// switches its own contention counter sees.
+func TestRehomerReducesOffHomeTraffic(t *testing.T) {
+	prog := wanderProgram(6, 60, 10)
+	k := New(1)
+	r := NewRouter(k, 4)
+	rh := NewRehomer(8, bandOf8, 3, 2)
+	r.SetRehomer(rh)
+	for _, n := range prog {
+		r.NoteObject(n.obj, 0, n.dst, n.due)
+	}
+	if rh.OffHomeDynamic() >= rh.OffHomeStatic() {
+		t.Fatalf("dynamic off-home %d not below static %d", rh.OffHomeDynamic(), rh.OffHomeStatic())
+	}
+	var sum uint64
+	for _, c := range rh.HomeContention() {
+		sum += c
+	}
+	if sum != r.HeadContention() {
+		t.Fatalf("policy saw %d switches, router counted %d", sum, r.HeadContention())
+	}
+	if r.Rehomer() != rh {
+		t.Fatal("Rehomer accessor lost the installed policy")
+	}
+}

@@ -36,7 +36,20 @@ type Router struct {
 	objLoad    []uint64            // deliveries per home shard
 	headLast   map[headRound]int64 // (dst region, round) → last object
 	contention uint64              // object switches within one head round
+	// headSweepAt is the amortized prune trigger: once the round map
+	// reaches this size, one pass discards every entry whose round is
+	// strictly past the kernel clock (a round at due < now can never be
+	// noted again, so it can never witness another switch). The threshold
+	// is then re-armed at twice the surviving size, bounding the map at
+	// ~2× the largest simultaneously-live round set instead of growing
+	// monotonically for the whole run, at O(1) amortized cost per note.
+	headSweepAt int
+	rh          *Rehomer // optional contention-driven re-homing policy
 }
+
+// headSweepFloor is the minimum prune threshold: maps smaller than this
+// are never worth sweeping.
+const headSweepFloor = 64
 
 // headRound identifies one delivery round at one head region: all
 // same-instant deliveries to the region form one round of its schedule.
@@ -51,11 +64,12 @@ func NewRouter(k *Kernel, shards int) *Router {
 		shards = 1
 	}
 	return &Router{
-		k:        k,
-		kShards:  shards,
-		pair:     make([]uint64, shards*shards),
-		objLoad:  make([]uint64, shards),
-		headLast: make(map[headRound]int64),
+		k:           k,
+		kShards:     shards,
+		pair:        make([]uint64, shards*shards),
+		objLoad:     make([]uint64, shards),
+		headLast:    make(map[headRound]int64),
+		headSweepAt: headSweepFloor,
 	}
 }
 
@@ -130,13 +144,53 @@ func (r *Router) MinCrossLead() (Time, bool) { return r.minLead, r.haveX }
 // cascades inside one round, which is exactly the work that cannot
 // parallelize across object shards.
 func (r *Router) NoteObject(obj int64, home int, dstRegion int32, due Time) {
-	r.objLoad[r.clamp(home)]++
 	key := headRound{region: dstRegion, due: due}
+	switched := false
 	if last, ok := r.headLast[key]; ok && last != obj {
 		r.contention++
+		switched = true
 	}
 	r.headLast[key] = obj
+	if len(r.headLast) >= r.headSweepAt {
+		r.pruneHeadRounds()
+	}
+	if r.rh != nil {
+		r.rh.note(obj, dstRegion, due, switched)
+	}
+	r.objLoad[r.clamp(home)]++
 }
+
+// pruneHeadRounds discards round entries strictly past the kernel clock in
+// one pass and re-arms the sweep threshold at 2× the surviving size.
+func (r *Router) pruneHeadRounds() {
+	now := r.k.Now()
+	for key := range r.headLast {
+		if key.due < now {
+			delete(r.headLast, key)
+		}
+	}
+	r.headSweepAt = 2 * len(r.headLast)
+	if r.headSweepAt < headSweepFloor {
+		r.headSweepAt = headSweepFloor
+	}
+}
+
+// HeadRoundsTracked returns the number of (head region, round) entries the
+// contention profile currently retains — bounded near the live round set
+// by the amortized prune, not the run length.
+func (r *Router) HeadRoundsTracked() int { return len(r.headLast) }
+
+// SetRehomer installs a contention-driven re-homing policy as an observer
+// of the note stream: every NoteObject feeds it, and the policy re-homes
+// objects whose cascades keep landing on another shard's head regions once
+// their home's contention passes the threshold. The policy is a pure
+// function of the note stream, which the router preserves in global kernel
+// order, and it carries its own region→shard map — so re-homing decisions
+// are byte-identical at every router shard count. A nil rh uninstalls.
+func (r *Router) SetRehomer(rh *Rehomer) { r.rh = rh }
+
+// Rehomer returns the installed re-homing policy, or nil.
+func (r *Router) Rehomer() *Rehomer { return r.rh }
 
 // ObjectAt is NoteObject combined with At: it schedules fn as an
 // object-keyed delivery, for programs that drive per-object cascade events
@@ -177,5 +231,6 @@ func (r *Router) ResetObjectProfile() {
 		r.objLoad[i] = 0
 	}
 	r.headLast = make(map[headRound]int64)
+	r.headSweepAt = headSweepFloor
 	r.contention = 0
 }

@@ -95,3 +95,52 @@ func TestRouterObjectProfile(t *testing.T) {
 		t.Fatal("round memory survived reset")
 	}
 }
+
+// The head-round memory must stay bounded near the live round set on a
+// long E13-style schedule — rounds with strictly-past dues are swept in
+// amortized O(1) once the map reaches the prune threshold, instead of
+// growing one entry per (region, round) for the whole run.
+func TestRouterHeadRoundsPruned(t *testing.T) {
+	k := New(1)
+	r := NewRouter(k, 4)
+	const rounds = 10_000
+	maxTracked := 0
+	for i := 0; i < rounds; i++ {
+		due := time.Duration(i+1) * time.Millisecond
+		for rg := int32(0); rg < 8; rg++ {
+			r.NoteObject(int64(rg), 0, rg, due)   // opens the (rg, due) round
+			r.NoteObject(int64(rg+1), 0, rg, due) // object switch: contention
+		}
+		k.RunUntil(due) // round executed; its entries are now strictly past
+		if n := r.HeadRoundsTracked(); n > maxTracked {
+			maxTracked = n
+		}
+	}
+	if got := r.HeadContention(); got != rounds*8 {
+		t.Fatalf("HeadContention()=%d, want %d (pruning must not lose switches)", got, rounds*8)
+	}
+	// Unpruned, the map would hold rounds*8 = 80000 entries. The live set is
+	// 8 regions × 1 round, so the sweep threshold never re-arms above the
+	// floor and the map never exceeds it.
+	if maxTracked > headSweepFloor {
+		t.Fatalf("head-round map peaked at %d entries, want ≤ %d", maxTracked, headSweepFloor)
+	}
+	if n := r.HeadRoundsTracked(); n > headSweepFloor {
+		t.Fatalf("steady-state head-round map %d entries, want ≤ %d", n, headSweepFloor)
+	}
+
+	// Entries at the current instant (due == now) must survive a sweep:
+	// their round can still be noted again.
+	r.ResetObjectProfile()
+	now := k.Now()
+	for rg := int32(0); rg < headSweepFloor; rg++ {
+		r.NoteObject(int64(rg), 0, rg, now) // triggers a sweep at the floor
+	}
+	if n := r.HeadRoundsTracked(); n != headSweepFloor {
+		t.Fatalf("live rounds swept: %d tracked, want %d", n, headSweepFloor)
+	}
+	r.NoteObject(99, 0, 0, now)
+	if r.HeadContention() != 1 {
+		t.Fatal("switch on a surviving live round was not detected")
+	}
+}

@@ -1,0 +1,179 @@
+package tracker
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MergeRegionEncodings merges the version-2 canonical encodings that K
+// shard-local tracker stacks produced for the SAME region into the single
+// encoding one stack tracking every object would have produced.
+//
+// This is the parallel tracker's state-identity tool: each object lives on
+// exactly one home shard's stack, so for any region every per-level object
+// row appears in exactly one of the K encodings, and the hierarchy — hence
+// the hosted level list — is identical across stacks. The merge therefore
+// keeps the shared level skeleton and interleaves the per-object rows in
+// ascending object id (the codec's canonical order), copying each row's
+// bytes verbatim. Rows are self-delimiting (the flags byte announces armed
+// timers and pending finds), so no re-encoding happens and byte-identity
+// with the single-stack run follows from row identity.
+//
+// An object appearing in more than one input is an error (the homing
+// invariant is broken); so is any malformed or non-v2 input, or inputs
+// with differing level skeletons. Nil inputs (the region hosts no
+// processes) are accepted only if every input is nil.
+func MergeRegionEncodings(encs ...[]byte) ([]byte, error) {
+	var live [][]byte
+	for _, e := range encs {
+		if e != nil {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		return nil, nil
+	}
+	if len(live) != len(encs) {
+		return nil, fmt.Errorf("tracker: merge of %d encodings with %d nil — stacks disagree on hosted processes",
+			len(encs), len(encs)-len(live))
+	}
+	parsed := make([][]encLevel, len(live))
+	for i, e := range live {
+		lv, err := parseRegionEncoding(e)
+		if err != nil {
+			return nil, fmt.Errorf("tracker: merge input %d: %w", i, err)
+		}
+		parsed[i] = lv
+	}
+	skel := parsed[0]
+	for i, lv := range parsed[1:] {
+		if len(lv) != len(skel) {
+			return nil, fmt.Errorf("tracker: merge input %d has %d levels, input 0 has %d", i+1, len(lv), len(skel))
+		}
+		for j := range lv {
+			if lv[j].level != skel[j].level {
+				return nil, fmt.Errorf("tracker: merge input %d level %d at index %d, input 0 has %d",
+					i+1, lv[j].level, j, skel[j].level)
+			}
+		}
+	}
+
+	out := make([]byte, 0, mergedSizeHint(parsed))
+	out = appendU16(out, regionStateVersion)
+	out = appendU16(out, uint16(len(skel)))
+	cursors := make([]int, len(parsed))
+	for li := range skel {
+		total := 0
+		for _, lv := range parsed {
+			total += len(lv[li].rows)
+		}
+		out = appendU16(out, skel[li].level)
+		out = appendU32(out, uint32(total))
+		for i := range cursors {
+			cursors[i] = 0
+		}
+		for emitted := 0; emitted < total; emitted++ {
+			best := -1
+			for i, lv := range parsed {
+				if cursors[i] >= len(lv[li].rows) {
+					continue
+				}
+				if best < 0 || lv[li].rows[cursors[i]].obj < parsed[best][li].rows[cursors[best]].obj {
+					best = i
+				} else if lv[li].rows[cursors[i]].obj == parsed[best][li].rows[cursors[best]].obj {
+					return nil, fmt.Errorf("tracker: object %d present in two merge inputs at level %d",
+						lv[li].rows[cursors[i]].obj, skel[li].level)
+				}
+			}
+			out = append(out, parsed[best][li].rows[cursors[best]].raw...)
+			cursors[best]++
+		}
+	}
+	return out, nil
+}
+
+// encLevel is one level section of a parsed v2 region encoding.
+type encLevel struct {
+	level uint16
+	rows  []encRow
+}
+
+// encRow is one object row: its id plus the raw row bytes (id included).
+type encRow struct {
+	obj uint32
+	raw []byte
+}
+
+// parseRegionEncoding splits a version-2 canonical encoding into its level
+// sections and raw object rows without materializing machine state.
+func parseRegionEncoding(enc []byte) ([]encLevel, error) {
+	r := &decoder{buf: enc}
+	version := r.u16()
+	if r.err == nil && version != regionStateVersion {
+		return nil, fmt.Errorf("region state version %d, want %d", version, regionStateVersion)
+	}
+	numLevels := int(r.u16())
+	levels := make([]encLevel, 0, numLevels)
+	for i := 0; i < numLevels && r.err == nil; i++ {
+		lv := encLevel{level: r.u16()}
+		numObjs := int(r.u32())
+		if r.err == nil && numObjs > r.remaining()/encObjMinSize {
+			return nil, fmt.Errorf("level %d claims %d objects with %d bytes left", lv.level, numObjs, r.remaining())
+		}
+		if numObjs > 0 {
+			lv.rows = make([]encRow, 0, numObjs)
+		}
+		prev := uint32(0)
+		for j := 0; j < numObjs && r.err == nil; j++ {
+			start := r.off
+			obj := r.u32()
+			if r.err == nil && j > 0 && obj <= prev {
+				return nil, fmt.Errorf("level %d object %d after %d, want strictly ascending", lv.level, obj, prev)
+			}
+			prev = obj
+			r.bytes(4 * 4) // c, p, nbrptup, nbrptdown
+			flags := r.u8()
+			if r.err == nil && flags&encFlagReserved != 0 {
+				return nil, fmt.Errorf("level %d object %d has reserved flag bits %#x", lv.level, obj, flags)
+			}
+			r.bytes(8 * bits.OnesCount8(flags&(encFlagTimer|encFlagNbrTimeout|encFlagLease|encFlagNbrLease)))
+			if flags&encFlagPending != 0 {
+				np := int(r.u32())
+				if r.err == nil && np > r.remaining()/encPendingSize {
+					return nil, fmt.Errorf("level %d object %d claims %d pending finds with %d bytes left",
+						lv.level, obj, np, r.remaining())
+				}
+				r.bytes(np * encPendingSize)
+			}
+			if r.err == nil {
+				lv.rows = append(lv.rows, encRow{obj: obj, raw: enc[start:r.off]})
+			}
+		}
+		levels = append(levels, lv)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", r.remaining())
+	}
+	return levels, nil
+}
+
+func mergedSizeHint(parsed [][]encLevel) int {
+	n := 4
+	for _, lv := range parsed {
+		for _, l := range lv {
+			n += 6
+			for _, row := range l.rows {
+				n += len(row.raw)
+			}
+		}
+	}
+	return n
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

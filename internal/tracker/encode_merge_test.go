@@ -1,0 +1,151 @@
+package tracker
+
+import (
+	"bytes"
+	"testing"
+
+	"vinestalk/internal/geo"
+)
+
+// encTestRow hand-builds one v2 object row exercising the span walker:
+// armed-timer deadlines and pending-find lists are present exactly when
+// their flag bits say so.
+func encTestRow(obj uint32, deadlines []uint64, pending [][2]uint32) []byte {
+	var b []byte
+	b = appendU32(b, obj)
+	for i := 0; i < 4; i++ {
+		b = appendU32(b, obj*10+uint32(i)) // pointers: arbitrary but distinct
+	}
+	var flags byte
+	for i := range deadlines {
+		flags |= 1 << i
+	}
+	if len(pending) > 0 {
+		flags |= encFlagPending
+	}
+	b = append(b, flags)
+	for _, d := range deadlines {
+		b = append(b, byte(d>>56), byte(d>>48), byte(d>>40), byte(d>>32),
+			byte(d>>24), byte(d>>16), byte(d>>8), byte(d))
+	}
+	if len(pending) > 0 {
+		b = appendU32(b, uint32(len(pending)))
+		for _, p := range pending {
+			b = append(b, 0, 0, 0, 0)
+			b = appendU32(b, p[0])
+			b = appendU32(b, p[1])
+		}
+	}
+	return b
+}
+
+// encTestRegion assembles a v2 encoding from per-level row lists.
+func encTestRegion(levels []uint16, rows [][][]byte) []byte {
+	var b []byte
+	b = appendU16(b, regionStateVersion)
+	b = appendU16(b, uint16(len(levels)))
+	for i, lv := range levels {
+		b = appendU16(b, lv)
+		b = appendU32(b, uint32(len(rows[i])))
+		for _, r := range rows[i] {
+			b = append(b, r...)
+		}
+	}
+	return b
+}
+
+// Merging shard-local encodings must interleave rows by object id under the
+// shared level skeleton, byte for byte — including rows carrying armed
+// timers and pending finds, whose spans the walker must skip exactly.
+func TestMergeRegionEncodings(t *testing.T) {
+	levels := []uint16{0, 2}
+	r1 := encTestRow(1, nil, nil)
+	r2 := encTestRow(2, []uint64{77}, nil)
+	r3 := encTestRow(3, []uint64{5, 9}, [][2]uint32{{41, 12}, {42, 200}})
+	r9 := encTestRow(9, nil, [][2]uint32{{7, 3}})
+
+	a := encTestRegion(levels, [][][]byte{{r1, r3}, {r9}})
+	b := encTestRegion(levels, [][][]byte{{r2}, {}})
+	want := encTestRegion(levels, [][][]byte{{r1, r2, r3}, {r9}})
+
+	got, err := MergeRegionEncodings(a, b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged encoding differs:\n got %x\nwant %x", got, want)
+	}
+
+	// Merging one input is the identity; merging with an empty-level input
+	// is too.
+	if got, err := MergeRegionEncodings(a); err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("single-input merge not identity: %x err=%v", got, err)
+	}
+	empty := encTestRegion(levels, [][][]byte{{}, {}})
+	if got, err := MergeRegionEncodings(a, empty); err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("empty-input merge not identity: %x err=%v", got, err)
+	}
+
+	// All-nil means the region hosts nothing anywhere.
+	if got, err := MergeRegionEncodings(nil, nil); err != nil || got != nil {
+		t.Fatalf("all-nil merge = %x, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMergeRegionEncodingsRejectsBadInput(t *testing.T) {
+	levels := []uint16{0}
+	a := encTestRegion(levels, [][][]byte{{encTestRow(1, nil, nil)}})
+
+	cases := map[string][][]byte{
+		"duplicate object": {a, encTestRegion(levels, [][][]byte{{encTestRow(1, nil, nil)}})},
+		"mixed nil":        {a, nil},
+		"level mismatch":   {a, encTestRegion([]uint16{1}, [][][]byte{{}})},
+		"level count":      {a, encTestRegion([]uint16{0, 1}, [][][]byte{{}, {}})},
+		"bad version":      {append(appendU16(nil, 1), a[2:]...)},
+		"trailing bytes":   {append(append([]byte(nil), a...), 0xFF)},
+		"truncated":        {a[:len(a)-3]},
+	}
+	for name, encs := range cases {
+		if _, err := MergeRegionEncodings(encs...); err == nil {
+			t.Errorf("%s: merge accepted bad input", name)
+		}
+	}
+
+	// Reserved flag bits are a decoder error, not silently skipped bytes.
+	row := encTestRow(4, nil, nil)
+	row[len(row)-1] |= 0x40
+	if _, err := MergeRegionEncodings(encTestRegion(levels, [][][]byte{{row}})); err == nil {
+		t.Error("reserved flags: merge accepted bad input")
+	}
+
+	// Out-of-order rows violate the canonical form.
+	unsorted := encTestRegion(levels, [][][]byte{{encTestRow(5, nil, nil), encTestRow(2, nil, nil)}})
+	if _, err := MergeRegionEncodings(unsorted); err == nil {
+		t.Error("unsorted rows: merge accepted bad input")
+	}
+}
+
+// A real automaton's encoding must round-trip through the parser: merge of
+// the single live encoding is the identity on actual protocol state.
+func TestMergeRegionEncodingsOnLiveState(t *testing.T) {
+	f := newFixture(t, fixtureConfig{side: 4, start: 5, alwaysUp: true})
+	f.settle()
+	aut := f.net.Automaton()
+	merged := 0
+	for u := 0; u < f.tiling.NumRegions(); u++ {
+		enc := aut.EncodeRegion(geo.RegionID(u))
+		got, err := MergeRegionEncodings(enc)
+		if err != nil {
+			t.Fatalf("region %d: %v", u, err)
+		}
+		if !bytes.Equal(got, enc) {
+			t.Fatalf("region %d: identity merge changed bytes", u)
+		}
+		if enc != nil {
+			merged++
+		}
+	}
+	if merged == 0 {
+		t.Fatal("no region produced an encoding")
+	}
+}

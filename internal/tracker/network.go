@@ -459,22 +459,41 @@ func (n *Network) Find(u geo.RegionID) (FindID, error) {
 
 // FindObject is Find for one of several tracked objects.
 func (n *Network) FindObject(u geo.RegionID, obj ObjectID) (FindID, error) {
-	ids := n.cg.Layer().ClientsIn(u)
-	if len(ids) == 0 {
-		return 0, fmt.Errorf("tracker: no alive client in region %v to receive find input", u)
-	}
-	c, ok := n.clients[ids[0]]
-	if !ok {
-		return 0, fmt.Errorf("tracker: client %v not part of this network", ids[0])
-	}
 	n.findSeq++
 	id := n.findSeq
-	n.started[id] = n.k.Now()
-	n.findObj[id] = obj
-	if err := c.find(obj, FindPayload{ID: id, Origin: u}); err != nil {
+	if err := n.FindObjectAs(id, u, obj); err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// FindObjectAs issues a find with a caller-chosen id instead of the
+// network's own sequence. The parallel tracker needs this: each home
+// shard's stack runs its own Network, and a shared global id space keeps
+// find ids — and therefore found outputs and per-find latency samples —
+// identical no matter how the objects are split across shards. The id
+// must be unused on this network; mixing FindObjectAs ids with FindObject
+// sequence ids on one network risks collisions and is rejected.
+func (n *Network) FindObjectAs(id FindID, u geo.RegionID, obj ObjectID) error {
+	if _, dup := n.started[id]; dup {
+		return fmt.Errorf("tracker: find id %d already issued", id)
+	}
+	ids := n.cg.Layer().ClientsIn(u)
+	if len(ids) == 0 {
+		return fmt.Errorf("tracker: no alive client in region %v to receive find input", u)
+	}
+	c, ok := n.clients[ids[0]]
+	if !ok {
+		return fmt.Errorf("tracker: client %v not part of this network", ids[0])
+	}
+	n.started[id] = n.k.Now()
+	n.findObj[id] = obj
+	if err := c.find(obj, FindPayload{ID: id, Origin: u}); err != nil {
+		delete(n.started, id)
+		delete(n.findObj, id)
+		return err
+	}
+	return nil
 }
 
 // FindIssued returns the virtual time the find input occurred.
